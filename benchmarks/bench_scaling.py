@@ -1,0 +1,69 @@
+"""Input-scale sensitivity of the elimination percentages.
+
+The paper ran its programs on production input decks (dynamic counts of
+10^8-10^10); our default inputs are interpreter-sized.  This bench uses
+the Python back-end (the paper's instrumented-translation methodology,
+~10x faster than interpretation) to re-measure NI and LLS at three
+input scales per program and asserts the expected behavior:
+
+* NI percentages are essentially scale-invariant (redundancy is a
+  per-iteration property);
+* LLS percentages improve with scale (the constant preheader
+  Cond-checks amortize over more iterations), moving toward the paper's
+  ~98-99.99% full-scale numbers.
+"""
+
+import pytest
+
+from repro.checks import OptimizerOptions, Scheme
+from repro.pipeline.stats import measure_baseline, measure_scheme
+
+from conftest import write_result
+
+
+def _measure(program, inputs, scheme):
+    baseline = measure_baseline(program.name, program.source, inputs,
+                                engine="compiled")
+    cell = measure_scheme(program.name, program.source,
+                          OptimizerOptions(scheme=scheme),
+                          baseline.dynamic_checks, inputs,
+                          engine="compiled")
+    return cell.percent_eliminated
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling(benchmark, programs, results_dir):
+    def run_scaling():
+        rows = {}
+        for program in programs:
+            rows[program.name] = {
+                "test": (_measure(program, program.test_inputs, Scheme.NI),
+                         _measure(program, program.test_inputs, Scheme.LLS)),
+                "full": (_measure(program, program.inputs, Scheme.NI),
+                         _measure(program, program.inputs, Scheme.LLS)),
+                "large": (_measure(program, program.large_inputs, Scheme.NI),
+                          _measure(program, program.large_inputs,
+                                   Scheme.LLS)),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    lines = ["elimination %% vs input scale (engine: Python back-end)",
+             "%-10s %16s %16s %16s" % ("program", "test NI/LLS",
+                                       "full NI/LLS", "large NI/LLS")]
+    for name, data in rows.items():
+        lines.append("%-10s %7.2f/%7.2f %7.2f/%7.2f %7.2f/%7.2f"
+                     % (name, *data["test"], *data["full"], *data["large"]))
+    write_result(results_dir, "scaling.txt", "\n".join(lines))
+
+    for name, data in rows.items():
+        ni_values = [data[k][0] for k in ("test", "full", "large")]
+        lls_values = [data[k][1] for k in ("test", "full", "large")]
+        # NI varies little with scale
+        assert max(ni_values) - min(ni_values) < 12.0, name
+        # LLS amortizes: large-scale at least as good as test-scale
+        assert lls_values[2] >= lls_values[0] - 0.5, name
+        assert lls_values[2] >= 85.0, name
+    # at large scale the suite average approaches the paper's ~98%
+    average = sum(data["large"][1] for data in rows.values()) / len(rows)
+    assert average >= 94.0

@@ -1,0 +1,48 @@
+"""Table 1: program characteristics of the benchmark programs.
+
+Regenerates the paper's Table 1 (lines / subroutines / loops, static
+and dynamic instruction and check counts, check/instr ratios) and the
+section 4.1 overhead estimate ("the execution overhead of range checks
+without any optimization is between 44% and 132%" on the paper's
+testbed).  The benchmark times the naive-checking execution that
+produces the dynamic counts.
+"""
+
+import pytest
+
+from repro.benchsuite import run_table1
+from repro.pipeline.stats import measure_baseline
+from repro.reporting import format_table1, overhead_estimate
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_suite(benchmark, programs, results_dir):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    assert len(rows) == 10
+    text = format_table1(rows)
+    low, high = overhead_estimate(rows)
+    text += "\nestimated naive-checking overhead: %.0f%% - %.0f%%" \
+        % (low, high)
+    write_result(results_dir, "table1.txt", text)
+
+    # paper result 1: the overhead is high enough to merit optimization
+    assert all(row.dynamic_ratio >= 20.0 for row in rows)
+    assert low >= 40.0
+    # every program actually exercises checks
+    assert all(row.dynamic_checks > 1000 for row in rows)
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("index", range(10))
+def test_table1_program(benchmark, programs, index):
+    program = programs[index]
+
+    def measure():
+        return measure_baseline(program.name, program.source,
+                                program.inputs)
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert row.dynamic_checks > 0
+    assert 0 < row.dynamic_ratio < 200

@@ -1,0 +1,99 @@
+"""Table 2: percentage of checks eliminated by the seven placement
+schemes, for PRX- and INX-checks, plus compile-time cost.
+
+Shape assertions reproduce the paper's four headline observations:
+
+1. there are substantial differences between optimizations
+   (LLS >> NI on every program);
+2. CS/SE are marginal improvements over NI/LNI;
+3. loop-based hoisting (LLS) eliminates ~98% of dynamic checks;
+4. further sophistication (ALL over LLS) is a very marginal gain.
+"""
+
+import pytest
+
+from repro.benchsuite import TABLE2_SCHEMES, all_programs, run_table2
+from repro.checks import CheckKind, OptimizerOptions, Scheme
+from repro.pipeline.stats import measure_baseline, measure_scheme
+from repro.reporting import format_scheme_table, rows_as_dict
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_full_matrix(benchmark, programs, results_dir):
+    cells = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    names = [p.name for p in programs]
+    row_labels = ["%s-%s" % (kind.value, scheme.value)
+                  for kind in (CheckKind.PRX, CheckKind.INX)
+                  for scheme in TABLE2_SCHEMES]
+    text = format_scheme_table(cells, row_labels, names,
+                               "Table 2: % checks eliminated")
+    write_result(results_dir, "table2.txt", text)
+
+    data = rows_as_dict(cells)
+    for name in names:
+        ni = data["PRX-NI"][name]
+        lls = data["PRX-LLS"][name]
+        # result 2: substantial differences between optimizations
+        assert lls > ni + 5.0
+        # result 3: loop-based hoisting eliminates the lion's share
+        assert lls >= 85.0
+        # orderings within the PRE family
+        assert data["PRX-CS"][name] >= ni - 1e-9
+        assert data["PRX-SE"][name] >= data["PRX-LNI"][name] - 1e-9
+        assert data["PRX-ALL"][name] >= lls - 1e-9
+        # result 4: ALL is a very marginal gain over LLS
+        assert data["PRX-ALL"][name] - lls < 10.0
+    # the suite-wide LLS average matches the paper's ~98% claim
+    average = sum(data["PRX-LLS"][name] for name in names) / len(names)
+    assert average >= 93.0
+
+
+@pytest.mark.benchmark(group="table2-scheme")
+@pytest.mark.parametrize("scheme", list(TABLE2_SCHEMES),
+                         ids=[s.value for s in TABLE2_SCHEMES])
+def test_scheme_over_suite(benchmark, programs, scheme):
+    """Times one placement scheme (compile + optimize + run) over the
+    whole suite -- the per-row cost behind Table 2."""
+    baselines = {
+        p.name: measure_baseline(p.name, p.source, p.inputs).dynamic_checks
+        for p in programs
+    }
+
+    def run_scheme():
+        cells = []
+        for program in programs:
+            options = OptimizerOptions(scheme=scheme)
+            cells.append(measure_scheme(program.name, program.source,
+                                        options, baselines[program.name],
+                                        program.inputs))
+        return cells
+
+    cells = benchmark.pedantic(run_scheme, rounds=1, iterations=1)
+    assert len(cells) == 10
+    for cell in cells:
+        assert 0.0 <= cell.percent_eliminated <= 100.0
+
+
+@pytest.mark.benchmark(group="table2-inx")
+@pytest.mark.parametrize("kind", [CheckKind.PRX, CheckKind.INX],
+                         ids=["PRX", "INX"])
+def test_kind_over_suite(benchmark, programs, kind):
+    """PRX vs INX check construction cost and effect under LLS."""
+    baselines = {
+        p.name: measure_baseline(p.name, p.source, p.inputs).dynamic_checks
+        for p in programs
+    }
+
+    def run_kind():
+        results = {}
+        for program in programs:
+            options = OptimizerOptions(scheme=Scheme.LLS, kind=kind)
+            cell = measure_scheme(program.name, program.source, options,
+                                  baselines[program.name], program.inputs)
+            results[program.name] = cell.percent_eliminated
+        return results
+
+    results = benchmark.pedantic(run_kind, rounds=1, iterations=1)
+    assert all(pct >= 85.0 for pct in results.values())

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates part of the paper's evaluation; the rendered
+tables are written to ``results/`` next to this directory so they can
+be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchsuite import all_programs
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def programs():
+    return all_programs()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,84 @@
+"""Using the library below the frontend: build IR with the builder API,
+insert canonical checks by hand, and run the optimizer.
+
+This is the workflow for embedding the range-check optimizer in another
+compiler: construct a CFG, attach Check instructions in canonical form,
+convert to SSA, and call ``optimize_function``.
+
+Run:  python examples/build_ir_directly.py
+"""
+
+from repro import OptimizerOptions, Scheme, format_function, optimize_function
+from repro.checks import CanonicalCheck, make_check
+from repro.interp import Machine
+from repro.ir import (ArrayType, Dimension, Function, INT, IRBuilder, Module,
+                      REAL, Var)
+from repro.ssa import construct_ssa
+from repro.symbolic import LinearExpr
+
+
+def build() -> Module:
+    function = Function("kernel", is_main=True)
+    n = Var("n", INT)
+    function.add_param(n)
+    function.input_defaults["n"] = 50
+    function.add_array("a", ArrayType(REAL, [Dimension.of(1, 100)]))
+
+    builder = IRBuilder(function)
+    entry = function.new_block("entry")
+    header = function.new_block("header")
+    body = function.new_block("body")
+    exit_block = function.new_block("exit")
+
+    i = Var("i", INT)
+    builder.set_block(entry)
+    builder.assign(i, 1)
+    builder.jump(header)
+
+    builder.set_block(header)
+    builder.cond_jump(builder.binop("le", i, n), body, exit_block)
+
+    builder.set_block(body)
+    # canonical checks for a(i): 1 <= i <= 100
+    subscript = LinearExpr.symbol("i")
+    lower = CanonicalCheck.lower(subscript, LinearExpr.constant(1))
+    upper = CanonicalCheck.upper(subscript, LinearExpr.constant(100))
+    builder.emit(make_check(lower, {"i": i}, "lower", "a"))
+    builder.emit(make_check(upper, {"i": i}, "upper", "a"))
+    builder.store("a", [i], builder.unop("itor", i))
+    builder.assign(i, builder.binop("add", i, 1))
+    builder.jump(header)
+
+    builder.set_block(exit_block)
+    builder.ret()
+
+    module = Module("demo")
+    module.add(function)
+    return module
+
+
+def main() -> None:
+    module = build()
+    function = module.main
+    construct_ssa(function)
+    print("=== before optimization ===")
+    print(format_function(function))
+
+    machine = Machine(module, {"n": 50})
+    machine.run()
+    print("\nnaive: %d dynamic checks" % machine.counters.checks)
+
+    stats = optimize_function(function, OptimizerOptions(scheme=Scheme.LLS))
+    print("\n=== after LLS ===")
+    print(format_function(function))
+    print("\nstatic checks %d -> %d, inserted %d, eliminated %d"
+          % (stats.checks_before, stats.checks_after, stats.inserted,
+             stats.eliminated))
+
+    machine = Machine(module, {"n": 50})
+    machine.run()
+    print("optimized: %d dynamic checks" % machine.counters.checks)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Regenerate the paper's Tables 1, 2, and 3 in one run.
+
+This is the full evaluation of the paper on the synthetic stand-in
+suite; it takes ~15 seconds.  Pass ``--small`` to use test-sized
+inputs (~2 seconds).
+
+Run:  python examples/reproduce_tables.py [--small]
+"""
+
+import sys
+
+from repro.benchsuite import (TABLE2_SCHEMES, all_programs, run_table1,
+                              run_table2, run_table3)
+from repro.checks import CheckKind
+from repro.reporting import (format_scheme_table, format_table1,
+                             overhead_estimate)
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    names = [p.name for p in all_programs()]
+
+    rows = run_table1(small=small)
+    print(format_table1(rows))
+    low, high = overhead_estimate(rows)
+    print("section 4.1 overhead estimate: %.0f%% - %.0f%%\n" % (low, high))
+
+    cells2 = run_table2(small=small)
+    labels2 = ["%s-%s" % (kind.value, scheme.value)
+               for kind in (CheckKind.PRX, CheckKind.INX)
+               for scheme in TABLE2_SCHEMES]
+    print(format_scheme_table(cells2, labels2, names,
+                              "Table 2: % of checks eliminated"))
+    print()
+
+    cells3 = run_table3(small=small)
+    labels3 = ["PRX-NI", "PRX-NI'", "PRX-SE", "PRX-SE'", "PRX-LLS",
+               "PRX-LLS'", "INX-NI", "INX-NI'", "INX-SE", "INX-SE'",
+               "INX-LLS", "INX-LLS'"]
+    print(format_scheme_table(cells3, labels3, names,
+                              "Table 3: implication ablation"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Compare all seven placement schemes on one benchmark program.
+
+Reproduces one column of the paper's Table 2, for any program of the
+suite (default: linpackd).
+
+Run:  python examples/scheme_comparison.py [program-name]
+"""
+
+import sys
+
+from repro.benchsuite import all_programs, get_program
+from repro.checks import CheckKind, OptimizerOptions, Scheme
+from repro.pipeline.stats import measure_baseline, measure_scheme
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "linpackd"
+    program = get_program(name)
+    print("program: %s (%s suite)" % (program.name, program.suite))
+    baseline = measure_baseline(program.name, program.source,
+                                program.inputs)
+    print("naive checking: %d dynamic checks, %d instructions "
+          "(check/instr ratio %.1f%%)\n"
+          % (baseline.dynamic_checks, baseline.dynamic_instructions,
+             baseline.dynamic_ratio))
+    print("%-6s %-6s %12s %12s %10s" % ("kind", "scheme", "dyn.checks",
+                                        "eliminated", "opt time"))
+    for kind in (CheckKind.PRX, CheckKind.INX):
+        for scheme in Scheme:
+            options = OptimizerOptions(scheme=scheme, kind=kind)
+            cell = measure_scheme(program.name, program.source, options,
+                                  baseline.dynamic_checks, program.inputs)
+            print("%-6s %-6s %12d %11.2f%% %9.3fs"
+                  % (kind.value, scheme.value, cell.dynamic_checks,
+                     cell.percent_eliminated, cell.optimize_seconds))
+        print()
+    print("available programs: %s"
+          % ", ".join(p.name for p in all_programs()))
+
+
+if __name__ == "__main__":
+    main()

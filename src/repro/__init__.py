@@ -1,0 +1,48 @@
+"""repro: a reproduction of Kolte & Wolfe, "Elimination of Redundant
+Array Subscript Range Checks" (PLDI 1995).
+
+The package is a small optimizing compiler for a mini-Fortran language
+whose centerpiece is a range-check optimizer built on partial
+redundancy elimination: canonical checks, check families, the Check
+Implication Graph, availability/anticipatability dataflow over checks,
+and the paper's seven placement schemes (NI, CS, LNI, SE, LI, LLS,
+ALL) under PRX/INX check construction and three implication modes.
+
+Quickstart::
+
+    from repro import compile_source, OptimizerOptions, Scheme
+
+    program = compile_source(source_text,
+                             OptimizerOptions(scheme=Scheme.LLS))
+    machine = program.run({"n": 100})
+    print(machine.counters.checks)
+"""
+
+from .checks import (CanonicalCheck, CheckImplicationGraph, CheckKind,
+                     ImplicationMode, ImplicationStore, OptimizeStats,
+                     OptimizerOptions, Scheme, optimize_function,
+                     optimize_module)
+from .errors import (CompileTimeTrap, InterpError, IRError, LexError,
+                     ParseError, RangeTrap, ReproError, SemanticError,
+                     SourceError)
+from .frontend import parse_source
+from .interp import ExecutionCounters, Machine, run_module
+from .ir import Module, format_function, format_module
+from .ir.lowering import lower_program, lower_source_file
+from .pipeline import CompiledProgram, compile_source
+from .ssa import construct_ssa, destruct_ssa
+from .symbolic import LinearExpr, Polynomial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CanonicalCheck", "CheckImplicationGraph", "CheckKind",
+    "CompileTimeTrap", "CompiledProgram", "ExecutionCounters",
+    "ImplicationMode", "ImplicationStore", "IRError", "InterpError",
+    "LexError", "LinearExpr", "Machine", "Module", "OptimizeStats",
+    "OptimizerOptions", "ParseError", "Polynomial", "RangeTrap",
+    "ReproError", "Scheme", "SemanticError", "SourceError",
+    "compile_source", "construct_ssa", "destruct_ssa", "format_function",
+    "format_module", "lower_program", "lower_source_file",
+    "optimize_function", "optimize_module", "parse_source", "run_module",
+]

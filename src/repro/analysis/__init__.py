@@ -1,0 +1,23 @@
+"""CFG analyses: dataflow framework, dominance, loops, and classic
+bit-vector analyses used as substrates by the check optimizer."""
+
+from .affine import AffineEnv, compute_affine_forms
+from .availexpr import (AvailableExpressionsProblem, available_expressions,
+                        all_expressions, expr_key)
+from .dataflow import (DataflowProblem, DataflowResult, reverse_postorder,
+                       solve)
+from .dominance import DominatorTree
+from .intervals import Interval, IntervalAnalysis
+from .liveness import LivenessProblem, live_variables
+from .loops import Loop, LoopForest
+from .postdom import PostDominators
+from .reachingdefs import ReachingDefsProblem, reaching_definitions
+
+__all__ = [
+    "AffineEnv", "AvailableExpressionsProblem", "DataflowProblem",
+    "DataflowResult", "DominatorTree", "Interval", "IntervalAnalysis",
+    "LivenessProblem", "Loop",
+    "LoopForest", "PostDominators", "ReachingDefsProblem", "all_expressions",
+    "available_expressions", "compute_affine_forms", "expr_key",
+    "live_variables", "reaching_definitions", "reverse_postorder", "solve",
+]

@@ -1,0 +1,92 @@
+"""Available expressions (forward, intersection meet).
+
+Facts are syntactic expression keys ``(op, operand keys...)`` for pure
+binary/unary operations.  This is the classic substrate underlying PRE
+(section 2.1 of the paper): an expression is *available* at a point if
+it has been computed on every path from entry and none of its operands
+were redefined since.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import BinOp, UnOp
+from ..ir.values import Const, Value, Var
+from .dataflow import DataflowProblem, DataflowResult, solve
+
+ExprKey = Tuple
+
+
+def operand_key(value: Value) -> Tuple[str, object]:
+    """A hashable key for an operand."""
+    if isinstance(value, Const):
+        return ("c", (value.type, value.value))
+    assert isinstance(value, Var)
+    return ("v", value.name)
+
+
+def expr_key(inst) -> ExprKey:
+    """The equivalence-class key of a pure computation (else None)."""
+    if isinstance(inst, BinOp):
+        return ("bin", inst.op, operand_key(inst.lhs), operand_key(inst.rhs))
+    if isinstance(inst, UnOp):
+        return ("un", inst.op, operand_key(inst.operand))
+    return None
+
+
+def expr_variables(key: ExprKey) -> Set[str]:
+    """The variable names mentioned by an expression key."""
+    names: Set[str] = set()
+    for part in key[2:]:
+        if isinstance(part, tuple) and part and part[0] == "v":
+            names.add(part[1])
+    return names
+
+
+def all_expressions(function: Function) -> List[ExprKey]:
+    """Every distinct pure expression computed in the function."""
+    seen: Set[ExprKey] = set()
+    ordered: List[ExprKey] = []
+    for inst in function.instructions():
+        key = expr_key(inst)
+        if key is not None and key not in seen:
+            seen.add(key)
+            ordered.append(key)
+    return ordered
+
+
+class AvailableExpressionsProblem(DataflowProblem):
+    """Which expressions are available on entry to each block."""
+
+    direction = "forward"
+    meet = "intersection"
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.universe = frozenset(all_expressions(function))
+
+    def initial(self) -> FrozenSet:
+        return self.universe
+
+    def boundary(self) -> FrozenSet:
+        return frozenset()
+
+    def transfer(self, block: BasicBlock, facts: FrozenSet) -> FrozenSet:
+        current = set(facts)
+        for inst in block.instructions:
+            key = expr_key(inst)
+            if key is not None:
+                current.add(key)
+            dest = inst.def_var()
+            if dest is not None:
+                current = {k for k in current
+                           if dest.name not in expr_variables(k)}
+        return frozenset(current)
+
+
+def available_expressions(function: Function) -> DataflowResult:
+    """Solve available expressions for ``function``."""
+    return solve(function, AvailableExpressionsProblem(function))

@@ -1,0 +1,57 @@
+"""Live-variable analysis (backward, union meet).
+
+Used by SSA destruction tests and as a reference client of the
+dataflow framework.  Facts are variable names.  Phi uses are treated
+edge-sensitively: a phi's incoming value is live at the *end of the
+corresponding predecessor*, not at the head of the phi's block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Phi
+from ..ir.values import Var
+from .dataflow import DataflowProblem, DataflowResult, solve
+
+
+class LivenessProblem(DataflowProblem):
+    """Classic liveness over variable names."""
+
+    direction = "backward"
+    meet = "union"
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._phi_live_out: Dict[BasicBlock, Set[str]] = {}
+        for block in function.blocks:
+            for succ in block.successors():
+                for phi in succ.phis():
+                    value = phi.value_for(block)
+                    if isinstance(value, Var):
+                        self._phi_live_out.setdefault(block, set()).add(
+                            value.name)
+
+    def transfer(self, block: BasicBlock, facts: FrozenSet) -> FrozenSet:
+        live = set(facts)
+        live |= self._phi_live_out.get(block, set())
+        for inst in reversed(block.instructions):
+            dest = inst.def_var()
+            if dest is not None:
+                live.discard(dest.name)
+            if isinstance(inst, Phi):
+                continue  # phi uses belong to predecessor edges
+            for used in inst.uses():
+                if isinstance(used, Var):
+                    live.add(used.name)
+        return frozenset(live)
+
+
+def live_variables(function: Function) -> DataflowResult:
+    """Solve liveness; ``in_facts`` = live-in, ``out_facts`` = live-out."""
+    result = solve(function, LivenessProblem(function))
+    # For backward problems the solver's naming is already
+    # in=entry-facts / out=exit-facts.
+    return result

@@ -1,0 +1,56 @@
+"""Postdominator analysis.
+
+Computed with the classic set equations over the reversed CFG
+(``pdom(b) = {b} | intersection of pdom(successors)``), with every
+``Return``/dead-end block flowing into a virtual exit.  The CFGs this
+project produces are small, so the set formulation's simplicity beats
+the asymptotics of the tree algorithms.
+
+Used by the Markstein-Cocke-Markstein baseline scheme, whose candidate
+checks must sit in *articulation nodes* of the loop body -- blocks that
+execute on every complete iteration, i.e. dominate the latch and
+postdominate the loop-body entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from .dataflow import reverse_postorder
+
+
+class PostDominators:
+    """Postdominator sets for every reachable block."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        blocks = reverse_postorder(function)
+        universe = set(blocks)
+        self.pdom: Dict[BasicBlock, Set[BasicBlock]] = {}
+        for block in blocks:
+            if block.successors():
+                self.pdom[block] = set(universe)
+            else:
+                self.pdom[block] = {block}
+        changed = True
+        order = list(reversed(blocks))
+        while changed:
+            changed = False
+            for block in order:
+                successors = block.successors()
+                if not successors:
+                    continue
+                merged: Set[BasicBlock] = set(self.pdom[successors[0]])
+                for succ in successors[1:]:
+                    merged &= self.pdom[succ]
+                merged.add(block)
+                if merged != self.pdom[block]:
+                    self.pdom[block] = merged
+                    changed = True
+
+    def postdominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when every path from ``b`` to function exit passes
+        through ``a`` (reflexive)."""
+        return a in self.pdom.get(b, set())

@@ -1,0 +1,53 @@
+"""Reaching definitions (forward, union meet).
+
+Facts are ``(variable name, definition site id)`` pairs, where the
+definition site id is the index of the instruction within the function
+(stable across queries).  Mostly a substrate-quality reference analysis
+with tests; the check optimizer itself uses SSA instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from .dataflow import DataflowProblem, DataflowResult, solve
+
+DefSite = Tuple[str, int]
+
+
+class ReachingDefsProblem(DataflowProblem):
+    """Which definitions of each variable may reach a program point."""
+
+    direction = "forward"
+    meet = "union"
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.site_ids: Dict[int, int] = {}
+        self.sites: List[Instruction] = []
+        for inst in function.instructions():
+            if inst.def_var() is not None:
+                self.site_ids[id(inst)] = len(self.sites)
+                self.sites.append(inst)
+
+    def transfer(self, block: BasicBlock, facts: FrozenSet) -> FrozenSet:
+        current = set(facts)
+        for inst in block.instructions:
+            dest = inst.def_var()
+            if dest is None:
+                continue
+            current = {(name, site) for name, site in current
+                       if name != dest.name}
+            current.add((dest.name, self.site_ids[id(inst)]))
+        return frozenset(current)
+
+
+def reaching_definitions(function: Function) -> Tuple[DataflowResult,
+                                                      ReachingDefsProblem]:
+    """Solve reaching definitions; returns the result and the problem
+    (which maps site ids back to instructions)."""
+    problem = ReachingDefsProblem(function)
+    return solve(function, problem), problem

@@ -1,0 +1,6 @@
+"""Back-ends: translation of IR to executable instrumented code
+(the Python analogue of the paper's instrumented-C back-end)."""
+
+from .pybackend import CompiledPythonModule, compile_to_python
+
+__all__ = ["CompiledPythonModule", "compile_to_python"]

@@ -1,0 +1,317 @@
+"""The Python back-end: translate IR to instrumented Python source.
+
+The paper measured dynamic counts by translating Fortran to
+*instrumented C* and running it.  This module is the same idea one
+level up: each IR function becomes a Python function whose body is a
+block-dispatch state machine, with the counters bumped by precomputed
+per-block costs -- every instruction of a basic block executes when the
+block does, so ``instructions += <block cost>`` once per entry is exact
+and much faster than interpreting instruction by instruction.
+
+Range checks compile to real ``if`` tests (a trap must still fire at
+the right moment); their *count* is part of the per-block constant.
+
+The back-end consumes non-SSA IR; the driver destructs SSA first.  The
+generated module runs against the same :class:`ArrayStorage` the
+interpreter uses, so out-of-bounds accesses still fault independently
+of the compiled checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..errors import IRError
+from ..interp.counters import ExecutionCounters
+from ..interp.values import ArrayStorage
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function, Module
+from ..ir.instructions import (Assign, BinOp, Call, Check, CondJump, Jump,
+                               Load, Phi, Print, Return, Store, Trap, UnOp)
+from ..ir.types import REAL
+from ..ir.values import Const, Value, Var
+from ..symbolic import LinearExpr
+
+Number = Union[int, float]
+
+_PRELUDE = '''\
+import math as _math
+
+def _idiv(a, b):
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+def _imod(a, b):
+    return a - _idiv(a, b) * b
+'''
+
+
+def _mangle(name: str) -> str:
+    out = []
+    for ch in name:
+        if ch.isalnum():
+            out.append(ch)
+        else:
+            out.append("_")
+    return "v_" + "".join(out)
+
+
+class _FunctionEmitter:
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.lines: List[str] = []
+        self.block_ids: Dict[str, int] = {
+            block.name: idx for idx, block in enumerate(function.blocks)}
+
+    # -- expression rendering ----------------------------------------------
+
+    def _value(self, value: Value) -> str:
+        if isinstance(value, Const):
+            return repr(value.value)
+        assert isinstance(value, Var)
+        return _mangle(value.name)
+
+    def _linexpr(self, expr: LinearExpr) -> str:
+        parts: List[str] = []
+        for sym, coeff in expr.sorted_terms():
+            var = _mangle(sym)
+            if coeff == 1:
+                parts.append("+ %s" % var)
+            elif coeff == -1:
+                parts.append("- %s" % var)
+            else:
+                parts.append("+ %d * %s" % (coeff, var)
+                             if coeff >= 0 else
+                             "- %d * %s" % (-coeff, var))
+        if expr.const or not parts:
+            parts.append("+ %d" % expr.const if expr.const >= 0
+                         else "- %d" % -expr.const)
+        text = " ".join(parts)
+        return text[2:] if text.startswith("+ ") else "-" + text[2:] \
+            if text.startswith("- ") else text
+
+    def _binop(self, inst: BinOp) -> str:
+        lhs, rhs = self._value(inst.lhs), self._value(inst.rhs)
+        simple = {"add": "+", "sub": "-", "mul": "*", "lt": "<", "le": "<=",
+                  "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
+        if inst.op in simple:
+            return "(%s %s %s)" % (lhs, simple[inst.op], rhs)
+        if inst.op == "div":
+            if inst.lhs.type is REAL or inst.rhs.type is REAL:
+                return "(%s / %s)" % (lhs, rhs)
+            return "_idiv(%s, %s)" % (lhs, rhs)
+        if inst.op == "mod":
+            if inst.lhs.type is REAL or inst.rhs.type is REAL:
+                return "_math.fmod(%s, %s)" % (lhs, rhs)
+            return "_imod(%s, %s)" % (lhs, rhs)
+        if inst.op == "min":
+            return "min(%s, %s)" % (lhs, rhs)
+        if inst.op == "max":
+            return "max(%s, %s)" % (lhs, rhs)
+        if inst.op == "and":
+            return "(bool(%s) and bool(%s))" % (lhs, rhs)
+        if inst.op == "or":
+            return "(bool(%s) or bool(%s))" % (lhs, rhs)
+        raise IRError("cannot compile binary op %r" % inst.op)
+
+    def _unop(self, inst: UnOp) -> str:
+        operand = self._value(inst.operand)
+        table = {"neg": "(-%s)", "not": "(not %s)", "abs": "abs(%s)",
+                 "itor": "float(%s)", "rtoi": "int(%s)",
+                 "sqrt": "_math.sqrt(%s)", "exp": "_math.exp(%s)",
+                 "log": "_math.log(%s)", "sin": "_math.sin(%s)",
+                 "cos": "_math.cos(%s)"}
+        return table[inst.op] % operand
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self) -> str:
+        function = self.function
+        params = [_mangle(p.name) for p in function.params]
+        params += ["arr_%s" % name for name in function.array_params]
+        self.lines = []
+        self._line(0, "def fn_%s(_rt%s):"
+                   % (function.name, "".join(", " + p for p in params)))
+        self._line(1, "_counters = _rt.counters")
+        for name, atype in function.arrays.items():
+            if name in function.array_params:
+                continue
+            bound_args = []
+            for dim in atype.dims:
+                bound_args.append("(%s, %s)" % (self._linexpr(dim.lower),
+                                                self._linexpr(dim.upper)))
+            self._line(1, "arr_%s = _rt.make_array(%r, %r, [%s])"
+                       % (name, function.name, name, ", ".join(bound_args)))
+        # scalars default to zero, matching the interpreter's forgiving
+        # treatment of use-before-definition
+        param_names = {p.name for p in function.params}
+        for name in sorted(function.scalar_types):
+            if name in param_names:
+                continue
+            stype = function.scalar_types[name]
+            default = "0.0" if stype is REAL else \
+                "False" if stype.value == "bool" else "0"
+            self._line(1, "%s = %s" % (_mangle(name), default))
+        entry_id = self.block_ids[function.entry.name]
+        self._line(1, "_block = %d" % entry_id)
+        self._line(1, "while True:")
+        for block in function.blocks:
+            self._emit_block(block)
+        return "\n".join(self.lines)
+
+    def _line(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def _emit_block(self, block: BasicBlock) -> None:
+        block_id = self.block_ids[block.name]
+        prefix = "if" if block_id == 0 else "elif"
+        self._line(2, "%s _block == %d:  # %s"
+                   % (prefix, block_id, block.name))
+        cost = 0
+        checks = 0
+        guarded = 0
+        body_emitted = False
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                raise IRError("the Python back-end needs destructed SSA")
+            if isinstance(inst, Check):
+                checks += 1
+                if inst.is_conditional:
+                    guarded += 1
+            elif isinstance(inst, Trap):
+                pass  # counted as a trap when it fires, like the interpreter
+            elif isinstance(inst, (Load, Store)):
+                cost += 1 + len(inst.indices)
+            else:
+                cost += 1
+        if cost:
+            self._line(3, "_counters.instructions += %d" % cost)
+        if checks:
+            self._line(3, "_counters.checks += %d" % checks)
+        if guarded:
+            self._line(3, "_counters.guarded_checks += %d" % guarded)
+        for inst in block.instructions:
+            body_emitted = True
+            self._emit_instruction(inst)
+        if not body_emitted:  # pragma: no cover - verifier forbids this
+            self._line(3, "raise RuntimeError('empty block')")
+
+    def _emit_instruction(self, inst) -> None:
+        line = self._line
+        if isinstance(inst, Assign):
+            line(3, "%s = %s" % (_mangle(inst.dest.name),
+                                 self._value(inst.src)))
+        elif isinstance(inst, BinOp):
+            line(3, "%s = %s" % (_mangle(inst.dest.name), self._binop(inst)))
+        elif isinstance(inst, UnOp):
+            line(3, "%s = %s" % (_mangle(inst.dest.name), self._unop(inst)))
+        elif isinstance(inst, Load):
+            indices = ", ".join("int(%s)" % self._value(i)
+                                for i in inst.indices)
+            line(3, "%s = arr_%s.load((%s,))"
+                 % (_mangle(inst.dest.name), inst.array, indices))
+        elif isinstance(inst, Store):
+            indices = ", ".join("int(%s)" % self._value(i)
+                                for i in inst.indices)
+            line(3, "arr_%s.store((%s,), %s)"
+                 % (inst.array, indices, self._value(inst.src)))
+        elif isinstance(inst, Check):
+            indent = 3
+            for guard in inst.guards:
+                line(indent, "if (%s) <= %d:"
+                     % (self._linexpr(guard.linexpr), guard.bound))
+                indent += 1
+            line(indent, "if (%s) > %d:"
+                 % (self._linexpr(inst.linexpr), inst.bound))
+            line(indent + 1, "_rt.trap(%r)"
+                 % ("range check failed: %s <= %d (array %s, %s bound)"
+                    % (inst.linexpr, inst.bound, inst.array or "?",
+                       inst.kind)))
+        elif isinstance(inst, Trap):
+            line(3, "_rt.trap(%r)" % inst.message)
+        elif isinstance(inst, Print):
+            line(3, "_rt.output.append(%s)" % self._value(inst.value))
+        elif isinstance(inst, Call):
+            args = ["_rt"]
+            args += [self._value(a) for a in inst.args]
+            args += ["arr_%s" % name for name in inst.array_args]
+            line(3, "fn_%s(%s)" % (inst.callee, ", ".join(args)))
+        elif isinstance(inst, Jump):
+            line(3, "_block = %d" % self.block_ids[inst.target.name])
+            line(3, "continue")
+        elif isinstance(inst, CondJump):
+            line(3, "_block = %d if %s else %d"
+                 % (self.block_ids[inst.if_true.name],
+                    self._value(inst.cond),
+                    self.block_ids[inst.if_false.name]))
+            line(3, "continue")
+        elif isinstance(inst, Return):
+            line(3, "return")
+        else:  # pragma: no cover
+            raise IRError("cannot compile %r" % inst)
+
+
+class _Runtime:
+    """Services the generated code calls back into."""
+
+    def __init__(self, module: Module,
+                 inputs: Mapping[str, Number]) -> None:
+        self.module = module
+        self.inputs = dict(inputs)
+        self.counters = ExecutionCounters()
+        self.output: List[Number] = []
+
+    def make_array(self, function_name: str, array_name: str,
+                   bounds) -> ArrayStorage:
+        atype = self.module.lookup(function_name).arrays[array_name]
+        return ArrayStorage(array_name, atype,
+                            [(int(lo), int(hi)) for lo, hi in bounds])
+
+    def trap(self, message: str) -> None:
+        from ..errors import RangeTrap
+
+        self.counters.traps += 1
+        raise RangeTrap(message)
+
+
+class CompiledPythonModule:
+    """A module translated to Python, ready to execute repeatedly."""
+
+    def __init__(self, module: Module) -> None:
+        if module.main is None:
+            raise IRError("module has no main program")
+        self.module = module
+        self.source = self._translate(module)
+        self._namespace: Dict[str, object] = {}
+        code = compile(self.source, "<repro-pybackend>", "exec")
+        exec(code, self._namespace)
+
+    @staticmethod
+    def _translate(module: Module) -> str:
+        pieces = [_PRELUDE]
+        for function in module:
+            for block in function.blocks:
+                if block.phis():
+                    raise IRError(
+                        "the Python back-end needs destructed SSA "
+                        "(function %s still has phis)" % function.name)
+            pieces.append(_FunctionEmitter(function).emit())
+        return "\n\n".join(pieces)
+
+    def run(self, inputs: Optional[Mapping[str, Number]] = None
+            ) -> _Runtime:
+        """Execute the translated main program."""
+        runtime = _Runtime(self.module, inputs or {})
+        main = self.module.main
+        args = [runtime]
+        for param in main.params:
+            default = main.input_defaults.get(param.name, 0)
+            value = runtime.inputs.get(param.name, default)
+            args.append(float(value) if param.type is REAL else int(value))
+        self._namespace["fn_%s" % main.name](*args)
+        return runtime
+
+
+def compile_to_python(module: Module) -> CompiledPythonModule:
+    """Translate a (phi-free) module to executable Python."""
+    return CompiledPythonModule(module)

@@ -1,0 +1,65 @@
+"""bdna (Perfect suite stand-in): molecular dynamics of a DNA strand.
+
+Profile targets: high NI (~90%) with a measurable NI-vs-NI' gap.  The
+force loop reads the ``x(i+1), x(i-1), x(i)`` stencil in that order, so
+the *strongest upper* check comes first (NI eliminates the weaker two
+via within-family implication; NI' cannot), while the weakest lower
+check comes first (kept by both).  The LLS-vs-LLS' gap is small:
+hoisting the strongest family member covers the weaker ones only when
+within-family implications are allowed.
+"""
+
+from .registry import BenchmarkProgram
+
+SOURCE = """
+program bdna
+  input integer :: n = 70, steps = 10
+  integer :: i, t
+  real :: x(100), v(100), fx(100), m(100)
+  real :: e
+  do i = 1, n
+    x(i) = real(i) * 0.25
+    v(i) = 0.0
+    fx(i) = 0.0
+    m(i) = 1.0 + real(i) * 0.01
+  end do
+  do t = 1, steps
+    call forces(n, x, fx)
+    call integrate(n, x, v, fx, m)
+  end do
+  e = 0.0
+  do i = 1, n
+    e = e + v(i) * v(i) * m(i) * 0.5
+  end do
+  print e
+end program
+
+subroutine forces(n, x, fx)
+  integer :: n, i
+  real :: x(100), fx(100)
+  do i = 2, n - 1
+    fx(i) = x(i + 1) + x(i - 1) - 2.0 * x(i)
+  end do
+  fx(1) = x(2) - x(1)
+  fx(n) = x(n - 1) - x(n)
+end subroutine
+
+subroutine integrate(n, x, v, fx, m)
+  integer :: n, i
+  real :: x(100), v(100), fx(100), m(100)
+  do i = 1, n
+    v(i) = v(i) + fx(i) / m(i) * 0.01
+    x(i) = x(i) + v(i) * 0.01
+  end do
+end subroutine
+"""
+
+PROGRAM = BenchmarkProgram(
+    name="bdna",
+    suite="Perfect",
+    source=SOURCE,
+    inputs={"n": 70, "steps": 10},
+    large_inputs={"n": 95, "steps": 80},
+    test_inputs={"n": 12, "steps": 2},
+    description=__doc__,
+)

@@ -1,0 +1,70 @@
+"""dyfesm (Perfect suite stand-in): dynamic finite-element solver.
+
+Profile targets: a modest NI (~70%) and the paper's signature dyfesm
+effect -- LNI and SE beat NI by several percent.  The element loop
+checks ``stiff(e)`` inside a one-armed ``if`` and again unconditionally
+after the join: the later checks are only *partially* redundant, which
+plain availability cannot exploit but PRE placement (earliest or
+latest) can, by inserting the check above the branch.
+"""
+
+from .registry import BenchmarkProgram
+
+SOURCE = """
+program dyfesm
+  input integer :: nelem = 48, steps = 10
+  integer :: e, t
+  real :: stiff(60), disp(60), force(60), mass(60)
+  real :: total
+  do e = 1, nelem
+    stiff(e) = 1.0 + real(e) * 0.05
+    disp(e) = 0.0
+    force(e) = real(e) * 0.2
+    mass(e) = 2.0
+  end do
+  do t = 1, steps
+    call assemble(nelem, stiff, disp, force)
+    call solve(nelem, disp, force, mass)
+  end do
+  total = 0.0
+  do e = 1, nelem
+    total = total + disp(e)
+  end do
+  print total
+end program
+
+subroutine assemble(nelem, stiff, disp, force)
+  integer :: nelem, e
+  real :: stiff(60), disp(60), force(60)
+  real :: s
+  s = 0.0
+  do e = 1, nelem
+    if (mod(e, 2) == 1) then
+      s = s + stiff(e) * 1.5
+    end if
+    force(e) = force(e) * 0.98 + s * 0.01
+    if (mod(e, 3) == 0) then
+      s = s - disp(e)
+    end if
+    disp(e) = disp(e) + force(e) * 0.001
+  end do
+end subroutine
+
+subroutine solve(nelem, disp, force, mass)
+  integer :: nelem, e
+  real :: disp(60), force(60), mass(60)
+  do e = 1, nelem
+    disp(e) = disp(e) + force(e) / mass(e) * 0.01
+  end do
+end subroutine
+"""
+
+PROGRAM = BenchmarkProgram(
+    name="dyfesm",
+    suite="Perfect",
+    source=SOURCE,
+    inputs={"nelem": 48, "steps": 10},
+    large_inputs={"nelem": 58, "steps": 90},
+    test_inputs={"nelem": 10, "steps": 2},
+    description=__doc__,
+)

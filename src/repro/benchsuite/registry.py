@@ -1,0 +1,60 @@
+"""The benchmark program registry.
+
+The paper evaluates on ten Fortran programs from the Perfect, Riceps,
+and Mendez suites.  Those inputs are not redistributable (and predate
+the web), so the suite here contains ten *synthetic stand-ins with the
+same names*, each written as an array-heavy scientific kernel whose
+check-elimination profile is engineered to match the paper's shape for
+that program (see each module's ``DESCRIPTION`` and DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+
+class BenchmarkProgram:
+    """One benchmark: source text plus input parameter sets."""
+
+    def __init__(self, name: str, suite: str, source: str,
+                 inputs: Mapping[str, int],
+                 test_inputs: Optional[Mapping[str, int]] = None,
+                 description: str = "",
+                 large_inputs: Optional[Mapping[str, int]] = None) -> None:
+        self.name = name
+        self.suite = suite
+        self.source = source
+        self.inputs: Dict[str, int] = dict(inputs)
+        self.test_inputs: Dict[str, int] = dict(test_inputs or inputs)
+        self.large_inputs: Dict[str, int] = dict(large_inputs or inputs)
+        self.description = description
+
+    def __repr__(self) -> str:
+        return "BenchmarkProgram(%r, suite=%r)" % (self.name, self.suite)
+
+
+def all_programs() -> List[BenchmarkProgram]:
+    """The ten programs, in the paper's Table 1 order."""
+    from . import (arc2d, bdna, dyfesm, linpackd, mdg, qcd, simple_prog,
+                   spec77, trfd, vortex)
+
+    return [
+        vortex.PROGRAM,
+        arc2d.PROGRAM,
+        bdna.PROGRAM,
+        dyfesm.PROGRAM,
+        mdg.PROGRAM,
+        qcd.PROGRAM,
+        spec77.PROGRAM,
+        trfd.PROGRAM,
+        linpackd.PROGRAM,
+        simple_prog.PROGRAM,
+    ]
+
+
+def get_program(name: str) -> BenchmarkProgram:
+    """Find a benchmark by name."""
+    for program in all_programs():
+        if program.name == name:
+            return program
+    raise KeyError("unknown benchmark %r" % name)

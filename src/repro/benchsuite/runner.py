@@ -1,0 +1,81 @@
+"""Suite runner: produces the data behind Tables 1, 2, and 3.
+
+Each public function returns plain data structures (dicts keyed by
+program and configuration) that :mod:`repro.reporting.tables` renders
+in the paper's layout, and that the benchmark harness asserts shape
+properties on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..checks.config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
+from ..pipeline.stats import (BaselineMeasurement, SchemeMeasurement,
+                              measure_baseline, measure_scheme)
+from .registry import BenchmarkProgram, all_programs
+
+# Table 2 runs all seven schemes for both check kinds.
+TABLE2_SCHEMES: Tuple[Scheme, ...] = (
+    Scheme.NI, Scheme.CS, Scheme.LNI, Scheme.SE,
+    Scheme.LI, Scheme.LLS, Scheme.ALL,
+)
+
+# Table 3 compares implication modes on NI, SE, and LLS.
+TABLE3_ROWS: Tuple[Tuple[Scheme, ImplicationMode], ...] = (
+    (Scheme.NI, ImplicationMode.ALL),
+    (Scheme.NI, ImplicationMode.NONE),
+    (Scheme.SE, ImplicationMode.ALL),
+    (Scheme.SE, ImplicationMode.NONE),
+    (Scheme.LLS, ImplicationMode.ALL),
+    (Scheme.LLS, ImplicationMode.CROSS_FAMILY),
+)
+
+
+def run_table1(programs: Optional[Iterable[BenchmarkProgram]] = None,
+               small: bool = False) -> List[BaselineMeasurement]:
+    """Program characteristics (Table 1) for the whole suite."""
+    rows = []
+    for program in programs or all_programs():
+        inputs = program.test_inputs if small else program.inputs
+        rows.append(measure_baseline(program.name, program.source, inputs))
+    return rows
+
+
+def run_table2(programs: Optional[Iterable[BenchmarkProgram]] = None,
+               kinds: Tuple[CheckKind, ...] = (CheckKind.PRX, CheckKind.INX),
+               schemes: Tuple[Scheme, ...] = TABLE2_SCHEMES,
+               small: bool = False
+               ) -> Dict[Tuple[str, str], SchemeMeasurement]:
+    """Percent of checks eliminated per (kind-scheme, program)."""
+    results: Dict[Tuple[str, str], SchemeMeasurement] = {}
+    for program in programs or all_programs():
+        inputs = program.test_inputs if small else program.inputs
+        baseline = measure_baseline(program.name, program.source, inputs)
+        for kind in kinds:
+            for scheme in schemes:
+                options = OptimizerOptions(scheme=scheme, kind=kind)
+                cell = measure_scheme(program.name, program.source, options,
+                                      baseline.dynamic_checks, inputs)
+                results[(options.label(), program.name)] = cell
+    return results
+
+
+def run_table3(programs: Optional[Iterable[BenchmarkProgram]] = None,
+               kinds: Tuple[CheckKind, ...] = (CheckKind.PRX, CheckKind.INX),
+               rows: Tuple[Tuple[Scheme, ImplicationMode], ...] = TABLE3_ROWS,
+               small: bool = False
+               ) -> Dict[Tuple[str, str], SchemeMeasurement]:
+    """The implication-mode ablation (Table 3)."""
+    results: Dict[Tuple[str, str], SchemeMeasurement] = {}
+    for program in programs or all_programs():
+        inputs = program.test_inputs if small else program.inputs
+        baseline = measure_baseline(program.name, program.source, inputs)
+        for kind in kinds:
+            for scheme, mode in rows:
+                options = OptimizerOptions(scheme=scheme, kind=kind,
+                                           implication=mode)
+                cell = measure_scheme(program.name, program.source, options,
+                                      baseline.dynamic_checks, inputs)
+                results[(options.label(), program.name)] = cell
+    return results

@@ -1,0 +1,125 @@
+"""The canonical form of range checks (section 2.2 of the paper).
+
+A range check ``if (not (subscript <= bound)) TRAP`` is expressed as
+``Check(range-expression <= range-constant)`` where the
+*range-expression* carries every symbolic term and the *range-constant*
+folds every constant.  Lower-bound checks ``subscript >= bound`` are
+negated first, so both kinds share one canonical shape.  Two checks
+with the same range-expression belong to the same *family*; within a
+family a smaller range-constant is a stronger check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..ir.instructions import Check, Guard
+from ..ir.values import Var
+from ..symbolic import LinearExpr
+
+
+class CanonicalCheck:
+    """An immutable ``range-expression <= range-constant`` pair.
+
+    This is the *equivalence-class key* used by the optimizer: IR
+    :class:`~repro.ir.instructions.Check` instructions whose canonical
+    form compares equal are the same check for redundancy purposes.
+    """
+
+    __slots__ = ("linexpr", "bound", "_hash")
+
+    def __init__(self, linexpr: LinearExpr, bound: int) -> None:
+        if linexpr.const != 0:
+            bound = bound - linexpr.const
+            linexpr = linexpr.drop_const()
+        self.linexpr = linexpr
+        self.bound = bound
+        self._hash = hash((linexpr, bound))
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def upper(subscript: LinearExpr, bound: LinearExpr) -> "CanonicalCheck":
+        """Canonicalize ``subscript <= bound``."""
+        diff = subscript - bound
+        return CanonicalCheck(diff.drop_const(), -diff.const)
+
+    @staticmethod
+    def lower(subscript: LinearExpr, bound: LinearExpr) -> "CanonicalCheck":
+        """Canonicalize ``subscript >= bound`` by negating both sides."""
+        diff = bound - subscript
+        return CanonicalCheck(diff.drop_const(), -diff.const)
+
+    @staticmethod
+    def of(check: Check) -> "CanonicalCheck":
+        """The canonical form of an IR check instruction."""
+        return CanonicalCheck(check.linexpr, check.bound)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def family(self) -> LinearExpr:
+        """The family key: the range-expression."""
+        return self.linexpr
+
+    def is_compile_time(self) -> bool:
+        """True when the range-expression has no symbols."""
+        return self.linexpr.is_constant()
+
+    def evaluate_compile_time(self) -> Optional[bool]:
+        """The truth value of a compile-time check, else None."""
+        if not self.is_compile_time():
+            return None
+        return self.linexpr.const <= self.bound
+
+    def implies_same_family(self, other: "CanonicalCheck") -> bool:
+        """Stronger-or-equal within a family: same expr, smaller bound."""
+        return self.linexpr == other.linexpr and self.bound <= other.bound
+
+    def with_bound(self, bound: int) -> "CanonicalCheck":
+        """The same family with a different range-constant."""
+        return CanonicalCheck(self.linexpr, bound)
+
+    # -- protocol -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CanonicalCheck):
+            return NotImplemented
+        return self.linexpr == other.linexpr and self.bound == other.bound
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "CanonicalCheck(%s <= %d)" % (self.linexpr, self.bound)
+
+    def __str__(self) -> str:
+        return "(%s <= %d)" % (self.linexpr, self.bound)
+
+
+def make_guard(canonical: CanonicalCheck,
+               variables: Mapping[str, Var]) -> Guard:
+    """Build a :class:`Guard` from a canonical inequality."""
+    operands = {sym: variables[sym] for sym in canonical.linexpr.symbols()}
+    return Guard(canonical.linexpr, canonical.bound, operands)
+
+
+def make_check(canonical: CanonicalCheck, variables: Mapping[str, Var],
+               kind: str = "upper", array: str = "",
+               guards: Sequence[Guard] = ()) -> Check:
+    """Build an IR :class:`Check` from a canonical form.
+
+    ``variables`` must supply a :class:`Var` for every symbol of the
+    range-expression; ``guards`` optionally make it a Cond-check.
+    """
+    operands: Dict[str, Var] = {sym: variables[sym]
+                                for sym in canonical.linexpr.symbols()}
+    return Check(canonical.linexpr, canonical.bound, operands, kind, array,
+                 list(guards))
+
+
+def bounds_checks_for(subscript: LinearExpr, lower: LinearExpr,
+                      upper: LinearExpr) -> Tuple[CanonicalCheck, CanonicalCheck]:
+    """The (lower, upper) canonical check pair for one array dimension."""
+    return (CanonicalCheck.lower(subscript, lower),
+            CanonicalCheck.upper(subscript, upper))

@@ -1,0 +1,177 @@
+"""The Check Implication Graph (section 3.1 of the paper).
+
+Nodes are *families* of checks.  A discovered implication
+``Check(F_I <= c_i) => Check(F_J <= c_j)`` adds an edge ``F_I -> F_J``
+with weight ``c_j - c_i``; parallel edges keep the minimum weight.
+Check ``C_i`` is then *as strong as* ``C_j`` iff there is a path with
+
+    range-constant(C_i) + pathweight(F_I, F_J) <= range-constant(C_j)
+
+(the trivial same-family path has weight 0).  Figure 4's example:
+``(n <= 6) => (m <= 10)`` adds weight 4, from which ``(n <= 1)`` is as
+strong as ``(m <= 7)`` but *not* as strong as ``(m <= 3)``.
+
+The :class:`ImplicationMode` ablation of Table 3 is applied here: NONE
+reduces "as strong as" to equality; CROSS_FAMILY disables the
+within-family ordering but keeps edges (so preheader Cond-checks still
+imply the loop-body checks they were created from -- the one kind of
+implication the paper found to matter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..symbolic import LinearExpr
+from .canonical import CanonicalCheck
+from .config import ImplicationMode
+from .family import CheckUniverse
+
+FamilyPair = Tuple[LinearExpr, LinearExpr]
+
+
+class ImplicationStore:
+    """Persistent implication edges, keyed by family range-expressions.
+
+    The store outlives any particular :class:`CheckUniverse`: insertion
+    schemes register edges while they create checks, and each dataflow
+    run builds a fresh CIG over the current universe plus these edges.
+    """
+
+    def __init__(self) -> None:
+        self.edges: Dict[FamilyPair, int] = {}
+
+    def add(self, strong: CanonicalCheck, weak: CanonicalCheck) -> None:
+        """Record that ``strong`` implies ``weak``."""
+        key = (strong.linexpr, weak.linexpr)
+        weight = weak.bound - strong.bound
+        existing = self.edges.get(key)
+        if existing is None or weight < existing:
+            self.edges[key] = weight
+
+    def add_edge(self, src: LinearExpr, dst: LinearExpr, weight: int) -> None:
+        """Record a raw family edge with an explicit weight."""
+        key = (src, dst)
+        existing = self.edges.get(key)
+        if existing is None or weight < existing:
+            self.edges[key] = weight
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+class CheckImplicationGraph:
+    """The as-strong-as relation over one universe, under one mode."""
+
+    def __init__(self, universe: CheckUniverse,
+                 store: Optional[ImplicationStore] = None,
+                 mode: ImplicationMode = ImplicationMode.ALL) -> None:
+        self.universe = universe
+        self.store = store or ImplicationStore()
+        self.mode = mode
+        self._dist = self._shortest_paths()
+        self._weaker_cache: Dict[Tuple[int, bool], FrozenSet[int]] = {}
+
+    # -- family graph -----------------------------------------------------
+
+    def _shortest_paths(self) -> Dict[Tuple[int, int], int]:
+        """All-pairs shortest path weights over the family edge graph.
+
+        Only families touched by explicit edges participate; the
+        implicit same-family distance 0 is handled in :meth:`as_strong`.
+        Bellman-Ford from each source of the (small) edge subgraph.
+        """
+        adjacency: Dict[int, List[Tuple[int, int]]] = {}
+        nodes = set()
+        for (src_expr, dst_expr), weight in self.store.edges.items():
+            src = self.universe.family_id(src_expr)
+            dst = self.universe.family_id(dst_expr)
+            if src is None or dst is None:
+                continue
+            adjacency.setdefault(src, []).append((dst, weight))
+            nodes.add(src)
+            nodes.add(dst)
+        dist: Dict[Tuple[int, int], int] = {}
+        for source in nodes:
+            best = {source: 0}
+            # Bellman-Ford: |nodes| - 1 relaxation rounds
+            for _ in range(max(1, len(nodes) - 1)):
+                changed = False
+                for node, cost in list(best.items()):
+                    for succ, weight in adjacency.get(node, ()):  # relax
+                        candidate = cost + weight
+                        if candidate < best.get(succ, candidate + 1):
+                            best[succ] = candidate
+                            changed = True
+                if not changed:
+                    break
+            for target, cost in best.items():
+                if target != source:
+                    dist[(source, target)] = cost
+        return dist
+
+    # -- the as-strong-as relation --------------------------------------------
+
+    def as_strong(self, strong_id: int, weak_id: int) -> bool:
+        """True when check ``strong_id`` is as strong as ``weak_id``."""
+        if strong_id == weak_id:
+            return True
+        strong = self.universe.check_of(strong_id)
+        weak = self.universe.check_of(weak_id)
+        if self.mode is ImplicationMode.NONE:
+            return False  # distinct checks never imply each other
+        same_family = self.universe.family_of[strong_id] == \
+            self.universe.family_of[weak_id]
+        if same_family:
+            if self.mode is ImplicationMode.CROSS_FAMILY:
+                return False
+            return strong.bound <= weak.bound
+        fam_s = self.universe.family_of[strong_id]
+        fam_w = self.universe.family_of[weak_id]
+        path = self._dist.get((fam_s, fam_w))
+        if path is None:
+            return False
+        return strong.bound + path <= weak.bound
+
+    def weaker_set(self, check_id: int,
+                   family_only: bool = False) -> FrozenSet[int]:
+        """All registered checks that ``check_id`` is as strong as
+        (including itself).
+
+        With ``family_only`` the closure is restricted to the check's
+        own family -- the stricter generation rule anticipatability
+        uses (section 3.2), which guarantees a check is never inserted
+        before a definition of one of its symbols.
+        """
+        key = (check_id, family_only)
+        cached = self._weaker_cache.get(key)
+        if cached is not None:
+            return cached
+        result = {check_id}
+        family = self.universe.family_of[check_id]
+        if family_only:
+            candidates = self.universe.family_members(family)
+        else:
+            candidates = range(len(self.universe))
+        for other in candidates:
+            if other != check_id and self.as_strong(check_id, other):
+                result.add(other)
+        frozen = frozenset(result)
+        self._weaker_cache[key] = frozen
+        return frozen
+
+    def strongest_implying(self, check_id: int,
+                           candidate_ids: FrozenSet[int]) -> Optional[int]:
+        """Among ``candidate_ids`` restricted to the same family, the
+        strongest check that implies ``check_id`` (used by CS)."""
+        family = self.universe.family_of[check_id]
+        best: Optional[int] = None
+        for cid in candidate_ids:
+            if self.universe.family_of[cid] != family:
+                continue
+            if not self.as_strong(cid, check_id):
+                continue
+            if best is None or self.universe.check_of(cid).bound < \
+                    self.universe.check_of(best).bound:
+                best = cid
+        return best

@@ -1,0 +1,71 @@
+"""Configuration of the range-check optimizer.
+
+The three independent axes reproduce exactly the paper's experimental
+matrix (sections 3.3, 3.4, and 4):
+
+* :class:`Scheme` -- the seven check placement schemes of Table 2;
+* :class:`CheckKind` -- PRX-checks (program expressions) vs INX-checks
+  (induction expressions);
+* :class:`ImplicationMode` -- Table 3's ablation of the check
+  implication property (``NI'``/``SE'`` use NONE, ``LLS'`` uses
+  CROSS_FAMILY).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Scheme(enum.Enum):
+    """Check placement schemes (section 3.3 / Table 2)."""
+
+    NI = "NI"      # redundancy elimination, no insertion
+    CS = "CS"      # check strengthening (Gupta)
+    LNI = "LNI"    # latest-not-isolated placement
+    SE = "SE"      # safe-earliest placement
+    LI = "LI"      # preheader insertion of loop-invariant checks
+    LLS = "LLS"    # preheader insertion with loop-limit substitution
+    ALL = "ALL"    # LLS followed by SE
+    # extension: the Markstein-Cocke-Markstein (1982) baseline the
+    # paper's related-work section proposes comparing against
+    MCM = "MCM"
+    # extension: the abstract-interpretation baseline (value-range
+    # analysis; compile-time elimination only, no insertion)
+    VR = "VR"
+
+
+class CheckKind(enum.Enum):
+    """How range checks are constructed (section 2.3)."""
+
+    PRX = "PRX"    # from program expressions (the AST)
+    INX = "INX"    # from induction expressions
+
+
+class ImplicationMode(enum.Enum):
+    """Which implications between checks the optimizer may use."""
+
+    ALL = "all"                   # within and across families
+    NONE = "none"                 # no implications at all (NI', SE')
+    CROSS_FAMILY = "cross-family"  # across families only (LLS')
+
+
+class OptimizerOptions:
+    """One point in the experimental matrix."""
+
+    def __init__(self, scheme: Scheme = Scheme.LLS,
+                 kind: CheckKind = CheckKind.PRX,
+                 implication: ImplicationMode = ImplicationMode.ALL) -> None:
+        self.scheme = scheme
+        self.kind = kind
+        self.implication = implication
+
+    def label(self) -> str:
+        """A short identifier such as ``PRX-LLS`` or ``INX-SE'``."""
+        prime = {ImplicationMode.ALL: "",
+                 ImplicationMode.NONE: "'",
+                 ImplicationMode.CROSS_FAMILY: "'"}[self.implication]
+        return "%s-%s%s" % (self.kind.value, self.scheme.value, prime)
+
+    def __repr__(self) -> str:
+        return "OptimizerOptions(%s, %s, %s)" % (
+            self.scheme, self.kind, self.implication)

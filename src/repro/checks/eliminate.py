@@ -1,0 +1,97 @@
+"""Steps 4 and 5 of the optimizer: redundancy elimination and
+compile-time evaluation of checks.
+
+A check is redundant when a check at least as strong is *available* at
+its program point (the availability facts are closed under implication,
+so redundancy is a plain membership test).  Compile-time checks --
+those whose range-expression has no symbols -- are either deleted
+(always true) or replaced by an unconditional :class:`Trap` and
+reported (always false).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Check, Trap
+from .canonical import CanonicalCheck
+from .dataflow import CheckAnalysis, EdgeGen
+
+
+def eliminate_redundant(analysis: CheckAnalysis,
+                        edge_gen: Optional[EdgeGen] = None) -> int:
+    """Delete every check that is available at its own site.
+
+    Returns the number of deleted checks.
+    """
+    avin, _ = analysis.availability(edge_gen)
+    removed = 0
+    for block in analysis.rpo:
+        doomed: List[Check] = []
+        for _, check, facts in analysis.facts_before_checks(
+                block, avin[block]):
+            check_id = analysis.universe.id_of(CanonicalCheck.of(check))
+            if check_id is not None and check_id in facts:
+                doomed.append(check)
+        for check in doomed:
+            block.remove(check)
+            removed += 1
+    return removed
+
+
+def fold_compile_time(function: Function) -> Tuple[int, List[str]]:
+    """Evaluate checks made only of compile-time constants.
+
+    Returns ``(number deleted, messages for always-false checks)``.
+    Always-false checks become :class:`Trap` instructions, reported to
+    the "programmer" via the returned messages (the paper's step 5).
+    """
+    removed = 0
+    reports: List[str] = []
+    for block in function.blocks:
+        for index in range(len(block.instructions) - 1, -1, -1):
+            inst = block.instructions[index]
+            if not isinstance(inst, Check):
+                continue
+            verdict = _evaluate(inst)
+            if verdict is None:
+                continue
+            if verdict:
+                block.remove(inst)
+                removed += 1
+            else:
+                message = ("range check (%s <= %d) on array %s always fails"
+                           % (inst.linexpr, inst.bound, inst.array or "?"))
+                reports.append(message)
+                trap = Trap(message)
+                block.remove(inst)
+                block.insert(index, trap)
+    return removed, reports
+
+
+def _evaluate(check: Check) -> Optional[bool]:
+    """The compile-time verdict of a check, if it has one.
+
+    Guards participate: a compile-time-false guard makes the whole
+    Cond-check vacuously true (deletable); compile-time-true guards are
+    dropped.  A symbolic guard blocks evaluation even when the body is
+    constant-false, because the check may legitimately never run.
+    """
+    kept_guards = []
+    for guard in check.guards:
+        if guard.linexpr.is_constant():
+            if guard.linexpr.const > guard.bound:
+                return True  # guard statically false: check never performed
+            continue  # statically true: redundant guard
+        kept_guards.append(guard)
+    if len(kept_guards) != len(check.guards):
+        check.guards = kept_guards
+    body = CanonicalCheck.of(check)
+    if not body.is_compile_time():
+        return None
+    if body.evaluate_compile_time():
+        return True
+    if kept_guards:
+        return None  # would trap, but only if the guards hold at run time
+    return False

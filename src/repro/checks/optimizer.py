@@ -1,0 +1,205 @@
+"""The five-step range-check optimizer (section 3 of the paper).
+
+1. Construct the check implication graph (families + weighted edges).
+2. Compute safe insertion points (anticipatability).
+3. Insert checks per the chosen placement scheme
+   (NI / CS / LNI / SE / LI / LLS / ALL).
+4. Compute available checks and eliminate redundant checks.
+5. Eliminate (or trap) compile-time checks.
+
+The optimizer runs on SSA form, one function at a time.  Checks may be
+constructed from program expressions (PRX) or rewritten to induction
+expressions (INX) first, and the implication machinery can be ablated
+(Table 3's NI'/SE'/LLS' variants).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.affine import AffineEnv, compute_affine_forms
+from ..analysis.dominance import DominatorTree
+from ..analysis.loops import LoopForest
+from ..induction.analysis import InductionAnalysis
+from ..induction.materialize import BasicVarMaterializer
+from ..ir.function import Function, Module
+from ..ir.instructions import Check
+from ..ir.verify import verify_function
+from .cig import CheckImplicationGraph, ImplicationStore
+from .config import CheckKind, OptimizerOptions, Scheme
+from .dataflow import CheckAnalysis, EdgeGen
+from .eliminate import eliminate_redundant, fold_compile_time
+from .family import universe_from_function
+from .inx import rewrite_checks_to_inx
+from .lcm import (apply_insertions, latest_insertions,
+                  safe_earliest_insertions)
+from .preheader import PreheaderInserter
+from .strengthen import strengthen_checks
+
+
+class OptimizeStats:
+    """Static counts collected while optimizing one function."""
+
+    def __init__(self, function_name: str) -> None:
+        self.function = function_name
+        self.checks_before = 0
+        self.checks_after = 0
+        self.inserted = 0
+        self.strengthened = 0
+        self.eliminated = 0
+        self.compile_time = 0
+        self.inx_rewritten = 0
+        self.trap_reports: List[str] = []
+
+    def merge(self, other: "OptimizeStats") -> None:
+        """Accumulate another function's stats (for module totals)."""
+        self.checks_before += other.checks_before
+        self.checks_after += other.checks_after
+        self.inserted += other.inserted
+        self.strengthened += other.strengthened
+        self.eliminated += other.eliminated
+        self.compile_time += other.compile_time
+        self.inx_rewritten += other.inx_rewritten
+        self.trap_reports.extend(other.trap_reports)
+
+    def __repr__(self) -> str:
+        return ("OptimizeStats(%s: %d -> %d static checks, +%d inserted)"
+                % (self.function, self.checks_before, self.checks_after,
+                   self.inserted))
+
+
+def count_checks(function: Function) -> int:
+    """Static number of check instructions in a function."""
+    return sum(1 for inst in function.instructions()
+               if isinstance(inst, Check))
+
+
+class RangeCheckOptimizer:
+    """Optimizes one SSA-form function under one configuration."""
+
+    def __init__(self, function: Function, options: OptimizerOptions) -> None:
+        self.function = function
+        self.options = options
+        self.stats = OptimizeStats(function.name)
+        self.store = ImplicationStore()
+        self.edge_gen: EdgeGen = {}
+        self._env: Optional[AffineEnv] = None
+        self._forest: Optional[LoopForest] = None
+        self._induction: Optional[InductionAnalysis] = None
+
+    # -- analysis plumbing ------------------------------------------------
+
+    def _refresh_analyses(self) -> None:
+        self._env = compute_affine_forms(self.function)
+        domtree = DominatorTree(self.function)
+        self._forest = LoopForest(self.function, domtree)
+        self._induction = InductionAnalysis(self.function, self._forest,
+                                            self._env)
+
+    def _make_analysis(self) -> CheckAnalysis:
+        universe = universe_from_function(self.function)
+        cig = CheckImplicationGraph(universe, self.store,
+                                    self.options.implication)
+        return CheckAnalysis(self.function, universe, cig)
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> OptimizeStats:
+        """Run the five steps; returns the stats."""
+        function = self.function
+        options = self.options
+        self.stats.checks_before = count_checks(function)
+        self._refresh_analyses()
+
+        if options.kind is CheckKind.INX:
+            materializer = BasicVarMaterializer(function, self._forest)
+            self.stats.inx_rewritten = rewrite_checks_to_inx(
+                function, self._induction, self._env, materializer)
+            self._refresh_analyses()
+
+        scheme = options.scheme
+        if scheme is Scheme.VR:
+            # the abstract-interpretation baseline: compile-time
+            # elimination only, no check dataflow, no insertion
+            from .valuerange import eliminate_by_value_range
+
+            removed, reports = eliminate_by_value_range(function)
+            self.stats.eliminated = removed
+            folded, fold_reports = fold_compile_time(function)
+            self.stats.compile_time = folded
+            self.stats.trap_reports = reports + fold_reports
+            self.stats.checks_after = count_checks(function)
+            verify_function(function)
+            return self.stats
+        if scheme is Scheme.CS:
+            self.stats.strengthened = strengthen_checks(self._make_analysis())
+        elif scheme is Scheme.SE:
+            self._run_lcm(earliest=True)
+        elif scheme is Scheme.LNI:
+            self._run_lcm(earliest=False)
+        elif scheme is Scheme.LI:
+            self._run_preheader(substitute_linear=False)
+        elif scheme is Scheme.LLS:
+            self._run_preheader(substitute_linear=True)
+        elif scheme is Scheme.ALL:
+            self._run_preheader(substitute_linear=True)
+            self._refresh_analyses()
+            self._run_lcm(earliest=True)
+        elif scheme is Scheme.MCM:
+            self._run_markstein()
+        # Scheme.NI: no insertion
+
+        analysis = self._make_analysis()
+        self.stats.eliminated = eliminate_redundant(analysis, self.edge_gen)
+        folded, reports = fold_compile_time(function)
+        self.stats.compile_time = folded
+        self.stats.trap_reports = reports
+        self.stats.checks_after = count_checks(function)
+        verify_function(function)
+        return self.stats
+
+    def _run_lcm(self, earliest: bool) -> None:
+        analysis = self._make_analysis()
+        if earliest:
+            insertions = safe_earliest_insertions(analysis, self.edge_gen)
+        else:
+            insertions = latest_insertions(analysis, self.edge_gen)
+        self.stats.inserted += apply_insertions(analysis, self._env,
+                                                insertions)
+
+    def _run_preheader(self, substitute_linear: bool) -> None:
+        analysis = self._make_analysis()
+        inserter = PreheaderInserter(analysis, self._env, self._forest,
+                                     self._induction, self.store)
+        inserter.run(substitute_linear)
+        self.stats.inserted += inserter.inserted
+        for edge, checks in inserter.edge_gen.items():
+            self.edge_gen.setdefault(edge, []).extend(checks)
+
+    def _run_markstein(self) -> None:
+        from .markstein import MarksteinInserter
+
+        analysis = self._make_analysis()
+        inserter = MarksteinInserter(analysis, self._env, self._forest,
+                                     self._induction, self.store)
+        inserter.run()
+        self.stats.inserted += inserter.inserted
+        for edge, checks in inserter.edge_gen.items():
+            self.edge_gen.setdefault(edge, []).extend(checks)
+
+
+def optimize_function(function: Function,
+                      options: Optional[OptimizerOptions] = None
+                      ) -> OptimizeStats:
+    """Optimize one function in place; returns its stats."""
+    return RangeCheckOptimizer(function,
+                               options or OptimizerOptions()).run()
+
+
+def optimize_module(module: Module,
+                    options: Optional[OptimizerOptions] = None
+                    ) -> Dict[str, OptimizeStats]:
+    """Optimize every function of a module; returns stats per function."""
+    options = options or OptimizerOptions()
+    return {function.name: optimize_function(function, options)
+            for function in module}

@@ -1,0 +1,422 @@
+"""Preheader insertion of checks: the LI and LLS schemes (section 3.3).
+
+Loops are processed inner-to-outer.  For each loop, every check that is
+anticipatable at the start of the loop body and whose range-expression
+is *invariant* (LI) or *linear in the loop's index* (LLS, after
+loop-limit substitution) is hoisted into the loop preheader as a
+``Cond-check`` guarded by "the loop executes at least once".  When the
+guard is a compile-time fact, an ordinary check is inserted instead.
+
+Loop-limit substitution replaces the loop-varying symbol by the value
+it takes at the iteration that maximizes the range-expression: the
+paper's Figure 6 turns ``Check (j <= 10)`` inside ``do j = 1, 2*n``
+into ``Cond-check ((1 <= 2*n), 2*n <= 10)`` in the preheader.
+
+Hoisting cascades: a Cond-check sitting in an inner preheader is itself
+a candidate when the enclosing loop is processed, provided its guards
+are invariant and the inner preheader provably executes on every path
+through the outer body; guards stack, one per hoisted-out-of loop.
+
+Each insertion registers an implication edge (the inserted check is as
+strong as the body check it covers) and an *edge generation* fact on
+the loop's header-to-body edge, which is where the guard is known true
+-- the shared elimination pass then deletes the loop-body checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.affine import AffineEnv
+from ..analysis.loops import Loop, LoopForest
+from ..induction.analysis import InductionAnalysis, h_symbol
+from ..induction.materialize import BasicVarMaterializer
+from ..induction.tripcount import LoopIV
+from ..ir.basicblock import BasicBlock
+from ..ir.instructions import BinOp, Check, CondJump, Guard
+from ..ir.types import INT
+from ..ir.values import Const, Value, Var
+from ..symbolic import LinearExpr
+from .canonical import CanonicalCheck, make_check, make_guard
+from .cig import ImplicationStore
+from .dataflow import CheckAnalysis, EdgeGen
+
+
+class PreheaderInserter:
+    """Runs LI (``substitute_linear=False``) or LLS (``True``)."""
+
+    def __init__(self, analysis: CheckAnalysis, env: AffineEnv,
+                 forest: LoopForest, induction: InductionAnalysis,
+                 store: ImplicationStore,
+                 materializer: Optional[BasicVarMaterializer] = None) -> None:
+        self.analysis = analysis
+        self.function = analysis.function
+        self.env = env
+        self.forest = forest
+        self.induction = induction
+        self.store = store
+        self.materializer = materializer
+        self.edge_gen: EdgeGen = {}
+        self.inserted = 0
+        self._temp_counter = 0
+        self._vars: Dict[str, Var] = {}
+        self._var_home: Dict[str, BasicBlock] = {}
+        # cond-checks we placed, keyed by the preheader holding them
+        self._hoisted: Dict[BasicBlock, List[Check]] = {}
+        # per preheader: canonical -> (instruction, guard key set)
+        self._placed: Dict[BasicBlock, Dict[CanonicalCheck, Tuple]] = {}
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self, substitute_linear: bool) -> int:
+        """Process all loops inner-to-outer; returns insertions made."""
+        antin, _ = self.analysis.anticipatability()
+        for loop in self.forest.inner_to_outer():
+            body_entry = self._body_entry(loop)
+            if body_entry is None:
+                continue
+            guard = self._loop_guard(loop)
+            if guard is _NEVER_RUNS:
+                continue
+            preheader = self.forest.get_or_create_preheader(loop)
+            self._hoist_body_checks(loop, body_entry, preheader, guard,
+                                    antin[body_entry], substitute_linear)
+            self._cascade_children(loop, body_entry, preheader, guard,
+                                   substitute_linear)
+        return self.inserted
+
+    # -- loop structure ----------------------------------------------------------
+
+    def _body_entry(self, loop: Loop) -> Optional[BasicBlock]:
+        term = loop.header.terminator
+        if not isinstance(term, CondJump):
+            return None
+        inside = [b for b in term.successors() if b in loop.blocks]
+        outside = [b for b in term.successors() if b not in loop.blocks]
+        if len(inside) == 1 and len(outside) == 1:
+            return inside[0]
+        return None
+
+    def _loop_guard(self, loop: Loop):
+        """The "executes at least once" condition as a CanonicalCheck,
+        or None (compile-time true), or _NEVER_RUNS."""
+        iv = self.induction.ivs.get(loop)
+        if iv is not None:
+            lhs, rhs = iv.guard_lhs_rhs()
+            guard = CanonicalCheck.upper(lhs, rhs)
+        else:
+            guard = self._while_guard(loop)
+            if guard is None:
+                return _NO_GUARD_AVAILABLE
+        verdict = guard.evaluate_compile_time()
+        if verdict is True:
+            return None
+        if verdict is False:
+            return _NEVER_RUNS
+        # every guard symbol must be evaluable at the preheader
+        for sym in guard.linexpr.symbols():
+            if self._defined_inside(sym, loop) or self._var(sym) is None:
+                return _NO_GUARD_AVAILABLE
+        return guard
+
+    def _while_guard(self, loop: Loop) -> Optional[CanonicalCheck]:
+        """Derive a guard from a while-loop's comparison test."""
+        header = loop.header
+        term = header.terminator
+        if not isinstance(term, CondJump) or not isinstance(term.cond, Var):
+            return None
+        cmp_inst = None
+        for inst in header.instructions:
+            if isinstance(inst, BinOp) and inst.dest == term.cond:
+                cmp_inst = inst
+        if cmp_inst is None or cmp_inst.op not in ("le", "lt", "ge", "gt"):
+            return None
+        body_entry = self._body_entry(loop)
+        if body_entry is not term.if_true:
+            return None  # loop continues on the false branch; skip
+        try:
+            lhs = self.env.form_of(cmp_inst.lhs)
+            rhs = self.env.form_of(cmp_inst.rhs)
+        except ValueError:
+            return None
+        if cmp_inst.op == "lt":
+            rhs = rhs - 1
+        elif cmp_inst.op == "gt":
+            lhs = lhs - 1
+        if cmp_inst.op in ("ge", "gt"):
+            lhs, rhs = rhs, lhs
+        return CanonicalCheck.upper(lhs, rhs)
+
+    def _defined_inside(self, sym: str, loop: Loop) -> bool:
+        block = self.env.def_block(sym)
+        if block is not None and block in loop.blocks:
+            return True
+        var = self._vars.get(sym)
+        if var is not None and block is None:
+            # a temp we materialized: defined in some preheader; treat as
+            # inside 'loop' if that preheader is one of loop's blocks
+            home = self._var_home.get(sym)
+            return home is not None and home in loop.blocks
+        return False
+
+    # -- hoisting ------------------------------------------------------------------
+
+    def _loop_families(self, loop: Loop) -> Set[int]:
+        """Families with at least one unconditional check inside the loop."""
+        families: Set[int] = set()
+        universe = self.analysis.universe
+        for block in loop.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Check) and not inst.is_conditional:
+                    check_id = universe.id_of(CanonicalCheck.of(inst))
+                    if check_id is not None:
+                        families.add(universe.family_of[check_id])
+        return families
+
+    def _hoist_body_checks(self, loop: Loop, body_entry: BasicBlock,
+                           preheader: BasicBlock, guard,
+                           candidates, substitute_linear: bool) -> None:
+        # Profitability: only hoist a check whose family actually occurs
+        # inside the loop -- a check that is merely anticipatable via the
+        # post-loop code would cost a Cond-check without removing
+        # anything from the loop.
+        loop_families = self._loop_families(loop)
+        by_family: Dict[int, int] = {}
+        for check_id in candidates:
+            family = self.analysis.universe.family_of[check_id]
+            if family not in loop_families:
+                continue
+            bound = self.analysis.universe.check_of(check_id).bound
+            best = by_family.get(family)
+            if best is None or bound < \
+                    self.analysis.universe.check_of(best).bound:
+                by_family[family] = check_id
+        for check_id in sorted(by_family.values()):
+            canonical = self.analysis.universe.check_of(check_id)
+            if canonical.is_compile_time():
+                continue
+            self._try_hoist(loop, body_entry, preheader, guard,
+                            canonical, [], substitute_linear)
+
+    def _try_hoist(self, loop: Loop, body_entry: BasicBlock,
+                   preheader: BasicBlock, guard,
+                   canonical: CanonicalCheck, inner_guards: List[Guard],
+                   substitute_linear: bool,
+                   original: Optional[Check] = None,
+                   original_home: Optional[BasicBlock] = None,
+                   gen_edge: Optional[Tuple[BasicBlock, BasicBlock]] = None
+                   ) -> bool:
+        """Attempt to place ``canonical`` (with ``inner_guards`` from
+        already-hoisted-out-of loops) into ``preheader``."""
+        if guard is _NO_GUARD_AVAILABLE:
+            return False
+        variant = [sym for sym in canonical.linexpr.symbols()
+                   if self._defined_inside(sym, loop)]
+        if not variant:
+            hoisted = canonical  # loop-invariant: hoist as-is (LI)
+        elif substitute_linear and len(variant) == 1:
+            hoisted = self._substitute(loop, canonical, variant[0])
+            if hoisted is None:
+                return False
+        else:
+            return False
+
+        guards = list(inner_guards)
+        if guard is not None:
+            guards.append(make_guard(guard, self._guard_vars(guard)))
+        variables = self._check_vars(hoisted)
+        if variables is None:
+            return False
+
+        guard_keys = frozenset((g.linexpr, g.bound) for g in guards)
+        placed = self._placed.setdefault(preheader, {})
+        existing = placed.get(hoisted)
+        if existing is not None and existing[1] <= guard_keys:
+            pass  # an equal check under fewer (or equal) guards is there
+        else:
+            if existing is not None and guard_keys < existing[1]:
+                # the new check subsumes the placed one: drop the old
+                preheader.remove(existing[0])
+                self._hoisted[preheader].remove(existing[0])
+                self.inserted -= 1
+            inst = make_check(hoisted, variables, kind="upper",
+                              array="", guards=guards)
+            preheader.insert_before_terminator(inst)
+            placed[hoisted] = (inst, guard_keys)
+            self._hoisted.setdefault(preheader, []).append(inst)
+            self.inserted += 1
+        # the inserted check implies the body check it came from
+        if hoisted != canonical:
+            self.store.add(hoisted, canonical)
+        edge = gen_edge or (loop.header, body_entry)
+        self.edge_gen.setdefault(edge, []).append(hoisted)
+        if original is not None and original_home is not None:
+            original_home.remove(original)
+            self._hoisted[original_home].remove(original)
+            self.inserted -= 1
+        return True
+
+    def _cascade_children(self, loop: Loop, body_entry: BasicBlock,
+                          preheader: BasicBlock, guard,
+                          substitute_linear: bool) -> None:
+        """Re-hoist inner-loop Cond-checks out of ``loop``."""
+        for child in loop.children:
+            child_pre = self.forest.preheader(child)
+            if child_pre is None or child_pre not in self._hoisted:
+                continue
+            if not self._always_reaches(body_entry, child_pre):
+                continue
+            child_entry = self._body_entry(child)
+            if child_entry is None:
+                continue
+            for inst in list(self._hoisted[child_pre]):
+                canonical = CanonicalCheck.of(inst)
+                if any(self._defined_inside(sym, loop)
+                       for g in inst.guards
+                       for sym in g.linexpr.symbols()):
+                    continue
+                self._try_hoist(
+                    loop, body_entry, preheader, guard, canonical,
+                    list(inst.guards), substitute_linear,
+                    original=inst, original_home=child_pre,
+                    gen_edge=(child.header, child_entry))
+
+    def _always_reaches(self, start: BasicBlock, target: BasicBlock) -> bool:
+        """True when every execution of ``start`` reaches ``target``:
+        follow unique successors."""
+        block = start
+        for _ in range(len(self.function.blocks) + 1):
+            if block is target:
+                return True
+            successors = block.successors()
+            if len(successors) != 1:
+                return False
+            block = successors[0]
+        return False
+
+    # -- loop-limit substitution ------------------------------------------------
+
+    def _substitute(self, loop: Loop, canonical: CanonicalCheck,
+                    variant_sym: str) -> Optional[CanonicalCheck]:
+        coeff = canonical.linexpr.coefficient(variant_sym)
+        iv = self.induction.ivs.get(loop)
+        if iv is None:
+            return None
+        if variant_sym == iv.var.name:
+            extreme = self._index_extreme(loop, iv, maximize=coeff > 0)
+        elif variant_sym == h_symbol(loop):
+            extreme = self._basic_var_extreme(loop, iv, maximize=coeff > 0)
+        else:
+            return None
+        if extreme is None:
+            return None
+        substituted = canonical.linexpr.substitute(variant_sym, extreme)
+        return CanonicalCheck(substituted, canonical.bound)
+
+    def _index_extreme(self, loop: Loop, iv: LoopIV,
+                       maximize: bool) -> Optional[LinearExpr]:
+        """The first/last value of the loop index, as an affine form
+        whose symbols are live at the preheader."""
+        first = iv.init_affine
+        if abs(iv.step) == 1:
+            # a unit step runs the index exactly to the bound
+            last = iv.bound_affine
+        else:
+            last = self._materialize_last(loop, iv)
+            if last is None:
+                return None
+        want_last = (iv.step > 0) == maximize
+        return last if want_last else first
+
+    def _basic_var_extreme(self, loop: Loop, iv: LoopIV,
+                           maximize: bool) -> Optional[LinearExpr]:
+        """h ranges over 0 .. trip-1."""
+        if not maximize:
+            return LinearExpr.constant(0)
+        if abs(iv.step) == 1:
+            if iv.step > 0:
+                return iv.bound_affine - iv.init_affine  # trip-1 = B - init
+            return iv.init_affine - iv.bound_affine
+        trip = self._materialize_trip(loop, iv)
+        if trip is None:
+            return None
+        return trip - 1
+
+    # -- preheader arithmetic ------------------------------------------------------
+
+    def _materialize_last(self, loop: Loop,
+                          iv: LoopIV) -> Optional[LinearExpr]:
+        """Emit ``last = init + ((bound - init) / step) * step`` in the
+        preheader; valid under the trip>=1 guard."""
+        preheader = self.forest.get_or_create_preheader(loop)
+        bound = self._bound_value(preheader, iv)
+        init = iv.init_value
+        diff = self._emit_bin(preheader, "sub", bound, init)
+        quot = self._emit_bin(preheader, "div", diff, Const(iv.step))
+        span = self._emit_bin(preheader, "mul", quot, Const(iv.step))
+        last = self._emit_bin(preheader, "add", init, span)
+        return LinearExpr.symbol(last.name)
+
+    def _materialize_trip(self, loop: Loop,
+                          iv: LoopIV) -> Optional[LinearExpr]:
+        """Emit ``trip = (bound - init + step) / step`` in the preheader."""
+        preheader = self.forest.get_or_create_preheader(loop)
+        bound = self._bound_value(preheader, iv)
+        diff = self._emit_bin(preheader, "sub", bound, iv.init_value)
+        plus = self._emit_bin(preheader, "add", diff, Const(iv.step))
+        trip = self._emit_bin(preheader, "div", plus, Const(iv.step))
+        return LinearExpr.symbol(trip.name)
+
+    def _bound_value(self, preheader: BasicBlock, iv: LoopIV) -> Value:
+        """The bound as a Value, adjusted for lt/gt normalization."""
+        adjust = iv.bound_affine - self.env.form_of(iv.bound_value)
+        if adjust.is_zero():
+            return iv.bound_value
+        if not adjust.is_constant():
+            return iv.bound_value  # cannot happen: both share symbols
+        return self._emit_bin(preheader, "add", iv.bound_value,
+                              Const(adjust.const))
+
+    def _emit_bin(self, preheader: BasicBlock, op: str, lhs: Value,
+                  rhs: Value) -> Var:
+        self._temp_counter += 1
+        dest = Var("lls%d.%s" % (self._temp_counter, self.function.name),
+                   INT, is_temp=True)
+        self.function.declare_scalar(dest)
+        preheader.insert_before_terminator(BinOp(dest, op, lhs, rhs))
+        self._vars[dest.name] = dest
+        self._var_home[dest.name] = preheader
+        return dest
+
+    # -- variable lookup ----------------------------------------------------------
+
+    def _var(self, sym: str) -> Optional[Var]:
+        var = self._vars.get(sym)
+        if var is not None:
+            return var
+        return self.env.var_for(sym)
+
+    def _check_vars(self, canonical: CanonicalCheck
+                    ) -> Optional[Dict[str, Var]]:
+        variables: Dict[str, Var] = {}
+        for sym in canonical.linexpr.symbols():
+            var = self._var(sym)
+            if var is None:
+                return None
+            variables[sym] = var
+        return variables
+
+    def _guard_vars(self, guard: CanonicalCheck) -> Dict[str, Var]:
+        return {sym: self._var(sym) for sym in guard.linexpr.symbols()}
+
+
+class _Sentinel:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_NEVER_RUNS = _Sentinel("_NEVER_RUNS")
+_NO_GUARD_AVAILABLE = _Sentinel("_NO_GUARD_AVAILABLE")

@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+    python -m repro run PROGRAM.f [--input n=100] [--scheme LLS] ...
+    python -m repro dump PROGRAM.f [--scheme LLS] [--no-optimize]
+    python -m repro compare PROGRAM.f [--input n=100]
+    python -m repro tables [--small]
+    python -m repro figures
+
+``run`` executes a mini-Fortran file and reports outputs and dynamic
+counts; ``dump`` prints the (optimized) IR; ``compare`` runs every
+placement scheme and prints one Table 2 column for the file; ``tables``
+regenerates the paper's Tables 1-3 on the benchmark suite; ``figures``
+prints the figure reproductions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .checks.config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
+from .errors import RangeTrap, ReproError
+from .ir.printer import format_module
+from .pipeline.driver import compile_source
+from .pipeline.stats import measure_baseline, measure_scheme
+
+
+def _parse_inputs(pairs: List[str]) -> Dict[str, float]:
+    inputs: Dict[str, float] = {}
+    for pair in pairs:
+        name, _, text = pair.partition("=")
+        if not text:
+            raise SystemExit("--input expects NAME=VALUE, got %r" % pair)
+        value = float(text) if "." in text or "e" in text.lower() \
+            else int(text)
+        inputs[name.strip()] = value
+    return inputs
+
+
+def _options(args: argparse.Namespace) -> OptimizerOptions:
+    return OptimizerOptions(
+        scheme=Scheme[args.scheme],
+        kind=CheckKind[args.kind],
+        implication=ImplicationMode[args.implication])
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="mini-Fortran source file")
+    parser.add_argument("--scheme", default="LLS",
+                        choices=[s.name for s in Scheme])
+    parser.add_argument("--kind", default="PRX",
+                        choices=[k.name for k in CheckKind])
+    parser.add_argument("--implication", default="ALL",
+                        choices=[m.name for m in ImplicationMode])
+    parser.add_argument("--rotate-loops", action="store_true",
+                        help="apply loop rotation before optimization")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    inputs = _parse_inputs(args.input)
+    program = compile_source(source, _options(args),
+                             optimize=not args.no_optimize,
+                             rotate_loops=args.rotate_loops)
+    try:
+        if args.engine == "compiled":
+            result = program.run_compiled(inputs)
+        else:
+            result = program.run(inputs)
+    except RangeTrap as trap:
+        print("TRAP: %s" % trap, file=sys.stderr)
+        return 2
+    for value in result.output:
+        print(value)
+    counters = result.counters
+    print("-- %d instructions, %d range checks executed"
+          % (counters.instructions, counters.checks), file=sys.stderr)
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    program = compile_source(source, _options(args),
+                             optimize=not args.no_optimize,
+                             rotate_loops=args.rotate_loops)
+    print(format_module(program.module))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    inputs = _parse_inputs(args.input)
+    baseline = measure_baseline(args.file, source, inputs)
+    print("naive checking: %d dynamic checks (%.1f%% of instructions)"
+          % (baseline.dynamic_checks, baseline.dynamic_ratio))
+    print("%-6s %12s %12s" % ("scheme", "dyn.checks", "eliminated"))
+    for scheme in Scheme:
+        options = OptimizerOptions(scheme=scheme,
+                                   kind=CheckKind[args.kind])
+        cell = measure_scheme(args.file, source, options,
+                              baseline.dynamic_checks, inputs)
+        print("%-6s %12d %11.2f%%"
+              % (scheme.value, cell.dynamic_checks,
+                 cell.percent_eliminated))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .reporting import explain_optimization
+
+    with open(args.file) as handle:
+        source = handle.read()
+    inputs = _parse_inputs(args.input)
+    report = explain_optimization(source, _options(args), inputs)
+    print(report.render())
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .benchsuite import (TABLE2_SCHEMES, all_programs, run_table1,
+                             run_table2, run_table3)
+    from .reporting import (format_scheme_table, format_table1,
+                            overhead_estimate)
+
+    names = [p.name for p in all_programs()]
+    rows = run_table1(small=args.small)
+    print(format_table1(rows))
+    print("overhead estimate: %.0f%% - %.0f%%\n" % overhead_estimate(rows))
+    cells = run_table2(small=args.small)
+    labels = ["%s-%s" % (kind.value, scheme.value)
+              for kind in (CheckKind.PRX, CheckKind.INX)
+              for scheme in TABLE2_SCHEMES]
+    print(format_scheme_table(cells, labels, names, "Table 2"))
+    print()
+    cells3 = run_table3(small=args.small)
+    labels3 = ["PRX-NI", "PRX-NI'", "PRX-SE", "PRX-SE'", "PRX-LLS",
+               "PRX-LLS'", "INX-NI", "INX-NI'", "INX-SE", "INX-SE'",
+               "INX-LLS", "INX-LLS'"]
+    print(format_scheme_table(cells3, labels3, names, "Table 3"))
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from .reporting import all_figures
+
+    for name, report in all_figures().items():
+        print(report)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Range-check optimization (Kolte & Wolfe, PLDI 1995)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="compile and execute")
+    _add_common(run_parser)
+    run_parser.add_argument("--input", action="append", default=[],
+                            metavar="NAME=VALUE")
+    run_parser.add_argument("--no-optimize", action="store_true")
+    run_parser.add_argument("--engine", default="interp",
+                            choices=["interp", "compiled"],
+                            help="tree-walking interpreter or the "
+                                 "Python back-end")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    dump_parser = commands.add_parser("dump", help="print optimized IR")
+    _add_common(dump_parser)
+    dump_parser.add_argument("--no-optimize", action="store_true")
+    dump_parser.set_defaults(handler=_cmd_dump)
+
+    compare_parser = commands.add_parser(
+        "compare", help="run every scheme on one file")
+    compare_parser.add_argument("file")
+    compare_parser.add_argument("--input", action="append", default=[],
+                                metavar="NAME=VALUE")
+    compare_parser.add_argument("--kind", default="PRX",
+                                choices=[k.name for k in CheckKind])
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    explain_parser = commands.add_parser(
+        "explain", help="per-family report of what the optimizer did")
+    _add_common(explain_parser)
+    explain_parser.add_argument("--input", action="append", default=[],
+                                metavar="NAME=VALUE")
+    explain_parser.set_defaults(handler=_cmd_explain)
+
+    tables_parser = commands.add_parser(
+        "tables", help="regenerate the paper's tables")
+    tables_parser.add_argument("--small", action="store_true",
+                               help="use test-sized inputs")
+    tables_parser.set_defaults(handler=_cmd_tables)
+
+    figures_parser = commands.add_parser(
+        "figures", help="print figure reproductions")
+    figures_parser.set_defaults(handler=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro compiler.
+
+Every error raised by the library derives from :class:`ReproError`, so
+client code can catch a single base class.  Compile-time diagnostics
+(lexing, parsing, semantic analysis, IR verification) carry an optional
+source location.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SourceError(ReproError):
+    """A diagnostic tied to a position in the source text."""
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 column: Optional[int] = None) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is None:
+            return self.message
+        if self.column is None:
+            return "line %d: %s" % (self.line, self.message)
+        return "line %d, column %d: %s" % (self.line, self.column, self.message)
+
+
+class LexError(SourceError):
+    """Invalid token encountered while scanning source text."""
+
+
+class ParseError(SourceError):
+    """Invalid syntax encountered while parsing a token stream."""
+
+
+class SemanticError(SourceError):
+    """A legal parse that violates language rules (types, declarations)."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected by the builder or verifier."""
+
+
+class InterpError(ReproError):
+    """Run-time error raised while interpreting IR."""
+
+
+class RangeTrap(InterpError):
+    """A range check failed at run time (the paper's TRAP)."""
+
+    def __init__(self, message: str, check_repr: str = "") -> None:
+        self.check_repr = check_repr
+        super().__init__(message)
+
+
+class CompileTimeTrap(ReproError):
+    """A range check was proven to always fail at compile time."""

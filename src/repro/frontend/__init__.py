@@ -1,0 +1,15 @@
+"""Mini-Fortran frontend: lexer, parser, and AST.
+
+The language models the Fortran-77 subset the paper's benchmarks use:
+counted ``do`` loops, ``while`` loops, ``if``/``else``, subroutines
+with by-reference array parameters, and multi-dimensional arrays with
+declared (possibly symbolic) bounds.
+"""
+
+from . import ast
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_source
+from .tokens import Token, TokenKind
+
+__all__ = ["Lexer", "Parser", "Token", "TokenKind", "ast", "parse_source",
+           "tokenize"]

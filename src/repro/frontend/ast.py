@@ -1,0 +1,311 @@
+"""Abstract syntax tree for the mini-Fortran language.
+
+The tree is deliberately plain: every node stores its source line so
+diagnostics and figure reproductions can point back at source text.
+PRX range checks ("program-expression checks" in the paper) are built
+by flattening the subscript *AST* into a canonical linear expression,
+so these nodes are part of the check optimizer's input, not just the
+parser's output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    """Base class of expressions."""
+
+    __slots__ = ()
+
+
+class Num(Expr):
+    """An integer or real literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, float], line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "Num(%r)" % (self.value,)
+
+
+class BoolLit(Expr):
+    """``.true.`` or ``.false.``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "BoolLit(%r)" % (self.value,)
+
+
+class VarRef(Expr):
+    """A reference to a scalar variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "VarRef(%r)" % (self.name,)
+
+
+class ArrayRef(Expr):
+    """An array element reference ``name(i1, i2, ...)``."""
+
+    __slots__ = ("name", "indices")
+
+    def __init__(self, name: str, indices: Sequence[Expr], line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.indices = list(indices)
+
+    def __repr__(self) -> str:
+        return "ArrayRef(%r, %d dims)" % (self.name, len(self.indices))
+
+
+class BinExpr(Expr):
+    """A binary operation; ``op`` uses IR operator names (add, lt, ...)."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self) -> str:
+        return "BinExpr(%r)" % (self.op,)
+
+
+class UnExpr(Expr):
+    """A unary operation; ``op`` uses IR operator names (neg, not, ...)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return "UnExpr(%r)" % (self.op,)
+
+
+class Intrinsic(Expr):
+    """A call to a built-in function (min, max, abs, mod, sqrt, ...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr], line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        return "Intrinsic(%r, %d args)" % (self.name, len(self.args))
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+class Decl(Node):
+    """Base class of declarations."""
+
+    __slots__ = ()
+
+
+class ScalarDecl(Decl):
+    """``integer :: i, j`` or ``real :: x``."""
+
+    __slots__ = ("type_name", "names")
+
+    def __init__(self, type_name: str, names: Sequence[str], line: int = 0) -> None:
+        super().__init__(line)
+        self.type_name = type_name
+        self.names = list(names)
+
+
+class ArrayDecl(Decl):
+    """``real :: a(1:100, 0:n)``; a bare extent ``(100)`` means ``1:100``."""
+
+    __slots__ = ("type_name", "name", "dims")
+
+    def __init__(self, type_name: str, name: str,
+                 dims: Sequence[Tuple[Optional[Expr], Expr]],
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+        self.dims = list(dims)  # (lower or None, upper)
+
+
+class InputDecl(Decl):
+    """``input integer :: n = 100`` -- a driver-settable input scalar."""
+
+    __slots__ = ("type_name", "name", "default")
+
+    def __init__(self, type_name: str, name: str, default: Expr,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+        self.default = default
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt(Node):
+    """Base class of statements."""
+
+    __slots__ = ()
+
+
+class AssignStmt(Stmt):
+    """``target = expr`` where target is a VarRef or ArrayRef."""
+
+    __slots__ = ("target", "expr")
+
+    def __init__(self, target: Expr, expr: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.target = target
+        self.expr = expr
+
+
+class DoStmt(Stmt):
+    """A counted loop ``do var = start, stop [, step]``."""
+
+    __slots__ = ("var", "start", "stop", "step", "body")
+
+    def __init__(self, var: str, start: Expr, stop: Expr,
+                 step: Optional[Expr], body: List[Stmt], line: int = 0) -> None:
+        super().__init__(line)
+        self.var = var
+        self.start = start
+        self.stop = stop
+        self.step = step
+        self.body = body
+
+
+class WhileStmt(Stmt):
+    """``while (cond) do ... end while``."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: List[Stmt], line: int = 0) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class IfStmt(Stmt):
+    """``if/else if/else`` with one body per arm."""
+
+    __slots__ = ("arms", "else_body")
+
+    def __init__(self, arms: List[Tuple[Expr, List[Stmt]]],
+                 else_body: Optional[List[Stmt]], line: int = 0) -> None:
+        super().__init__(line)
+        self.arms = arms
+        self.else_body = else_body
+
+
+class CallStmt(Stmt):
+    """``call sub(e1, a, ...)``; bare array names pass the whole array."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr], line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = list(args)
+
+
+class PrintStmt(Stmt):
+    """``print expr``."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.expr = expr
+
+
+class ReturnStmt(Stmt):
+    """``return``."""
+
+    __slots__ = ()
+
+
+class ExitStmt(Stmt):
+    """``exit`` -- leave the innermost loop (Fortran's break)."""
+
+    __slots__ = ()
+
+
+class CycleStmt(Stmt):
+    """``cycle`` -- start the next iteration (Fortran's continue)."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Program units
+# ---------------------------------------------------------------------------
+
+class Unit(Node):
+    """A program or subroutine: declarations plus a statement list."""
+
+    __slots__ = ("name", "params", "decls", "body", "is_main")
+
+    def __init__(self, name: str, params: Sequence[str], decls: List[Decl],
+                 body: List[Stmt], is_main: bool, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.params = list(params)
+        self.decls = decls
+        self.body = body
+        self.is_main = is_main
+
+
+class SourceFile(Node):
+    """A whole source file: one program and any number of subroutines."""
+
+    __slots__ = ("units",)
+
+    def __init__(self, units: List[Unit], line: int = 0) -> None:
+        super().__init__(line)
+        self.units = units
+
+    @property
+    def main(self) -> Unit:
+        """The main program unit."""
+        for unit in self.units:
+            if unit.is_main:
+                return unit
+        raise ValueError("source file has no main program")

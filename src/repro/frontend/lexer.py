@@ -1,0 +1,201 @@
+"""Hand-written scanner for the mini-Fortran language.
+
+The language is line-oriented: statements end at a newline (``&`` at
+end of line continues a statement), and ``!`` starts a comment that
+runs to the end of the line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import LexError
+from .tokens import KEYWORDS, Token, TokenKind
+
+_DOT_WORDS = {
+    ".and.": TokenKind.AND,
+    ".or.": TokenKind.OR,
+    ".not.": TokenKind.NOT,
+    ".true.": TokenKind.TRUE,
+    ".false.": TokenKind.FALSE,
+}
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+}
+
+
+class Lexer:
+    """Converts source text into a token list (ending with EOF)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Scan the whole input."""
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            if token.kind is TokenKind.NEWLINE:
+                # collapse runs of blank lines into one separator
+                if tokens and tokens[-1].kind is TokenKind.NEWLINE:
+                    continue
+                if not tokens:
+                    continue
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        char = self.source[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _make(self, kind: TokenKind, text: str, value=None,
+              line=None, column=None) -> Token:
+        return Token(kind, text, value,
+                     self.line if line is None else line,
+                     self.column if column is None else column)
+
+    def _next_token(self) -> Token:
+        self._skip_blanks_and_comments()
+        if self.pos >= len(self.source):
+            return self._make(TokenKind.EOF, "")
+        line, column = self.line, self.column
+        char = self._peek()
+        if char == "\n":
+            self._advance()
+            return self._make(TokenKind.NEWLINE, "\\n", line=line, column=column)
+        if char.isalpha() or char == "_":
+            return self._scan_word(line, column)
+        if char.isdigit():
+            return self._scan_number(line, column)
+        if char == ".":
+            if self._peek(1).isdigit():
+                return self._scan_number(line, column)
+            return self._scan_dot_word(line, column)
+        return self._scan_operator(line, column)
+
+    def _skip_blanks_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in (" ", "\t", "\r"):
+                self._advance()
+            elif char == "!":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "&":
+                # line continuation: swallow '&', the newline, and indent
+                self._advance()
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    if self._peek() not in (" ", "\t", "\r"):
+                        raise LexError("unexpected text after '&'",
+                                       self.line, self.column)
+                    self._advance()
+                if self.pos < len(self.source):
+                    self._advance()  # the newline itself
+            else:
+                return
+
+    def _scan_word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos].lower()
+        if text in KEYWORDS:
+            return self._make(TokenKind.KEYWORD, text, line=line, column=column)
+        return self._make(TokenKind.IDENT, text, line=line, column=column)
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_real = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and not self._peek(1).isalpha():
+            is_real = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())):
+            is_real = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.pos]
+        if is_real:
+            return self._make(TokenKind.REAL, text, float(text), line, column)
+        return self._make(TokenKind.INT, text, int(text), line, column)
+
+    def _scan_dot_word(self, line: int, column: int) -> Token:
+        for word, kind in _DOT_WORDS.items():
+            if self.source.startswith(word, self.pos):
+                for _ in word:
+                    self._advance()
+                return self._make(kind, word, line=line, column=column)
+        raise LexError("unexpected character '.'", line, column)
+
+    def _scan_operator(self, line: int, column: int) -> Token:
+        two = self.source[self.pos:self.pos + 2]
+        if two == "::":
+            self._advance(); self._advance()
+            return self._make(TokenKind.DOUBLE_COLON, two, line=line, column=column)
+        if two == "<=":
+            self._advance(); self._advance()
+            return self._make(TokenKind.LE, two, line=line, column=column)
+        if two == ">=":
+            self._advance(); self._advance()
+            return self._make(TokenKind.GE, two, line=line, column=column)
+        if two == "==":
+            self._advance(); self._advance()
+            return self._make(TokenKind.EQ, two, line=line, column=column)
+        if two == "/=":
+            self._advance(); self._advance()
+            return self._make(TokenKind.NE, two, line=line, column=column)
+        char = self._peek()
+        if char in _SINGLE:
+            self._advance()
+            return self._make(_SINGLE[char], char, line=line, column=column)
+        if char == "/":
+            self._advance()
+            return self._make(TokenKind.SLASH, char, line=line, column=column)
+        if char == "<":
+            self._advance()
+            return self._make(TokenKind.LT, char, line=line, column=column)
+        if char == ">":
+            self._advance()
+            return self._make(TokenKind.GT, char, line=line, column=column)
+        if char == "=":
+            self._advance()
+            return self._make(TokenKind.ASSIGN, char, line=line, column=column)
+        if char == ":":
+            self._advance()
+            return self._make(TokenKind.COLON, char, line=line, column=column)
+        raise LexError("unexpected character %r" % char, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: scan ``source`` into tokens."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,487 @@
+"""Recursive-descent parser for the mini-Fortran language.
+
+Declarations must precede statements inside a unit.  Because they do,
+the parser knows the set of declared array names while parsing the
+statement list and can distinguish ``a(i)`` (array reference) from
+``min(i, j)`` (intrinsic call) without a separate resolution pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+INTRINSICS = frozenset({
+    "mod", "min", "max", "abs", "sqrt", "exp", "log", "sin", "cos",
+    "int", "real",
+})
+
+_CMP_TOKENS = {
+    TokenKind.LT: "lt",
+    TokenKind.LE: "le",
+    TokenKind.GT: "gt",
+    TokenKind.GE: "ge",
+    TokenKind.EQ: "eq",
+    TokenKind.NE: "ne",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.frontend.ast.SourceFile`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self._arrays: Set[str] = set()
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind, what: str = "") -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError("expected %s, found %r" % (what or kind.value,
+                                                        token.text),
+                             token.line, token.column)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError("expected '%s', found %r" % (word, token.text),
+                             token.line, token.column)
+        return self._advance()
+
+    def _at_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _skip_newlines(self) -> None:
+        while self._peek().kind is TokenKind.NEWLINE:
+            self._advance()
+
+    def _end_of_statement(self) -> None:
+        token = self._peek()
+        if token.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+            if token.kind is TokenKind.NEWLINE:
+                self._advance()
+            return
+        raise ParseError("expected end of statement, found %r" % token.text,
+                         token.line, token.column)
+
+    # -- units -------------------------------------------------------------
+
+    def parse_file(self) -> ast.SourceFile:
+        """Parse the whole token stream."""
+        units: List[ast.Unit] = []
+        self._skip_newlines()
+        while self._peek().kind is not TokenKind.EOF:
+            units.append(self._parse_unit())
+            self._skip_newlines()
+        if not units:
+            raise ParseError("empty source file", 1, 1)
+        mains = [u for u in units if u.is_main]
+        if len(mains) > 1:
+            raise ParseError("more than one program unit",
+                             mains[1].line, 1)
+        return ast.SourceFile(units)
+
+    def _parse_unit(self) -> ast.Unit:
+        token = self._peek()
+        if token.is_keyword("program"):
+            return self._parse_program()
+        if token.is_keyword("subroutine"):
+            return self._parse_subroutine()
+        raise ParseError("expected 'program' or 'subroutine', found %r"
+                         % token.text, token.line, token.column)
+
+    def _parse_program(self) -> ast.Unit:
+        start = self._expect_keyword("program")
+        name = self._expect(TokenKind.IDENT, "program name").text
+        self._end_of_statement()
+        decls, body = self._parse_unit_body()
+        self._parse_end_marker("program", name)
+        return ast.Unit(name, [], decls, body, is_main=True, line=start.line)
+
+    def _parse_subroutine(self) -> ast.Unit:
+        start = self._expect_keyword("subroutine")
+        name = self._expect(TokenKind.IDENT, "subroutine name").text
+        params: List[str] = []
+        self._expect(TokenKind.LPAREN)
+        if self._peek().kind is not TokenKind.RPAREN:
+            params.append(self._expect(TokenKind.IDENT, "parameter").text)
+            while self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                params.append(self._expect(TokenKind.IDENT, "parameter").text)
+        self._expect(TokenKind.RPAREN)
+        self._end_of_statement()
+        decls, body = self._parse_unit_body()
+        self._parse_end_marker("subroutine", name)
+        return ast.Unit(name, params, decls, body, is_main=False,
+                        line=start.line)
+
+    def _parse_end_marker(self, unit_kind: str, name: str) -> None:
+        self._expect_keyword("end")
+        if self._at_keyword(unit_kind):
+            self._advance()
+            if self._peek().kind is TokenKind.IDENT:
+                closing = self._advance()
+                if closing.text != name:
+                    raise ParseError(
+                        "'end %s %s' does not match unit %r"
+                        % (unit_kind, closing.text, name),
+                        closing.line, closing.column)
+        self._end_of_statement()
+
+    def _parse_unit_body(self) -> Tuple[List[ast.Decl], List[ast.Stmt]]:
+        self._arrays = set()
+        decls: List[ast.Decl] = []
+        self._skip_newlines()
+        while self._is_decl_start():
+            decls.extend(self._parse_decl())
+            self._skip_newlines()
+        body = self._parse_statements(("end",))
+        return decls, body
+
+    def _is_decl_start(self) -> bool:
+        token = self._peek()
+        return (token.is_keyword("integer") or token.is_keyword("real")
+                or token.is_keyword("input"))
+
+    # -- declarations --------------------------------------------------------
+
+    def _parse_decl(self) -> List[ast.Decl]:
+        token = self._peek()
+        if token.is_keyword("input"):
+            return self._parse_input_decl()
+        return self._parse_var_decl()
+
+    def _parse_input_decl(self) -> List[ast.Decl]:
+        start = self._expect_keyword("input")
+        type_name = self._parse_type_name()
+        self._expect(TokenKind.DOUBLE_COLON)
+        decls: List[ast.Decl] = []
+        while True:
+            name = self._expect(TokenKind.IDENT, "input name").text
+            self._expect(TokenKind.ASSIGN)
+            default = self._parse_expr()
+            decls.append(ast.InputDecl(type_name, name, default, start.line))
+            if self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                continue
+            break
+        self._end_of_statement()
+        return decls
+
+    def _parse_var_decl(self) -> List[ast.Decl]:
+        start = self._peek()
+        type_name = self._parse_type_name()
+        self._expect(TokenKind.DOUBLE_COLON)
+        decls: List[ast.Decl] = []
+        scalar_names: List[str] = []
+        while True:
+            name = self._expect(TokenKind.IDENT, "variable name").text
+            if self._peek().kind is TokenKind.LPAREN:
+                dims = self._parse_dims()
+                decls.append(ast.ArrayDecl(type_name, name, dims, start.line))
+                self._arrays.add(name)
+            else:
+                scalar_names.append(name)
+            if self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                continue
+            break
+        self._end_of_statement()
+        if scalar_names:
+            decls.insert(0, ast.ScalarDecl(type_name, scalar_names, start.line))
+        return decls
+
+    def _parse_type_name(self) -> str:
+        token = self._peek()
+        if token.is_keyword("integer") or token.is_keyword("real"):
+            return self._advance().text
+        raise ParseError("expected a type name, found %r" % token.text,
+                         token.line, token.column)
+
+    def _parse_dims(self) -> List[Tuple[Optional[ast.Expr], ast.Expr]]:
+        self._expect(TokenKind.LPAREN)
+        dims: List[Tuple[Optional[ast.Expr], ast.Expr]] = []
+        while True:
+            first = self._parse_expr()
+            if self._peek().kind is TokenKind.COLON:
+                self._advance()
+                upper = self._parse_expr()
+                dims.append((first, upper))
+            else:
+                dims.append((None, first))  # bare extent: 1..first
+            if self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(TokenKind.RPAREN)
+        return dims
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_statements(self, stop_keywords: Tuple[str, ...]) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        self._skip_newlines()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.EOF:
+                return stmts
+            if token.kind is TokenKind.KEYWORD and token.text in stop_keywords:
+                return stmts
+            stmts.append(self._parse_statement())
+            self._skip_newlines()
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_keyword("do"):
+            return self._parse_do()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("call"):
+            return self._parse_call()
+        if token.is_keyword("print"):
+            return self._parse_print()
+        if token.is_keyword("return"):
+            self._advance()
+            self._end_of_statement()
+            return ast.ReturnStmt(token.line)
+        if token.is_keyword("exit"):
+            self._advance()
+            self._end_of_statement()
+            return ast.ExitStmt(token.line)
+        if token.is_keyword("cycle"):
+            self._advance()
+            self._end_of_statement()
+            return ast.CycleStmt(token.line)
+        if token.kind is TokenKind.IDENT:
+            return self._parse_assignment()
+        raise ParseError("unexpected token %r at statement start" % token.text,
+                         token.line, token.column)
+
+    def _parse_assignment(self) -> ast.Stmt:
+        token = self._expect(TokenKind.IDENT, "assignment target")
+        if self._peek().kind is TokenKind.LPAREN:
+            indices = self._parse_arg_list()
+            target: ast.Expr = ast.ArrayRef(token.text, indices, token.line)
+        else:
+            target = ast.VarRef(token.text, token.line)
+        self._expect(TokenKind.ASSIGN)
+        expr = self._parse_expr()
+        self._end_of_statement()
+        return ast.AssignStmt(target, expr, token.line)
+
+    def _parse_do(self) -> ast.Stmt:
+        start = self._expect_keyword("do")
+        var = self._expect(TokenKind.IDENT, "loop variable").text
+        self._expect(TokenKind.ASSIGN)
+        begin = self._parse_expr()
+        self._expect(TokenKind.COMMA)
+        stop = self._parse_expr()
+        step: Optional[ast.Expr] = None
+        if self._peek().kind is TokenKind.COMMA:
+            self._advance()
+            step = self._parse_expr()
+        self._end_of_statement()
+        body = self._parse_statements(("end", "enddo"))
+        self._parse_block_end("do", "enddo")
+        return ast.DoStmt(var, begin, stop, step, body, start.line)
+
+    def _parse_while(self) -> ast.Stmt:
+        start = self._expect_keyword("while")
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        self._expect_keyword("do")
+        self._end_of_statement()
+        body = self._parse_statements(("end",))
+        self._expect_keyword("end")
+        self._expect_keyword("while")
+        self._end_of_statement()
+        return ast.WhileStmt(cond, body, start.line)
+
+    def _parse_if(self) -> ast.Stmt:
+        start = self._expect_keyword("if")
+        arms: List[Tuple[ast.Expr, List[ast.Stmt]]] = []
+        else_body: Optional[List[ast.Stmt]] = None
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        self._expect_keyword("then")
+        self._end_of_statement()
+        body = self._parse_statements(("else", "elseif", "end", "endif"))
+        arms.append((cond, body))
+        while True:
+            token = self._peek()
+            if token.is_keyword("elseif") or (
+                    token.is_keyword("else") and self._peek(1).is_keyword("if")):
+                if token.is_keyword("elseif"):
+                    self._advance()
+                else:
+                    self._advance()
+                    self._advance()
+                self._expect(TokenKind.LPAREN)
+                cond = self._parse_expr()
+                self._expect(TokenKind.RPAREN)
+                self._expect_keyword("then")
+                self._end_of_statement()
+                body = self._parse_statements(("else", "elseif", "end", "endif"))
+                arms.append((cond, body))
+            elif token.is_keyword("else"):
+                self._advance()
+                self._end_of_statement()
+                else_body = self._parse_statements(("end", "endif"))
+            else:
+                break
+        self._parse_block_end("if", "endif")
+        return ast.IfStmt(arms, else_body, start.line)
+
+    def _parse_block_end(self, keyword: str, merged: str) -> None:
+        token = self._peek()
+        if token.is_keyword(merged):
+            self._advance()
+        else:
+            self._expect_keyword("end")
+            self._expect_keyword(keyword)
+        self._end_of_statement()
+
+    def _parse_call(self) -> ast.Stmt:
+        start = self._expect_keyword("call")
+        name = self._expect(TokenKind.IDENT, "subroutine name").text
+        args: List[ast.Expr] = []
+        if self._peek().kind is TokenKind.LPAREN:
+            args = self._parse_arg_list()
+        self._end_of_statement()
+        return ast.CallStmt(name, args, start.line)
+
+    def _parse_print(self) -> ast.Stmt:
+        start = self._expect_keyword("print")
+        expr = self._parse_expr()
+        self._end_of_statement()
+        return ast.PrintStmt(expr, start.line)
+
+    def _parse_arg_list(self) -> List[ast.Expr]:
+        self._expect(TokenKind.LPAREN)
+        args: List[ast.Expr] = []
+        if self._peek().kind is not TokenKind.RPAREN:
+            args.append(self._parse_expr())
+            while self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                args.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN)
+        return args
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self._peek().kind is TokenKind.OR:
+            line = self._advance().line
+            expr = ast.BinExpr("or", expr, self._parse_and(), line)
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_not()
+        while self._peek().kind is TokenKind.AND:
+            line = self._advance().line
+            expr = ast.BinExpr("and", expr, self._parse_not(), line)
+        return expr
+
+    def _parse_not(self) -> ast.Expr:
+        if self._peek().kind is TokenKind.NOT:
+            line = self._advance().line
+            return ast.UnExpr("not", self._parse_not(), line)
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        expr = self._parse_additive()
+        kind = self._peek().kind
+        if kind in _CMP_TOKENS:
+            line = self._advance().line
+            rhs = self._parse_additive()
+            return ast.BinExpr(_CMP_TOKENS[kind], expr, rhs, line)
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while self._peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            token = self._advance()
+            op = "add" if token.kind is TokenKind.PLUS else "sub"
+            expr = ast.BinExpr(op, expr, self._parse_multiplicative(),
+                               token.line)
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while self._peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            token = self._advance()
+            op = "mul" if token.kind is TokenKind.STAR else "div"
+            expr = ast.BinExpr(op, expr, self._parse_unary(), token.line)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return ast.UnExpr("neg", self._parse_unary(), token.line)
+        if token.kind is TokenKind.PLUS:
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT or token.kind is TokenKind.REAL:
+            self._advance()
+            return ast.Num(token.value, token.line)
+        if token.kind is TokenKind.TRUE:
+            self._advance()
+            return ast.BoolLit(True, token.line)
+        if token.kind is TokenKind.FALSE:
+            self._advance()
+            return ast.BoolLit(False, token.line)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.is_keyword("real") and self._peek(1).kind is TokenKind.LPAREN:
+            self._advance()
+            args = self._parse_arg_list()
+            return ast.Intrinsic("real", args, token.line)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            name = token.text
+            if self._peek().kind is TokenKind.LPAREN:
+                args = self._parse_arg_list()
+                if name in INTRINSICS and name not in self._arrays:
+                    return ast.Intrinsic(name, args, token.line)
+                return ast.ArrayRef(name, args, token.line)
+            return ast.VarRef(name, token.line)
+        raise ParseError("unexpected token %r in expression" % token.text,
+                         token.line, token.column)
+
+
+def parse_source(source: str) -> ast.SourceFile:
+    """Parse mini-Fortran source text into an AST."""
+    return Parser(tokenize(source)).parse_file()

@@ -1,0 +1,68 @@
+"""Token kinds and the token record for the mini-Fortran frontend."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the mini-Fortran language."""
+
+    IDENT = "ident"
+    INT = "int"
+    REAL = "real"
+    KEYWORD = "keyword"
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    COLON = ":"
+    DOUBLE_COLON = "::"
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "/="
+    AND = ".and."
+    OR = ".or."
+    NOT = ".not."
+    TRUE = ".true."
+    FALSE = ".false."
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "program", "subroutine", "end", "integer", "real", "input",
+    "do", "while", "if", "then", "else", "elseif", "endif", "enddo",
+    "call", "print", "return", "exit", "cycle",
+})
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(self, kind: TokenKind, text: str,
+                 value: Optional[Union[int, float]] = None,
+                 line: int = 0, column: int = 0) -> None:
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given keyword."""
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, line=%d)" % (self.kind.name, self.text, self.line)

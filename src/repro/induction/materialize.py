@@ -1,0 +1,61 @@
+"""Materialization of basic loop variables.
+
+INX-checks are expressed over basic loop variables (``5*h+8`` in
+Figure 2), so an INX-check that survives optimization must be able to
+*evaluate* ``h`` at run time.  This pass gives a loop a real SSA
+variable ``h = phi(0, h + 1)`` on demand, exactly mirroring what a code
+generator would emit for a check kept in induction-expression form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.loops import Loop, LoopForest
+from ..errors import IRError
+from ..ir.function import Function
+from ..ir.instructions import Assign, BinOp, Phi
+from ..ir.types import INT
+from ..ir.values import Const, Var
+from .analysis import h_symbol
+
+
+class BasicVarMaterializer:
+    """Creates (at most once per loop) the IR for a basic loop variable."""
+
+    def __init__(self, function: Function, forest: LoopForest) -> None:
+        self.function = function
+        self.forest = forest
+        self._materialized: Dict[Loop, Var] = {}
+
+    def var_for(self, loop: Loop) -> Var:
+        """The phi variable carrying ``h`` inside ``loop`` (creating it
+        on first request)."""
+        existing = self._materialized.get(loop)
+        if existing is not None:
+            return existing
+        if len(loop.latches) != 1:
+            raise IRError("cannot materialize basic variable: loop at %s "
+                          "has %d latches" % (loop.header.name,
+                                              len(loop.latches)))
+        latch = loop.latches[0]
+        preheader = self.forest.get_or_create_preheader(loop)
+        name = h_symbol(loop)
+
+        init = Var(name + ".init", INT, is_temp=True)
+        phi_var = Var(name, INT, is_temp=True)
+        nxt = Var(name + ".next", INT, is_temp=True)
+        for var in (init, phi_var, nxt):
+            self.function.declare_scalar(var)
+
+        preheader.insert_before_terminator(Assign(init, Const(0)))
+        phi = Phi(phi_var, [(preheader, init), (latch, nxt)])
+        loop.header.insert(0, phi)
+        latch.insert_before_terminator(BinOp(nxt, "add", phi_var, Const(1)))
+
+        self._materialized[loop] = phi_var
+        return phi_var
+
+    def materialized(self, loop: Loop) -> Optional[Var]:
+        """The basic variable if already materialized, else None."""
+        return self._materialized.get(loop)

@@ -1,0 +1,178 @@
+"""Counted-loop recognition and symbolic trip counts.
+
+Recognizes the ``i = phi(init, i + step); if (i <= bound)`` pattern that
+``do`` loops lower to, and recovers:
+
+* the basic induction variable (the header phi),
+* the constant step and the loop-invariant init/bound affine forms,
+* the symbolic trip count ``max(0, (bound - init + step) / step)``
+  (Figure 2's ``max(0, n)`` for a ``do i = 0, n-1`` loop).
+
+Loop-limit substitution (section 3.3) needs exactly this information:
+the value of the index variable on the first and last iteration, and
+the "loop executes at least once" guard ``init <= bound`` (for positive
+step) that conditions a hoisted check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.affine import AffineEnv
+from ..analysis.loops import Loop, LoopForest
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import BinOp, CondJump, Phi
+from ..ir.values import Value, Var
+from ..symbolic import LinearExpr
+
+
+class LoopIV:
+    """The basic induction variable of one counted loop."""
+
+    __slots__ = ("loop", "phi", "var", "init_value", "init_affine",
+                 "step", "bound_affine", "bound_value", "body_block",
+                 "exit_block", "preheader_pred", "latch")
+
+    def __init__(self, loop: Loop, phi: Phi, init_value: Value,
+                 init_affine: LinearExpr, step: int,
+                 bound_affine: LinearExpr, bound_value: Value,
+                 body_block: BasicBlock, exit_block: BasicBlock,
+                 preheader_pred: BasicBlock, latch: BasicBlock) -> None:
+        self.loop = loop
+        self.phi = phi
+        self.var: Var = phi.dest
+        self.init_value = init_value
+        self.init_affine = init_affine
+        self.step = step
+        self.bound_affine = bound_affine  # loop runs while step>0: i <= bound
+        self.bound_value = bound_value    #            (step<0: i >= bound)
+        self.body_block = body_block
+        self.exit_block = exit_block
+        self.preheader_pred = preheader_pred
+        self.latch = latch
+
+    def guard_lhs_rhs(self):
+        """The "executes at least once" condition as (lhs <= rhs) affine
+        forms: ``init <= bound`` for positive step, ``bound <= init``
+        for negative step."""
+        if self.step > 0:
+            return self.init_affine, self.bound_affine
+        return self.bound_affine, self.init_affine
+
+    def trip_count_const(self) -> Optional[int]:
+        """The trip count when init and bound are compile-time constants."""
+        if not (self.init_affine.is_constant()
+                and self.bound_affine.is_constant()):
+            return None
+        init = self.init_affine.const
+        bound = self.bound_affine.const
+        if self.step > 0:
+            distance = bound - init
+        else:
+            distance = init - bound
+        if distance < 0:
+            return 0
+        return distance // abs(self.step) + 1
+
+    def __repr__(self) -> str:
+        return "LoopIV(%s = %s + %d*h, while %s %s %s)" % (
+            self.var.name, self.init_affine, self.step, self.var.name,
+            "<=" if self.step > 0 else ">=", self.bound_affine)
+
+
+def find_loop_iv(function: Function, loop: Loop, forest: LoopForest,
+                 env: AffineEnv) -> Optional[LoopIV]:
+    """Match ``loop`` against the counted-do pattern; None on failure."""
+    header = loop.header
+    term = header.terminator
+    if not isinstance(term, CondJump):
+        return None
+    in_targets = [b for b in term.successors() if b in loop.blocks]
+    out_targets = [b for b in term.successors() if b not in loop.blocks]
+    if len(in_targets) != 1 or len(out_targets) != 1:
+        return None
+    body_block, exit_block = in_targets[0], out_targets[0]
+    if not isinstance(term.cond, Var):
+        return None
+    cmp_inst = _defining_cmp(header, term.cond)
+    if cmp_inst is None:
+        return None
+    if len(loop.latches) != 1:
+        return None
+    latch = loop.latches[0]
+
+    # normalize the comparison to <= (positive step) or >= (negative)
+    op = cmp_inst.op
+    lhs, rhs = cmp_inst.lhs, cmp_inst.rhs
+    bound_adjust = 0
+    if op in ("lt", "gt"):
+        bound_adjust = -1 if op == "lt" else 1
+        op = "le" if op == "lt" else "ge"
+    if op not in ("le", "ge"):
+        return None
+    if not isinstance(lhs, Var):
+        return None
+
+    phi = _header_phi_named(header, lhs.name)
+    if phi is None:
+        return None
+    init_value, next_value, preheader_pred = _phi_edges(loop, phi)
+    if init_value is None:
+        return None
+
+    # the step: affine(next) must be phi + constant
+    next_affine = env.form_of(next_value)
+    delta = next_affine - LinearExpr.symbol(phi.dest.name)
+    if not delta.is_constant() or delta.const == 0:
+        return None
+    step = delta.const
+    if (op == "le" and step < 0) or (op == "ge" and step > 0):
+        return None  # mismatched direction: not a counted loop
+
+    bound_affine = env.form_of(rhs) + bound_adjust
+    init_affine = env.form_of(init_value)
+    if _mentions_loop_defs(bound_affine, loop, env) or \
+            _mentions_loop_defs(init_affine, loop, env):
+        return None
+    return LoopIV(loop, phi, init_value, init_affine, step, bound_affine,
+                  rhs, body_block, exit_block, preheader_pred, latch)
+
+
+def _defining_cmp(header: BasicBlock, cond: Var) -> Optional[BinOp]:
+    for inst in header.instructions:
+        if isinstance(inst, BinOp) and inst.dest == cond:
+            return inst
+    return None
+
+
+def _header_phi_named(header: BasicBlock, name: str) -> Optional[Phi]:
+    for phi in header.phis():
+        if phi.dest.name == name:
+            return phi
+    return None
+
+
+def _phi_edges(loop: Loop, phi: Phi):
+    init_value = next_value = preheader_pred = None
+    for block, value in phi.incoming:
+        if block in loop.blocks:
+            if next_value is not None:
+                return None, None, None  # multiple latch values
+            next_value = value
+        else:
+            if init_value is not None:
+                return None, None, None  # multiple entries
+            init_value = value
+            preheader_pred = block
+    if init_value is None or next_value is None:
+        return None, None, None
+    return init_value, next_value, preheader_pred
+
+
+def _mentions_loop_defs(expr: LinearExpr, loop: Loop, env: AffineEnv) -> bool:
+    for sym in expr.symbols():
+        block = env.def_block(sym)
+        if block is not None and block in loop.blocks:
+            return True
+    return False

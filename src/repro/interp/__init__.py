@@ -1,0 +1,7 @@
+"""The instrumented IR interpreter (dynamic instruction/check counting)."""
+
+from .counters import ExecutionCounters
+from .machine import Machine, run_module
+from .values import ArrayStorage
+
+__all__ = ["ArrayStorage", "ExecutionCounters", "Machine", "run_module"]

@@ -1,0 +1,78 @@
+"""Run-time array storage for the interpreter.
+
+Arrays are flat Python lists with per-dimension inclusive bounds,
+evaluated from the declared symbolic bounds at function entry.  Element
+access validates indices and raises :class:`InterpError` on violation
+-- *independently* of the program's range checks.  This is the safety
+net that makes optimizer bugs loud: a wrongly-deleted range check shows
+up as an ``InterpError`` instead of the :class:`RangeTrap` the
+unoptimized program would have raised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from ..errors import InterpError
+from ..ir.types import ArrayType, REAL
+
+Number = Union[int, float]
+
+
+class ArrayStorage:
+    """A materialized array with inclusive integer bounds per dimension."""
+
+    __slots__ = ("name", "bounds", "strides", "data", "element_real")
+
+    def __init__(self, name: str, atype: ArrayType,
+                 bounds: Sequence[Tuple[int, int]]) -> None:
+        self.name = name
+        self.bounds: List[Tuple[int, int]] = list(bounds)
+        extents = []
+        for low, high in self.bounds:
+            extent = high - low + 1
+            if extent < 0:
+                extent = 0
+            extents.append(extent)
+        # row-major strides
+        self.strides: List[int] = [0] * len(extents)
+        stride = 1
+        for dim in range(len(extents) - 1, -1, -1):
+            self.strides[dim] = stride
+            stride *= extents[dim]
+        total = stride
+        self.element_real = atype.element is REAL
+        fill: Number = 0.0 if self.element_real else 0
+        self.data: List[Number] = [fill] * total
+
+    def _offset(self, indices: Sequence[int]) -> int:
+        if len(indices) != len(self.bounds):
+            raise InterpError(
+                "array %s: rank %d accessed with %d indices"
+                % (self.name, len(self.bounds), len(indices)))
+        offset = 0
+        for dim, index in enumerate(indices):
+            low, high = self.bounds[dim]
+            if index < low or index > high:
+                raise InterpError(
+                    "array %s: index %d outside %d:%d in dimension %d "
+                    "(missing range check?)"
+                    % (self.name, index, low, high, dim + 1))
+            offset += (index - low) * self.strides[dim]
+        return offset
+
+    def load(self, indices: Sequence[int]) -> Number:
+        """Read one element."""
+        return self.data[self._offset(indices)]
+
+    def store(self, indices: Sequence[int], value: Number) -> None:
+        """Write one element (coerced to the element type)."""
+        if self.element_real:
+            value = float(value)
+        else:
+            value = int(value)
+        self.data[self._offset(indices)] = value
+
+    def __repr__(self) -> str:
+        dims = ", ".join("%d:%d" % b for b in self.bounds)
+        return "ArrayStorage(%s(%s))" % (self.name, dims)

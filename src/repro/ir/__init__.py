@@ -1,0 +1,29 @@
+"""The repro intermediate representation.
+
+A three-address IR over explicit basic blocks with first-class range
+checks (:class:`~repro.ir.instructions.Check`), conditional checks, and
+traps, plus the types, builder, printer, and verifier that support it.
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function, Module
+from .instructions import (ARITH_OPS, BINARY_OPS, CMP_OPS, LOGIC_OPS,
+                           UNARY_OPS, Assign, BinOp, Call, Check, CondJump,
+                           Instruction, Jump, Load, Phi, Print, Return, Store,
+                           Trap, UnOp)
+from .printer import format_block, format_function, format_module
+from .rotate import rotate_loops, rotate_module
+from .types import BOOL, INT, REAL, ArrayType, Dimension, ScalarType
+from .values import Const, Value, Var, as_value
+from .verify import verify_function, verify_module
+
+__all__ = [
+    "ARITH_OPS", "BINARY_OPS", "CMP_OPS", "LOGIC_OPS", "UNARY_OPS",
+    "ArrayType", "Assign", "BOOL", "BasicBlock", "BinOp", "Call", "Check",
+    "CondJump", "Const", "Dimension", "Function", "INT", "IRBuilder",
+    "Instruction", "Jump", "Load", "Module", "Phi", "Print", "REAL",
+    "Return", "ScalarType", "Store", "Trap", "UnOp", "Value", "Var",
+    "as_value", "format_block", "format_function", "format_module",
+    "rotate_loops", "rotate_module", "verify_function", "verify_module",
+]

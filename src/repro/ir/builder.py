@@ -1,0 +1,266 @@
+"""Programmatic IR construction.
+
+The builder keeps an insertion point, generates typed temporaries,
+constant-folds, and performs *block-local common-subexpression
+elimination* on pure operations.  Local CSE matters for the paper's
+experiment: two accesses ``A(i*j)`` and ``B(i*j)`` in one block must
+compute their subscript into the *same* temporary so their range checks
+fall into the same family (section 2.2's canonical-form requirement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (Assign, BinOp, Call, CondJump, Instruction, Jump,
+                           Load, Print, Return, Store, UnOp, result_type)
+from .types import BOOL, INT, REAL, ScalarType
+from .values import Const, Value, Var, as_value
+
+_CseKey = Tuple
+
+
+def _operand_key(value: Value) -> Tuple[str, object]:
+    if isinstance(value, Const):
+        return ("c", (value.type, value.value))
+    if isinstance(value, Var):
+        return ("v", value.name)
+    raise IRError("unsupported operand %r" % (value,))
+
+
+class IRBuilder:
+    """Builds instructions into a current block of one function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.block: Optional[BasicBlock] = None
+        self._temp_counter = 0
+        self._cse: Dict[_CseKey, Var] = {}
+        self._cse_by_var: Dict[str, Set[_CseKey]] = {}
+
+    # -- insertion point ----------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        """Move the insertion point; clears the local CSE cache."""
+        self.block = block
+        self._cse.clear()
+        self._cse_by_var.clear()
+        return block
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a fresh block (without moving the insertion point)."""
+        return self.function.new_block(hint)
+
+    def emit(self, inst: Instruction) -> Instruction:
+        """Append ``inst`` at the insertion point."""
+        if self.block is None:
+            raise IRError("builder has no current block")
+        self.block.append(inst)
+        return inst
+
+    def is_terminated(self) -> bool:
+        """True when the current block already has a terminator."""
+        return self.block is not None and self.block.terminator is not None
+
+    # -- temporaries ----------------------------------------------------
+
+    def new_temp(self, type_: ScalarType = INT) -> Var:
+        """A fresh compiler temporary of the given type."""
+        name = "t%d" % self._temp_counter
+        self._temp_counter += 1
+        var = Var(name, type_, is_temp=True)
+        self.function.declare_scalar(var)
+        return var
+
+    # -- local CSE bookkeeping ------------------------------------------
+
+    def _invalidate(self, var: Var) -> None:
+        for key in self._cse_by_var.pop(var.name, ()):  # keys using var
+            self._cse.pop(key, None)
+
+    def _remember(self, key: _CseKey, dest: Var, operands: Sequence[Value]) -> None:
+        self._cse[key] = dest
+        for op in operands:
+            if isinstance(op, Var):
+                self._cse_by_var.setdefault(op.name, set()).add(key)
+
+    # -- expression emission ---------------------------------------------
+
+    def binop(self, op: str, lhs: Union[Value, int, float],
+              rhs: Union[Value, int, float]) -> Value:
+        """Emit (or reuse, or fold) a binary operation; returns its value."""
+        lhs = as_value(lhs)
+        rhs = as_value(rhs)
+        folded = _fold_binop(op, lhs, rhs)
+        if folded is not None:
+            return folded
+        key: _CseKey = ("bin", op, _operand_key(lhs), _operand_key(rhs))
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        dest = self.new_temp(result_type(op, lhs.type, rhs.type))
+        self.emit(BinOp(dest, op, lhs, rhs))
+        self._remember(key, dest, (lhs, rhs))
+        return dest
+
+    def unop(self, op: str, operand: Union[Value, int, float]) -> Value:
+        """Emit (or reuse, or fold) a unary operation; returns its value."""
+        operand = as_value(operand)
+        folded = _fold_unop(op, operand)
+        if folded is not None:
+            return folded
+        key: _CseKey = ("un", op, _operand_key(operand))
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        if op in ("itor", "sqrt", "exp", "log", "sin", "cos"):
+            dest_type = REAL
+        elif op == "rtoi":
+            dest_type = INT
+        elif op == "not":
+            dest_type = BOOL
+        else:
+            dest_type = operand.type
+        dest = self.new_temp(dest_type)
+        self.emit(UnOp(dest, op, operand))
+        self._remember(key, dest, (operand,))
+        return dest
+
+    def assign(self, dest: Var, src: Union[Value, int, float]) -> None:
+        """Emit ``dest = src`` and invalidate CSE entries using ``dest``."""
+        src = as_value(src)
+        self.function.declare_scalar(dest)
+        self.emit(Assign(dest, src))
+        self._invalidate(dest)
+
+    def load(self, array: str, indices: Sequence[Value]) -> Var:
+        """Emit a load; returns the destination temporary."""
+        atype = self.function.arrays.get(array)
+        if atype is None:
+            raise IRError("load from undeclared array %r" % array)
+        dest = self.new_temp(atype.element)
+        self.emit(Load(dest, array, list(indices)))
+        return dest
+
+    def store(self, array: str, indices: Sequence[Value],
+              src: Union[Value, int, float]) -> None:
+        """Emit a store."""
+        if array not in self.function.arrays:
+            raise IRError("store to undeclared array %r" % array)
+        self.emit(Store(array, list(indices), as_value(src)))
+
+    def call(self, callee: str, args: Sequence[Value] = (),
+             array_args: Sequence[str] = ()) -> None:
+        """Emit a subroutine call; conservatively clears the CSE cache."""
+        self.emit(Call(callee, [as_value(a) for a in args], list(array_args)))
+        self._cse.clear()
+        self._cse_by_var.clear()
+
+    def print_value(self, value: Union[Value, int, float]) -> None:
+        """Emit a print of a value."""
+        self.emit(Print(as_value(value)))
+
+    # -- control flow ------------------------------------------------------
+
+    def jump(self, target: BasicBlock) -> None:
+        """Terminate the current block with an unconditional jump."""
+        self.emit(Jump(target))
+
+    def cond_jump(self, cond: Value, if_true: BasicBlock,
+                  if_false: BasicBlock) -> None:
+        """Terminate the current block with a conditional jump."""
+        self.emit(CondJump(cond, if_true, if_false))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        """Terminate the current block with a return."""
+        self.emit(Return(value))
+
+
+def _fold_binop(op: str, lhs: Value, rhs: Value) -> Optional[Value]:
+    """Constant-fold a binary op; None when not foldable."""
+    if not (isinstance(lhs, Const) and isinstance(rhs, Const)):
+        return _fold_identities(op, lhs, rhs)
+    a, b = lhs.value, rhs.value
+    if op == "add":
+        return Const(a + b)
+    if op == "sub":
+        return Const(a - b)
+    if op == "mul":
+        return Const(a * b)
+    if op == "div":
+        if b == 0:
+            return None  # leave the fault for run time
+        if isinstance(a, int) and isinstance(b, int):
+            return Const(_int_div(a, b))
+        return Const(a / b)
+    if op == "mod":
+        if b == 0:
+            return None
+        if isinstance(a, int) and isinstance(b, int):
+            return Const(a - _int_div(a, b) * b)
+        return None
+    if op == "min":
+        return Const(min(a, b))
+    if op == "max":
+        return Const(max(a, b))
+    if op == "lt":
+        return Const(a < b)
+    if op == "le":
+        return Const(a <= b)
+    if op == "gt":
+        return Const(a > b)
+    if op == "ge":
+        return Const(a >= b)
+    if op == "eq":
+        return Const(a == b)
+    if op == "ne":
+        return Const(a != b)
+    if op == "and":
+        return Const(bool(a) and bool(b))
+    if op == "or":
+        return Const(bool(a) or bool(b))
+    return None
+
+
+def _fold_identities(op: str, lhs: Value, rhs: Value) -> Optional[Value]:
+    """Algebraic identities that do not change types: x+0, x*1, 0+x, 1*x."""
+    if isinstance(rhs, Const):
+        if op in ("add", "sub") and rhs.value == 0 and lhs.type != REAL:
+            return lhs
+        if op == "mul" and rhs.value == 1 and lhs.type != REAL:
+            return lhs
+    if isinstance(lhs, Const):
+        if op == "add" and lhs.value == 0 and rhs.type != REAL:
+            return rhs
+        if op == "mul" and lhs.value == 1 and rhs.type != REAL:
+            return rhs
+    return None
+
+
+def _fold_unop(op: str, operand: Value) -> Optional[Value]:
+    """Constant-fold a unary op; None when not foldable."""
+    if not isinstance(operand, Const):
+        return None
+    a = operand.value
+    if op == "neg":
+        return Const(-a)
+    if op == "not":
+        return Const(not a)
+    if op == "abs":
+        return Const(abs(a))
+    if op == "itor":
+        return Const(float(a))
+    if op == "rtoi":
+        return Const(int(a))
+    return None  # transcendental ops stay at run time
+
+
+def _int_div(a: int, b: int) -> int:
+    """Fortran-style integer division: truncate toward zero."""
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient

@@ -1,0 +1,44 @@
+"""Textual rendering of IR modules, functions, and blocks.
+
+The printed form is what the figure-reproduction examples show as
+"before" and "after" program fragments, so it is kept close to the
+paper's notation (``check (2*N <= 10)``; ``cond-check ... if (...)``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basicblock import BasicBlock
+from .function import Function, Module
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    """Render one basic block."""
+    lines: List[str] = ["%s:" % block.name]
+    for inst in block.instructions:
+        lines.append("%s%s" % (indent, inst))
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    """Render a function: header, declarations, then blocks in layout order."""
+    kind = "program" if function.is_main else "subroutine"
+    params = [str(p) for p in function.params]
+    params.extend("&%s" % a for a in function.array_params)
+    lines = ["%s %s(%s)" % (kind, function.name, ", ".join(params))]
+    for name, atype in sorted(function.arrays.items()):
+        lines.append("  array %s: %s" % (name, atype))
+    for block in function.blocks:
+        lines.append(format_block(block))
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render the whole module, main program first."""
+    parts: List[str] = []
+    ordered = sorted(module.functions.values(),
+                     key=lambda f: (not f.is_main, f.name))
+    for function in ordered:
+        parts.append(format_function(function))
+    return "\n\n".join(parts)

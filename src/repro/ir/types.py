@@ -1,0 +1,117 @@
+"""Types for the repro IR.
+
+The IR is deliberately small: ``int``, ``real`` and ``bool`` scalars,
+plus multi-dimensional array types whose per-dimension bounds are
+*linear expressions* over scalar variable names.  Keeping bounds
+symbolic (rather than plain integers) lets subroutines declare
+adjustable arrays (``real A(1:n)``) and lets the range-check optimizer
+fold symbolic bounds into the range-expression of a canonical check.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Tuple
+
+from ..symbolic import LinearExpr
+
+
+class ScalarType(enum.Enum):
+    """The scalar types of the IR."""
+
+    INT = "int"
+    REAL = "real"
+    BOOL = "bool"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+INT = ScalarType.INT
+REAL = ScalarType.REAL
+BOOL = ScalarType.BOOL
+
+
+class Dimension:
+    """One array dimension with inclusive symbolic bounds ``lower:upper``."""
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: LinearExpr, upper: LinearExpr) -> None:
+        if not isinstance(lower, LinearExpr) or not isinstance(upper, LinearExpr):
+            raise TypeError("dimension bounds must be LinearExpr")
+        self.lower = lower
+        self.upper = upper
+
+    @staticmethod
+    def of(lower, upper) -> "Dimension":
+        """Build a dimension from ints, symbol names, or LinearExprs."""
+        return Dimension(_as_linear(lower), _as_linear(upper))
+
+    def extent(self) -> LinearExpr:
+        """The number of elements, ``upper - lower + 1``."""
+        return self.upper - self.lower + 1
+
+    def is_static(self) -> bool:
+        """True when both bounds are compile-time constants."""
+        return self.lower.is_constant() and self.upper.is_constant()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dimension):
+            return NotImplemented
+        return self.lower == other.lower and self.upper == other.upper
+
+    def __hash__(self) -> int:
+        return hash((self.lower, self.upper))
+
+    def __repr__(self) -> str:
+        return "Dimension(%s:%s)" % (self.lower, self.upper)
+
+    def __str__(self) -> str:
+        return "%s:%s" % (self.lower, self.upper)
+
+
+def _as_linear(value) -> LinearExpr:
+    if isinstance(value, LinearExpr):
+        return value
+    if isinstance(value, int):
+        return LinearExpr.constant(value)
+    if isinstance(value, str):
+        return LinearExpr.symbol(value)
+    raise TypeError("cannot interpret %r as an array bound" % (value,))
+
+
+class ArrayType:
+    """A multi-dimensional array of a scalar element type."""
+
+    __slots__ = ("element", "dims")
+
+    def __init__(self, element: ScalarType, dims: Sequence[Dimension]) -> None:
+        if not dims:
+            raise ValueError("array type needs at least one dimension")
+        self.element = element
+        self.dims: Tuple[Dimension, ...] = tuple(dims)
+
+    @property
+    def rank(self) -> int:
+        """The number of dimensions."""
+        return len(self.dims)
+
+    def is_static(self) -> bool:
+        """True when every dimension has constant bounds."""
+        return all(dim.is_static() for dim in self.dims)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrayType):
+            return NotImplemented
+        return self.element == other.element and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash((self.element, self.dims))
+
+    def __repr__(self) -> str:
+        return "ArrayType(%s, [%s])" % (
+            self.element, ", ".join(str(d) for d in self.dims))
+
+    def __str__(self) -> str:
+        return "%s(%s)" % (self.element, ", ".join(str(d) for d in self.dims))

@@ -1,0 +1,110 @@
+"""SSA-able values of the repro IR: constants and scalar variables."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .types import BOOL, INT, REAL, ScalarType
+
+
+class Value:
+    """Base class of IR operands."""
+
+    __slots__ = ()
+
+    @property
+    def type(self) -> ScalarType:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Const(Value):
+    """An immediate constant (int, float, or bool)."""
+
+    __slots__ = ("value", "_type")
+
+    def __init__(self, value: Union[int, float, bool]) -> None:
+        if isinstance(value, bool):
+            self._type = BOOL
+        elif isinstance(value, int):
+            self._type = INT
+        elif isinstance(value, float):
+            self._type = REAL
+        else:
+            raise TypeError("unsupported constant %r" % (value,))
+        self.value = value
+
+    @property
+    def type(self) -> ScalarType:
+        return self._type
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Const):
+            return NotImplemented
+        return self.value == other.value and self._type == other._type
+
+    def __hash__(self) -> int:
+        return hash((self._type, self.value))
+
+    def __repr__(self) -> str:
+        return "Const(%r)" % (self.value,)
+
+    def __str__(self) -> str:
+        if self._type is BOOL:
+            return "true" if self.value else "false"
+        return repr(self.value) if isinstance(self.value, float) else str(self.value)
+
+
+class Var(Value):
+    """A scalar variable or compiler temporary.
+
+    Identity is by *name*: two ``Var`` objects with the same name denote
+    the same storage location (pre-SSA) or the same SSA value
+    (post-SSA).  SSA construction renames variables by creating new
+    ``Var`` objects with versioned names such as ``i.2``.
+    """
+
+    __slots__ = ("name", "_type", "is_temp")
+
+    def __init__(self, name: str, type_: ScalarType = INT,
+                 is_temp: bool = False) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+        self._type = type_
+        self.is_temp = is_temp
+
+    @property
+    def type(self) -> ScalarType:
+        return self._type
+
+    def with_name(self, name: str) -> "Var":
+        """A copy of this variable under a new name (for SSA renaming)."""
+        return Var(name, self._type, self.is_temp)
+
+    def base_name(self) -> str:
+        """The pre-SSA name (strips a trailing ``.N`` version suffix)."""
+        base, dot, suffix = self.name.rpartition(".")
+        if dot and suffix.isdigit():
+            return base
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Var):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return "Var(%r, %s)" % (self.name, self._type)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def as_value(operand: Union[Value, int, float, bool]) -> Value:
+    """Coerce a Python scalar to a :class:`Const`; pass Values through."""
+    if isinstance(operand, Value):
+        return operand
+    return Const(operand)

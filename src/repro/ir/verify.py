@@ -1,0 +1,120 @@
+"""IR verifier: structural invariants checked between passes.
+
+Catching malformed IR early (rather than as interpreter crashes or
+silent wrong answers) is what makes the multi-pass optimizer pipeline
+debuggable, so every pass-level test runs the verifier on its output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .function import Function, Module
+from .instructions import Check, Phi
+
+
+def verify_function(function: Function) -> None:
+    """Raise :class:`IRError` when ``function`` violates an IR invariant."""
+    if function.entry is None:
+        raise IRError("function %s has no entry block" % function.name)
+    if function.entry not in function.blocks:
+        raise IRError("entry of %s is not in the block list" % function.name)
+    names = set()
+    for block in function.blocks:
+        if block.name in names:
+            raise IRError("duplicate block name %r" % block.name)
+        names.add(block.name)
+        _verify_block(function, block)
+    preds = function.predecessor_map()
+    for block in function.blocks:
+        pred_set = preds[block]
+        for phi in block.phis():
+            phi_blocks = [blk for blk, _ in phi.incoming]
+            if len(set(id(b) for b in phi_blocks)) != len(phi_blocks):
+                raise IRError("phi %s has duplicate incoming blocks" % phi)
+            if set(id(b) for b in phi_blocks) != set(id(b) for b in pred_set):
+                raise IRError(
+                    "phi %s in %s disagrees with predecessors %s"
+                    % (phi, block.name, sorted(b.name for b in pred_set)))
+
+
+def _verify_block(function: Function, block: BasicBlock) -> None:
+    if block.function is not function:
+        raise IRError("block %s not attached to %s" % (block.name, function.name))
+    if not block.instructions:
+        raise IRError("block %s is empty" % block.name)
+    term = block.instructions[-1]
+    if not term.is_terminator:
+        raise IRError("block %s does not end in a terminator" % block.name)
+    seen_non_phi = False
+    for inst in block.instructions:
+        if inst.block is not block:
+            raise IRError("instruction %s has a stale block pointer" % inst)
+        if inst.is_terminator and inst is not term:
+            raise IRError("block %s has a terminator in the middle" % block.name)
+        if isinstance(inst, Phi):
+            if seen_non_phi:
+                raise IRError("phi %s after non-phi in %s" % (inst, block.name))
+        else:
+            seen_non_phi = True
+        if isinstance(inst, Check):
+            _verify_check(inst)
+    for succ in block.successors():
+        if succ not in function.blocks:
+            raise IRError("block %s targets unknown block %s"
+                          % (block.name, succ.name))
+
+
+def _verify_check(check: Check) -> None:
+    if check.linexpr.const != 0:
+        raise IRError("check %s is not canonical (nonzero constant term)"
+                      % check)
+    missing = set(check.linexpr.symbols()) - set(check.operands)
+    if missing:
+        raise IRError("check %s missing operand vars %s"
+                      % (check, sorted(missing)))
+    for sym, var in check.operands.items():
+        if var.name != sym:
+            raise IRError("check %s operand %r bound to mismatched var %r"
+                          % (check, sym, var.name))
+    for guard in check.guards:
+        if guard.linexpr.const != 0:
+            raise IRError("check guard of %s is not canonical" % check)
+        for sym, var in guard.operands.items():
+            if var.name != sym:
+                raise IRError(
+                    "check guard %s operand %r bound to mismatched var %r"
+                    % (check, sym, var.name))
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function, plus module-level call-site consistency."""
+    for function in module:
+        verify_function(function)
+    _verify_calls(module)
+
+
+def _verify_calls(module: Module) -> None:
+    from .instructions import Call
+
+    for function in module:
+        for inst in function.instructions():
+            if not isinstance(inst, Call):
+                continue
+            callee = module.lookup(inst.callee)
+            if len(inst.args) != len(callee.params):
+                raise IRError(
+                    "call to %s passes %d scalars, expected %d"
+                    % (inst.callee, len(inst.args), len(callee.params)))
+            if len(inst.array_args) != len(callee.array_params):
+                raise IRError(
+                    "call to %s passes %d arrays, expected %d"
+                    % (inst.callee, len(inst.array_args),
+                       len(callee.array_params)))
+            missing: List[str] = [name for name in inst.array_args
+                                  if name not in function.arrays]
+            if missing:
+                raise IRError("call to %s passes undeclared arrays %s"
+                              % (inst.callee, missing))

@@ -1,0 +1,5 @@
+"""End-to-end compile-and-measure pipeline."""
+
+from .driver import CompiledProgram, compile_source
+
+__all__ = ["CompiledProgram", "compile_source"]

@@ -1,0 +1,207 @@
+"""Measurement helpers for the paper's experiments.
+
+Table 1 needs per-program static/dynamic instruction and check counts;
+Tables 2 and 3 need the percentage of dynamic checks each optimizer
+configuration eliminates, plus the compile time spent in the range
+check optimizer.  These helpers compile and execute one program under
+one configuration and collect exactly those numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional, Union
+
+from ..analysis.loops import LoopForest
+from ..checks.config import OptimizerOptions
+from ..checks.optimizer import count_checks, optimize_module
+from ..frontend.parser import parse_source
+from ..interp.machine import Machine
+from ..ir.function import Module
+from ..ir.instructions import Check
+from ..ir.lowering import LoweringOptions, lower_source_file
+from ..ssa.construct import construct_ssa
+
+Number = Union[int, float]
+
+
+class BaselineMeasurement:
+    """One row of Table 1: program characteristics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines = 0
+        self.subroutines = 0
+        self.loops = 0
+        self.static_instructions = 0
+        self.dynamic_instructions = 0
+        self.static_checks = 0
+        self.dynamic_checks = 0
+
+    @property
+    def static_ratio(self) -> float:
+        """Static checks per non-check instruction (percent)."""
+        if self.static_instructions == 0:
+            return 0.0
+        return 100.0 * self.static_checks / self.static_instructions
+
+    @property
+    def dynamic_ratio(self) -> float:
+        """Dynamic checks per non-check instruction (percent)."""
+        if self.dynamic_instructions == 0:
+            return 0.0
+        return 100.0 * self.dynamic_checks / self.dynamic_instructions
+
+    def __repr__(self) -> str:
+        return ("BaselineMeasurement(%s: %d/%d static, %d/%d dynamic)"
+                % (self.name, self.static_checks, self.static_instructions,
+                   self.dynamic_checks, self.dynamic_instructions))
+
+
+class SchemeMeasurement:
+    """One cell of Table 2/3: a configuration on a program."""
+
+    def __init__(self, name: str, label: str) -> None:
+        self.name = name
+        self.label = label
+        self.dynamic_checks = 0
+        self.baseline_checks = 0
+        self.static_checks = 0
+        self.optimize_seconds = 0.0
+        self.compile_seconds = 0.0
+
+    @property
+    def percent_eliminated(self) -> float:
+        """Percentage of dynamic checks removed vs naive checking."""
+        if self.baseline_checks == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.dynamic_checks / self.baseline_checks)
+
+    def __repr__(self) -> str:
+        return "SchemeMeasurement(%s %s: %.2f%%)" % (
+            self.name, self.label, self.percent_eliminated)
+
+
+def build_unoptimized(source: str) -> Module:
+    """Parse, lower with naive checks, and convert to SSA."""
+    module = lower_source_file(parse_source(source), LoweringOptions(True))
+    for function in module:
+        construct_ssa(function)
+    return module
+
+
+def count_static(module: Module):
+    """(non-check instruction cost, checks, natural loops) in a module.
+
+    Instruction cost matches the interpreter's dynamic weighting: a
+    Load/Store costs ``1 + rank`` (the access plus its addressing
+    arithmetic); everything else costs 1.
+    """
+    from ..ir.instructions import Load, Store
+
+    instructions = 0
+    checks = 0
+    loops = 0
+    for function in module:
+        for inst in function.instructions():
+            if isinstance(inst, Check):
+                checks += 1
+            elif isinstance(inst, (Load, Store)):
+                instructions += 1 + len(inst.indices)
+            else:
+                instructions += 1
+        loops += len(LoopForest(function).loops)
+    return instructions, checks, loops
+
+
+def _execute(module: Module, inputs: Optional[Mapping[str, Number]],
+             max_steps: int, engine: str):
+    """Run via the interpreter or the Python back-end; returns counters
+    and output uniformly."""
+    if engine == "interp":
+        machine = Machine(module, inputs, max_steps)
+        machine.run()
+        return machine.counters, machine.output
+    if engine == "compiled":
+        from ..backend.pybackend import compile_to_python
+        from ..ssa.destruct import destruct_ssa
+
+        for function in module:
+            if any(block.phis() for block in function.blocks):
+                destruct_ssa(function)
+        runtime = compile_to_python(module).run(inputs)
+        return runtime.counters, runtime.output
+    raise ValueError("unknown engine %r" % engine)
+
+
+def measure_baseline(name: str, source: str,
+                     inputs: Optional[Mapping[str, Number]] = None,
+                     max_steps: int = 50_000_000,
+                     engine: str = "interp") -> BaselineMeasurement:
+    """Compile without optimization, run, and fill a Table 1 row."""
+    row = BaselineMeasurement(name)
+    row.lines = sum(1 for line in source.splitlines() if line.strip())
+    module = build_unoptimized(source)
+    row.subroutines = sum(1 for f in module if not f.is_main)
+    instructions, checks, loops = count_static(module)
+    row.static_instructions = instructions
+    row.static_checks = checks
+    row.loops = loops
+    counters, _ = _execute(module, inputs, max_steps, engine)
+    row.dynamic_instructions = counters.instructions
+    row.dynamic_checks = counters.checks
+    return row
+
+
+def measure_scheme(name: str, source: str, options: OptimizerOptions,
+                   baseline_checks: int,
+                   inputs: Optional[Mapping[str, Number]] = None,
+                   max_steps: int = 50_000_000,
+                   engine: str = "interp") -> SchemeMeasurement:
+    """Compile under ``options``, run, and fill a Table 2/3 cell."""
+    cell = SchemeMeasurement(name, options.label())
+    cell.baseline_checks = baseline_checks
+
+    compile_start = time.perf_counter()
+    module = lower_source_file(parse_source(source), LoweringOptions(True))
+    for function in module:
+        construct_ssa(function)
+    optimize_start = time.perf_counter()
+    optimize_module(module, options)
+    optimize_end = time.perf_counter()
+
+    cell.optimize_seconds = optimize_end - optimize_start
+    cell.compile_seconds = optimize_end - compile_start
+    cell.static_checks = sum(count_checks(f) for f in module)
+    counters, _ = _execute(module, inputs, max_steps, engine)
+    cell.dynamic_checks = counters.checks
+    return cell
+
+
+def verify_same_output(source: str, options: OptimizerOptions,
+                       inputs: Optional[Mapping[str, Number]] = None,
+                       max_steps: int = 50_000_000) -> bool:
+    """True when the optimized program prints what the baseline prints."""
+    baseline_module = build_unoptimized(source)
+    baseline = Machine(baseline_module, inputs, max_steps)
+    baseline.run()
+
+    module = build_unoptimized(source)
+    optimize_module(module, options)
+    optimized = Machine(module, inputs, max_steps)
+    optimized.run()
+    return baseline.output == optimized.output
+
+
+def percent_table(rows: Dict[str, Dict[str, float]]) -> str:
+    """Render a {row_label: {col: pct}} mapping as aligned text."""
+    if not rows:
+        return ""
+    columns = sorted({col for cells in rows.values() for col in cells})
+    header = "%-10s" % "" + "".join("%10s" % c for c in columns)
+    lines = [header]
+    for label, cells in rows.items():
+        line = "%-10s" % label + "".join(
+            "%10.2f" % cells.get(col, float("nan")) for col in columns)
+        lines.append(line)
+    return "\n".join(lines)

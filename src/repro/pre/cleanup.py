@@ -1,0 +1,78 @@
+"""Cleanup passes that make LCM's profit real: local copy propagation
+and dead pure-code elimination.
+
+Lazy code motion replaces a redundant computation with a copy from the
+temporary; until the copy is propagated into its uses and removed, the
+transformed program does the same amount of work.  Both passes are
+valid on SSA and non-SSA IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir.function import Function
+from ..ir.instructions import Assign, BinOp, Load, Phi, UnOp
+from ..ir.values import Value, Var
+
+
+def propagate_copies_locally(function: Function) -> int:
+    """Within each block, forward-substitute ``x = y`` copies into later
+    uses of ``x`` (until x or y is redefined).  Returns replacements."""
+    replaced = 0
+    for block in function.blocks:
+        copies: Dict[Var, Value] = {}
+        for inst in block.instructions:
+            if copies:
+                for used in inst.uses():
+                    if isinstance(used, Var) and used in copies:
+                        inst.replace_uses({used: copies[used]})
+                        replaced += 1
+            dest = inst.def_var()
+            if dest is None:
+                continue
+            # drop invalidated entries: anything copying from or to dest
+            copies = {lhs: rhs for lhs, rhs in copies.items()
+                      if lhs != dest and rhs != dest}
+            if isinstance(inst, Assign) and isinstance(inst.src, Var) \
+                    and inst.src != dest:
+                copies[dest] = inst.src
+            elif isinstance(inst, Assign) and not isinstance(inst.src, Var):
+                copies[dest] = inst.src
+    return replaced
+
+
+def remove_dead_pure_code(function: Function) -> int:
+    """Delete pure instructions whose destination is never used.
+
+    Iterates to a fixed point so chains of dead temporaries collapse.
+    Loads are treated as pure (the IR has no volatile memory).
+    """
+    removed = 0
+    while True:
+        used: Set[str] = set()
+        for inst in function.instructions():
+            for value in inst.uses():
+                if isinstance(value, Var):
+                    used.add(value.name)
+        doomed = []
+        for block in function.blocks:
+            for inst in block.instructions:
+                dest = inst.def_var()
+                if dest is None or dest.name in used:
+                    continue
+                if isinstance(inst, (Assign, BinOp, UnOp, Load, Phi)):
+                    doomed.append((block, inst))
+        if not doomed:
+            return removed
+        for block, inst in doomed:
+            block.remove(inst)
+            removed += 1
+
+
+def cleanup_after_lcm(function: Function) -> int:
+    """Copy propagation followed by dead-code removal; returns the
+    total number of changes."""
+    changes = propagate_copies_locally(function)
+    changes += remove_dead_pure_code(function)
+    return changes

@@ -1,0 +1,128 @@
+"""Dominator-scoped global value numbering (GVN) over SSA form.
+
+A pure computation whose operands have the same value numbers as an
+earlier computation in a *dominating* block is redundant: it is deleted
+and its uses are rewritten to the dominating leader.
+
+Beyond the classic payoff, GVN matters to the range-check optimizer:
+two accesses ``a(i*j)`` in different blocks compute their nonlinear
+subscript into different temporaries, putting their checks in different
+families; after GVN both use the leader temporary, the families merge,
+and plain availability starts eliminating the duplicates -- extending
+the builder's block-local CSE across the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.dominance import DominatorTree
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Assign, BinOp, UnOp
+from ..ir.values import Const, Value, Var
+
+_COMMUTATIVE = frozenset({"add", "mul", "min", "max", "eq", "ne",
+                          "and", "or"})
+
+
+class _Tables:
+    """Scoped expression table + value numbers."""
+
+    def __init__(self) -> None:
+        self.value_numbers: Dict[str, int] = {}
+        self.const_numbers: Dict[Tuple, int] = {}
+        self.expr_leader: List[Dict[Tuple, Var]] = [{}]
+        self._next = 0
+
+    def fresh(self) -> int:
+        self._next += 1
+        return self._next
+
+    def number_of(self, value: Value) -> int:
+        if isinstance(value, Const):
+            key = (value.type, value.value)
+            number = self.const_numbers.get(key)
+            if number is None:
+                number = self.fresh()
+                self.const_numbers[key] = number
+            return number
+        assert isinstance(value, Var)
+        number = self.value_numbers.get(value.name)
+        if number is None:
+            number = self.fresh()
+            self.value_numbers[value.name] = number
+        return number
+
+    def push_scope(self) -> None:
+        self.expr_leader.append({})
+
+    def pop_scope(self) -> None:
+        self.expr_leader.pop()
+
+    def lookup(self, key: Tuple) -> Optional[Var]:
+        for scope in reversed(self.expr_leader):
+            leader = scope.get(key)
+            if leader is not None:
+                return leader
+        return None
+
+    def record(self, key: Tuple, leader: Var) -> None:
+        self.expr_leader[-1][key] = leader
+
+
+def global_value_numbering(function: Function,
+                           domtree: Optional[DominatorTree] = None) -> int:
+    """Run GVN in place (SSA input required); returns eliminations."""
+    domtree = domtree or DominatorTree(function)
+    tables = _Tables()
+    replacements: Dict[Var, Var] = {}
+    removed = 0
+
+    def expr_key(inst) -> Optional[Tuple]:
+        if isinstance(inst, BinOp):
+            lhs = tables.number_of(_resolve(inst.lhs))
+            rhs = tables.number_of(_resolve(inst.rhs))
+            if inst.op in _COMMUTATIVE and rhs < lhs:
+                lhs, rhs = rhs, lhs
+            return ("bin", inst.op, lhs, rhs)
+        if isinstance(inst, UnOp):
+            return ("un", inst.op, tables.number_of(_resolve(inst.operand)))
+        return None
+
+    def _resolve(value: Value) -> Value:
+        while isinstance(value, Var) and value in replacements:
+            value = replacements[value]
+        return value
+
+    def visit(block: BasicBlock) -> None:
+        nonlocal removed
+        tables.push_scope()
+        for inst in list(block.instructions):
+            if isinstance(inst, Assign):
+                source = _resolve(inst.src)
+                tables.value_numbers[inst.dest.name] = \
+                    tables.number_of(source)
+                continue
+            key = expr_key(inst)
+            if key is None:
+                continue
+            leader = tables.lookup(key)
+            if leader is not None:
+                replacements[inst.dest] = leader
+                block.remove(inst)
+                removed += 1
+            else:
+                tables.record(key, inst.dest)
+                tables.value_numbers[inst.dest.name] = tables.fresh()
+        for child in domtree.children.get(block, []):
+            visit(child)
+        tables.pop_scope()
+
+    if function.entry is not None:
+        visit(function.entry)
+    if replacements:
+        mapping = {old: _resolve(new) for old, new in replacements.items()}
+        for inst in function.instructions():
+            inst.replace_uses(mapping)
+    return removed

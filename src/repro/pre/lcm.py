@@ -1,0 +1,271 @@
+"""Lazy code motion for arithmetic expressions (Knoop-Ruthing-Steffen).
+
+The classic PRE the paper builds its check optimizer on (section 2.1):
+partially redundant pure computations are hoisted into fresh
+temporaries at their *latest* safe insertion points, and the original
+computations become copies from the temporary.
+
+This pass runs on non-SSA IR (the temporaries it introduces are
+assigned on multiple paths) and is exercised by the PRE substrate tests
+and the ``expression_pre`` example; the check optimizer itself reuses
+the same dataflow shapes over check facts instead of expression keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..analysis.availexpr import ExprKey, expr_key
+from ..analysis.dataflow import reverse_postorder
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Assign, BinOp, UnOp
+from ..ir.values import Const, Value, Var
+from .local import LocalProperties
+
+Edge = Tuple[Optional[BasicBlock], BasicBlock]
+EMPTY: FrozenSet[ExprKey] = frozenset()
+
+
+class LazyCodeMotion:
+    """One application of LCM to a function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.local = LocalProperties(function)
+        self.rpo = reverse_postorder(function)
+        self.preds = function.predecessor_map()
+        self.universe = self.local.all_keys
+        self._temps: Dict[ExprKey, Var] = {}
+        self._temp_count = 0
+        self.inserted = 0
+        self.replaced = 0
+        self._exemplar: Dict[ExprKey, object] = {}
+        for inst in function.instructions():
+            key = expr_key(inst)
+            if key is not None and key not in self._exemplar:
+                self._exemplar[key] = inst
+
+    # -- dataflow systems ---------------------------------------------------
+
+    def _availability(self) -> Dict[BasicBlock, FrozenSet[ExprKey]]:
+        avout = {b: self.universe for b in self.rpo}
+        entry = self.function.entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    avin: FrozenSet[ExprKey] = EMPTY
+                else:
+                    sources = [avout[p] for p in self.preds[block]]
+                    avin = frozenset.intersection(*sources) \
+                        if sources else EMPTY
+                new = self.local.comp[block] | \
+                    (avin & self.local.transp[block])
+                if new != avout[block]:
+                    avout[block] = new
+                    changed = True
+        return avout
+
+    def _anticipatability(self):
+        antin = {b: self.universe for b in self.rpo}
+        antout = {b: self.universe for b in self.rpo}
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(self.rpo):
+                succs = block.successors()
+                outgoing = frozenset.intersection(
+                    *[antin[s] for s in succs]) if succs else EMPTY
+                antout[block] = outgoing
+                new = self.local.antloc[block] | \
+                    (outgoing & self.local.transp[block])
+                if new != antin[block]:
+                    antin[block] = new
+                    changed = True
+        return antin, antout
+
+    def _edges(self) -> List[Edge]:
+        edges: List[Edge] = [(None, self.function.entry)]
+        for block in self.rpo:
+            for succ in block.successors():
+                edges.append((block, succ))
+        return edges
+
+    # -- the transformation ------------------------------------------------------
+
+    def run(self) -> Tuple[int, int]:
+        """Apply LCM; returns (insertions, replacements)."""
+        avout = self._availability()
+        antin, antout = self._anticipatability()
+
+        def earliest(edge: Edge) -> FrozenSet[ExprKey]:
+            pred, succ = edge
+            facts = antin[succ]
+            if pred is None:
+                return facts
+            facts = facts - avout[pred]
+            return facts - (antout[pred] & self.local.transp[pred])
+
+        edges = self._edges()
+        earliest_map = {edge: earliest(edge) for edge in edges}
+
+        laterin = {b: self.universe for b in self.rpo}
+
+        def later(edge: Edge) -> FrozenSet[ExprKey]:
+            pred, _ = edge
+            facts = earliest_map[edge]
+            if pred is not None:
+                facts = facts | (laterin[pred] - self.local.antloc[pred])
+            return facts
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                incoming: List[Edge] = [(None, block)] \
+                    if block is self.function.entry else \
+                    [(p, block) for p in self.preds[block]]
+                pieces = [later(e) for e in incoming]
+                merged = frozenset.intersection(*pieces) if pieces else EMPTY
+                if merged != laterin[block]:
+                    laterin[block] = merged
+                    changed = True
+
+        insert_map = {edge: later(edge) - laterin[edge[1]] for edge in edges}
+        delete_map = {block: self.local.antloc[block] - laterin[block]
+                      for block in self.rpo if block is not self.function.entry}
+        delete_map[self.function.entry] = EMPTY
+
+        self._apply(insert_map, delete_map)
+        return self.inserted, self.replaced
+
+    # -- rewriting ------------------------------------------------------------------
+
+    def _temp_for(self, key: ExprKey) -> Var:
+        temp = self._temps.get(key)
+        if temp is None:
+            self._temp_count += 1
+            exemplar = self._exemplar[key]
+            temp = Var("lcm%d" % self._temp_count, exemplar.dest.type,
+                       is_temp=True)
+            self.function.declare_scalar(temp)
+            self._temps[key] = temp
+        return temp
+
+    def _apply(self, insert_map, delete_map) -> None:
+        # expressions that will flow through a temporary: anything
+        # inserted on an edge, deleted at a use, or repeated in a block
+        needed = set()
+        for keys in insert_map.values():
+            needed |= keys
+        for keys in delete_map.values():
+            needed |= keys
+        needed |= self._locally_repeated()
+
+        # 1. insert computations on edges
+        for (pred, succ), keys in insert_map.items():
+            if not keys:
+                continue
+            block = self._landing_block(pred, succ)
+            for key in sorted(keys, key=repr):
+                temp = self._temp_for(key)
+                block.insert_before_terminator(
+                    self._clone_computation(key, temp))
+                self.inserted += 1
+        # 2. rewrite original computations
+        for block in self.rpo:
+            available_here = set()
+            first_seen = set()
+            for inst in list(block.instructions):
+                key = expr_key(inst)
+                if key is None:
+                    dest = inst.def_var()
+                    if dest is not None:
+                        available_here -= self.local.killed_by(dest.name)
+                    continue
+                deletable = key in available_here or (
+                    key not in first_seen and key in delete_map[block])
+                first_seen.add(key)
+                if deletable and key in needed:
+                    index = block.instructions.index(inst)
+                    dest = inst.dest
+                    block.remove(inst)
+                    block.insert(index, Assign(dest, self._temp_for(key)))
+                    self.replaced += 1
+                elif key in needed and inst.dest != self._temps.get(key):
+                    # a computation point: keep it, and publish the value
+                    # in the temporary for downstream reuse
+                    index = block.instructions.index(inst)
+                    block.insert(index + 1,
+                                 Assign(self._temp_for(key), inst.dest))
+                available_here.add(key)
+                dest = inst.def_var()
+                if dest is not None:
+                    available_here -= self.local.killed_by(dest.name)
+
+    def _locally_repeated(self):
+        repeated = set()
+        for block in self.rpo:
+            live = set()
+            for inst in block.instructions:
+                key = expr_key(inst)
+                if key is not None:
+                    if key in live:
+                        repeated.add(key)
+                    live.add(key)
+                dest = inst.def_var()
+                if dest is not None:
+                    live -= self.local.killed_by(dest.name)
+        return repeated
+
+    def _landing_block(self, pred: Optional[BasicBlock],
+                       succ: BasicBlock) -> BasicBlock:
+        if pred is None:
+            return _entry_prefix_block(self.function, succ)
+        if len(pred.successors()) == 1:
+            return pred
+        if len(self.function.predecessors(succ)) == 1:
+            return _prefix_block(succ)
+        return self.function.split_edge(pred, succ)
+
+    def _clone_computation(self, key: ExprKey, dest: Var):
+        exemplar = self._exemplar[key]
+        if isinstance(exemplar, BinOp):
+            return BinOp(dest, exemplar.op, _copy_value(exemplar.lhs),
+                         _copy_value(exemplar.rhs))
+        assert isinstance(exemplar, UnOp)
+        return UnOp(dest, exemplar.op, _copy_value(exemplar.operand))
+
+
+class _PrefixWrapper:
+    """Insert at the top of a block (after phis) instead of the bottom."""
+
+    def __init__(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def insert_before_terminator(self, inst) -> None:
+        self.block.insert_after_phis(inst)
+
+
+def _prefix_block(block: BasicBlock) -> _PrefixWrapper:
+    return _PrefixWrapper(block)
+
+
+def _entry_prefix_block(function: Function,
+                        entry: BasicBlock) -> _PrefixWrapper:
+    return _PrefixWrapper(entry)
+
+
+def _copy_value(value: Value) -> Value:
+    if isinstance(value, Const):
+        return Const(value.value)
+    assert isinstance(value, Var)
+    return Var(value.name, value.type, value.is_temp)
+
+
+def eliminate_partial_redundancies(function: Function) -> Tuple[int, int]:
+    """Run lazy code motion on ``function``; returns
+    (insertions, replacements)."""
+    return LazyCodeMotion(function).run()

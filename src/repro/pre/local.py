@@ -1,0 +1,63 @@
+"""Block-local properties for expression PRE.
+
+Computes, per block and per expression class, the three local
+predicates the lazy-code-motion systems need:
+
+* ``ANTLOC`` -- the expression is computed before any of its operands
+  is redefined (upward exposed);
+* ``COMP`` -- the expression is computed and still valid at block exit
+  (downward exposed);
+* ``TRANSP`` -- no operand of the expression is defined in the block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from ..analysis.availexpr import ExprKey, all_expressions, expr_key, \
+    expr_variables
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+class LocalProperties:
+    """ANTLOC/COMP/TRANSP per block over the function's expressions."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.universe: List[ExprKey] = all_expressions(function)
+        self._by_var: Dict[str, Set[ExprKey]] = {}
+        for key in self.universe:
+            for name in expr_variables(key):
+                self._by_var.setdefault(name, set()).add(key)
+        self.antloc: Dict[BasicBlock, FrozenSet[ExprKey]] = {}
+        self.comp: Dict[BasicBlock, FrozenSet[ExprKey]] = {}
+        self.transp: Dict[BasicBlock, FrozenSet[ExprKey]] = {}
+        self.all_keys: FrozenSet[ExprKey] = frozenset(self.universe)
+        for block in function.blocks:
+            self._compute(block)
+
+    def killed_by(self, name: str) -> Set[ExprKey]:
+        """Expression classes invalidated by a definition of ``name``."""
+        return self._by_var.get(name, set())
+
+    def _compute(self, block: BasicBlock) -> None:
+        downward: Set[ExprKey] = set()
+        killed: Set[ExprKey] = set()
+        upward: Set[ExprKey] = set()
+        killed_above: Set[ExprKey] = set()
+        for inst in block.instructions:
+            key = expr_key(inst)
+            if key is not None:
+                downward.add(key)
+                if key not in killed_above:
+                    upward.add(key)
+            dest = inst.def_var()
+            if dest is not None:
+                dead = self.killed_by(dest.name)
+                downward -= dead
+                killed |= dead
+                killed_above |= dead
+        self.antloc[block] = frozenset(upward)
+        self.comp[block] = frozenset(downward)
+        self.transp[block] = self.all_keys - killed

@@ -1,0 +1,18 @@
+"""Rendering of the paper's tables and figures from measurements."""
+
+from .figures import (FIGURE1_SOURCE, FIGURE5_SOURCE, FIGURE6_SOURCE,
+                      FigureReport, all_figures, figure1_availability,
+                      figure1_strengthening, figure5_safe_earliest,
+                      figure6_preheader)
+from .explain import (ExplanationReport, FamilyReport, FunctionReport,
+                      explain_optimization)
+from .tables import (format_scheme_table, format_table1, overhead_estimate,
+                     rows_as_dict)
+
+__all__ = ["ExplanationReport", "FamilyReport", "FIGURE1_SOURCE",
+           "FIGURE5_SOURCE", "FIGURE6_SOURCE", "FunctionReport",
+           "explain_optimization",
+           "FigureReport", "all_figures", "figure1_availability",
+           "figure1_strengthening", "figure5_safe_earliest",
+           "figure6_preheader", "format_scheme_table", "format_table1",
+           "overhead_estimate", "rows_as_dict"]

@@ -1,0 +1,81 @@
+"""Render the paper's tables from suite measurements.
+
+The layouts mirror the paper: Table 1 lists program characteristics,
+Tables 2 and 3 have one column per program and one row per optimizer
+configuration, with the compile-time columns on the right.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..pipeline.stats import BaselineMeasurement, SchemeMeasurement
+
+
+def format_table1(rows: Sequence[BaselineMeasurement]) -> str:
+    """Table 1: program characteristics of benchmark programs."""
+    header = ("%-10s %6s %5s %6s | %9s %12s | %8s %12s | %7s %7s"
+              % ("program", "lines", "subr", "loops", "stat.instr",
+                 "dyn.instr", "stat.chk", "dyn.chk", "s-ratio", "d-ratio"))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "%-10s %6d %5d %6d | %9d %12d | %8d %12d | %6.1f%% %6.1f%%"
+            % (row.name, row.lines, row.subroutines, row.loops,
+               row.static_instructions, row.dynamic_instructions,
+               row.static_checks, row.dynamic_checks,
+               row.static_ratio, row.dynamic_ratio))
+    return "\n".join(lines)
+
+
+def format_scheme_table(
+        cells: Mapping[Tuple[str, str], SchemeMeasurement],
+        row_order: Iterable[str], program_order: Iterable[str],
+        title: str = "") -> str:
+    """Tables 2/3: % of checks eliminated, one row per configuration."""
+    programs = list(program_order)
+    rows = list(row_order)
+    width = max(8, max((len(p) for p in programs), default=8) + 1)
+    header = "%-10s" % "scheme" + "".join(
+        "%*s" % (width, p) for p in programs) + "%10s" % "Range(s)"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in rows:
+        out = ["%-10s" % label]
+        optimize_total = 0.0
+        for program in programs:
+            cell = cells.get((label, program))
+            if cell is None:
+                out.append("%*s" % (width, "-"))
+            else:
+                out.append("%*.2f" % (width, cell.percent_eliminated))
+                optimize_total += cell.optimize_seconds
+        out.append("%10.3f" % optimize_total)
+        lines.append("".join(out))
+    return "\n".join(lines)
+
+
+def rows_as_dict(cells: Mapping[Tuple[str, str], SchemeMeasurement]
+                 ) -> Dict[str, Dict[str, float]]:
+    """{row label: {program: percent eliminated}} for programmatic use."""
+    result: Dict[str, Dict[str, float]] = {}
+    for (label, program), cell in cells.items():
+        result.setdefault(label, {})[program] = cell.percent_eliminated
+    return result
+
+
+def overhead_estimate(rows: Sequence[BaselineMeasurement],
+                      instructions_per_check: int = 2) -> Tuple[float, float]:
+    """The paper's section 4.1 estimate: naive range checking overhead,
+    assuming each check costs ``instructions_per_check`` instructions.
+
+    Returns (min%, max%) across the suite.
+    """
+    ratios = [row.dynamic_ratio * instructions_per_check for row in rows
+              if row.dynamic_instructions]
+    if not ratios:
+        return 0.0, 0.0
+    return min(ratios), max(ratios)

@@ -1,0 +1,170 @@
+"""SSA construction: semi-pruned phi placement + dominator-tree renaming.
+
+Follows Cytron et al. (the paper's reference [6]): phis are placed at
+the iterated dominance frontier of each variable's definition blocks,
+restricted to variables that are live across block boundaries
+("semi-pruned" SSA, which avoids most dead phis without a full
+liveness solve).  Renaming walks the dominator tree with one version
+stack per base variable.
+
+Range-check instructions participate transparently: their operand
+variables are renamed exactly like any other use, which keeps the
+canonical range-expression symbols equal to SSA names -- the property
+the whole check-dataflow machinery relies on ("a check is killed by a
+definition of any of the symbols in its range-expression").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.dominance import DominatorTree
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Phi
+from ..ir.values import Value, Var
+from ..ir.verify import verify_function
+
+
+def construct_ssa(function: Function,
+                  domtree: Optional[DominatorTree] = None) -> DominatorTree:
+    """Convert ``function`` to SSA form in place; returns the dom tree."""
+    function.remove_unreachable_blocks()
+    domtree = domtree or DominatorTree(function)
+    builder = _SSABuilder(function, domtree)
+    builder.run()
+    verify_function(function)
+    return domtree
+
+
+class _SSABuilder:
+    def __init__(self, function: Function, domtree: DominatorTree) -> None:
+        self.function = function
+        self.domtree = domtree
+        self.def_blocks: Dict[str, Set[BasicBlock]] = {}
+        self.globals: Set[str] = set()
+        self.phi_base: Dict[int, str] = {}
+        self.stacks: Dict[str, List[Var]] = {}
+        self.counters: Dict[str, int] = {}
+        self.param_names = {p.name for p in function.params}
+
+    def run(self) -> None:
+        self._collect()
+        self._place_phis()
+        self._rename(self.function.entry)
+
+    # -- phase 1: find definition sites and cross-block variables --------
+
+    def _collect(self) -> None:
+        for block in self.function.blocks:
+            defined_here: Set[str] = set()
+            for inst in block.instructions:
+                for used in inst.uses():
+                    if isinstance(used, Var) and used.name not in defined_here:
+                        self.globals.add(used.name)
+                dest = inst.def_var()
+                if dest is not None:
+                    defined_here.add(dest.name)
+                    self.def_blocks.setdefault(dest.name, set()).add(block)
+        entry = self.function.entry
+        for param in self.function.params:
+            self.def_blocks.setdefault(param.name, set()).add(entry)
+
+    # -- phase 2: phi placement at iterated dominance frontiers ------------
+
+    def _place_phis(self) -> None:
+        for name, blocks in self.def_blocks.items():
+            if name not in self.globals:
+                continue
+            if len(blocks) == 1 and name not in self.param_names:
+                # a single def block still needs phis if the def reaches
+                # a frontier (e.g. a loop header), so fall through
+                pass
+            var_type = self.function.scalar_types.get(name)
+            if var_type is None:
+                continue
+            placed: Set[BasicBlock] = set()
+            worklist = list(blocks)
+            while worklist:
+                block = worklist.pop()
+                for frontier_block in self.domtree.frontier.get(block, ()):
+                    if frontier_block in placed:
+                        continue
+                    placed.add(frontier_block)
+                    phi = Phi(Var(name, var_type))
+                    frontier_block.insert(0, phi)
+                    self.phi_base[id(phi)] = name
+                    if frontier_block not in blocks:
+                        worklist.append(frontier_block)
+
+    # -- phase 3: renaming ---------------------------------------------------
+
+    def _current(self, base: str) -> Var:
+        stack = self.stacks.get(base)
+        if stack:
+            return stack[-1]
+        # use before any definition: keep the unversioned name
+        var_type = self.function.scalar_types.get(base)
+        return Var(base, var_type) if var_type is not None else Var(base)
+
+    def _fresh(self, base: str) -> Var:
+        count = self.counters.get(base, 0) + 1
+        self.counters[base] = count
+        var_type = self.function.scalar_types[base]
+        fresh = Var("%s.%d" % (base, count), var_type)
+        self.function.declare_scalar(fresh)
+        return fresh
+
+    def _rename(self, entry: BasicBlock) -> None:
+        # parameters hold version 0 under their original names
+        for param in self.function.params:
+            self.stacks.setdefault(param.name, []).append(param)
+        self._rename_block(entry)
+        for param in self.function.params:
+            self.stacks[param.name].pop()
+
+    def _rename_block(self, root: BasicBlock) -> None:
+        # iterative dominator-tree walk with explicit push bookkeeping
+        stack: List[Tuple[BasicBlock, Optional[List[str]]]] = [(root, None)]
+        while stack:
+            block, pushed = stack.pop()
+            if pushed is not None:
+                for base in pushed:
+                    self.stacks[base].pop()
+                continue
+            pushed_here: List[str] = []
+            self._rename_in_block(block, pushed_here)
+            stack.append((block, pushed_here))
+            for child in reversed(self.domtree.children.get(block, [])):
+                stack.append((child, None))
+
+    def _rename_in_block(self, block: BasicBlock, pushed: List[str]) -> None:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                base = self.phi_base.get(id(inst), inst.dest.base_name())
+                new_dest = self._fresh(base)
+                inst.dest = new_dest
+                self.stacks.setdefault(base, []).append(new_dest)
+                pushed.append(base)
+                continue
+            mapping: Dict[Var, Value] = {}
+            for used in inst.uses():
+                if isinstance(used, Var) and used not in mapping:
+                    mapping[used] = self._current(used.name)
+            if mapping:
+                inst.replace_uses(mapping)
+            dest = inst.def_var()
+            if dest is not None:
+                base = dest.name
+                new_dest = self._fresh(base)
+                _set_dest(inst, new_dest)
+                self.stacks.setdefault(base, []).append(new_dest)
+                pushed.append(base)
+        for succ in block.successors():
+            for phi in succ.phis():
+                base = self.phi_base.get(id(phi), phi.dest.base_name())
+                phi.set_value_for(block, self._current(base))
+
+
+def _set_dest(inst, new_dest: Var) -> None:
+    inst.dest = new_dest

@@ -1,0 +1,46 @@
+"""Def-use chains over SSA form."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.values import Var
+
+
+class DefUse:
+    """Definition sites and use sites for every SSA name."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.defs: Dict[str, Tuple[Instruction, BasicBlock]] = {}
+        self.uses: Dict[str, List[Tuple[Instruction, BasicBlock]]] = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                dest = inst.def_var()
+                if dest is not None:
+                    self.defs[dest.name] = (inst, block)
+                for used in inst.uses():
+                    if isinstance(used, Var):
+                        self.uses.setdefault(used.name, []).append(
+                            (inst, block))
+
+    def def_of(self, name: str) -> Optional[Instruction]:
+        """The defining instruction of ``name`` (None for params/undef)."""
+        entry = self.defs.get(name)
+        return entry[0] if entry else None
+
+    def def_block(self, name: str) -> Optional[BasicBlock]:
+        """The block defining ``name``."""
+        entry = self.defs.get(name)
+        return entry[1] if entry else None
+
+    def uses_of(self, name: str) -> List[Tuple[Instruction, BasicBlock]]:
+        """All (instruction, block) pairs using ``name``."""
+        return self.uses.get(name, [])
+
+    def is_dead(self, name: str) -> bool:
+        """True when ``name`` is defined but never used."""
+        return name in self.defs and name not in self.uses

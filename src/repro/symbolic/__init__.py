@@ -1,0 +1,12 @@
+"""Symbolic arithmetic substrates: canonical linear expressions and
+multivariate polynomials.
+
+These are the building blocks of the canonical range-check form
+(section 2.2 of the paper) and of induction-expression classification
+(section 2.3).
+"""
+
+from .linexpr import LinearExpr, linear_sum
+from .polynomial import Polynomial
+
+__all__ = ["LinearExpr", "linear_sum", "Polynomial"]

@@ -1,0 +1,131 @@
+"""Tests for SSA affine value analysis."""
+
+from repro.analysis import compute_affine_forms
+from repro.ir import Var
+from repro.symbolic import LinearExpr
+
+from ..conftest import lower_ssa
+
+
+def forms_for(source):
+    module = lower_ssa(source)
+    return compute_affine_forms(module.main), module.main
+
+
+class TestAffineForms:
+    def test_parameter_is_atomic(self):
+        env, _ = forms_for("""
+program p
+  input integer :: n = 3
+  integer :: i
+  i = n
+end program
+""")
+        assert env.form_of(Var("n")) == LinearExpr.symbol("n")
+
+    def test_copy_propagates(self):
+        env, main = forms_for("""
+program p
+  input integer :: n = 3
+  integer :: i
+  i = n
+end program
+""")
+        assert env.forms["i.1"] == LinearExpr.symbol("n")
+
+    def test_affine_combination(self):
+        env, _ = forms_for("""
+program p
+  input integer :: n = 3
+  integer :: k
+  k = 2 * n - 1
+end program
+""")
+        assert env.forms["k.1"] == LinearExpr({"n": 2}, -1)
+
+    def test_nested_chain(self):
+        env, _ = forms_for("""
+program p
+  input integer :: n = 3
+  integer :: a, b, c
+  a = n + 1
+  b = a * 3
+  c = b - n
+end program
+""")
+        assert env.forms["c.1"] == LinearExpr({"n": 2}, 3)
+
+    def test_negation(self):
+        env, _ = forms_for("""
+program p
+  input integer :: n = 3
+  integer :: a
+  a = -n
+end program
+""")
+        assert env.forms["a.1"] == LinearExpr({"n": -1}, 0)
+
+    def test_product_of_vars_is_atomic(self):
+        env, _ = forms_for("""
+program p
+  input integer :: n = 3, m = 4
+  integer :: a
+  a = n * m
+end program
+""")
+        form = env.forms["a.1"]
+        assert len(form.symbols()) == 1
+        assert form.symbols()[0].startswith("t")
+
+    def test_phi_is_atomic(self):
+        env, main = forms_for("""
+program p
+  input integer :: n = 3
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + i
+  end do
+  print s
+end program
+""")
+        phis = [name for name in env.forms
+                if env.forms[name] == LinearExpr.symbol(name)
+                and name.startswith("i.")]
+        assert phis  # the loop-carried i is atomic
+
+    def test_def_block_recorded(self):
+        env, main = forms_for("""
+program p
+  integer :: a
+  a = 1
+end program
+""")
+        assert env.def_block("a.1") is main.entry
+
+    def test_param_has_no_def_block(self):
+        env, _ = forms_for("""
+program p
+  input integer :: n = 3
+end program
+""")
+        assert env.def_block("n") is None
+
+    def test_var_for(self):
+        env, _ = forms_for("""
+program p
+  integer :: a
+  a = 1
+end program
+""")
+        assert env.var_for("a.1") == Var("a.1")
+        assert env.var_for("ghost") is None
+
+    def test_real_values_are_atomic(self):
+        env, _ = forms_for("""
+program p
+  real :: x
+  x = 1.5
+end program
+""")
+        assert env.forms["x.1"] == LinearExpr.symbol("x.1")

@@ -1,0 +1,98 @@
+"""Tests for dominators and dominance frontiers."""
+
+from repro.analysis import DominatorTree
+from repro.ir import CondJump, Const, Function, Jump, Return
+
+
+def diamond():
+    f = Function("f", is_main=True)
+    entry = f.new_block("entry")
+    left = f.new_block("left")
+    right = f.new_block("right")
+    join = f.new_block("join")
+    entry.append(CondJump(Const(True), left, right))
+    left.append(Jump(join))
+    right.append(Jump(join))
+    join.append(Return())
+    return f, entry, left, right, join
+
+
+def loop():
+    f = Function("f", is_main=True)
+    entry = f.new_block("entry")
+    header = f.new_block("header")
+    body = f.new_block("body")
+    exit_block = f.new_block("exit")
+    entry.append(Jump(header))
+    header.append(CondJump(Const(True), body, exit_block))
+    body.append(Jump(header))
+    exit_block.append(Return())
+    return f, entry, header, body, exit_block
+
+
+class TestIdoms:
+    def test_diamond_idoms(self):
+        f, entry, left, right, join = diamond()
+        tree = DominatorTree(f)
+        assert tree.idom[entry] is None
+        assert tree.idom[left] is entry
+        assert tree.idom[right] is entry
+        assert tree.idom[join] is entry
+
+    def test_loop_idoms(self):
+        f, entry, header, body, exit_block = loop()
+        tree = DominatorTree(f)
+        assert tree.idom[header] is entry
+        assert tree.idom[body] is header
+        assert tree.idom[exit_block] is header
+
+    def test_dominates_reflexive(self):
+        f, entry, *_ = diamond()
+        tree = DominatorTree(f)
+        assert tree.dominates(entry, entry)
+
+    def test_dominates_transitive(self):
+        f, entry, header, body, _ = loop()
+        tree = DominatorTree(f)
+        assert tree.dominates(entry, body)
+        assert not tree.dominates(body, header)
+
+    def test_strict_dominance(self):
+        f, entry, header, *_ = loop()
+        tree = DominatorTree(f)
+        assert tree.strictly_dominates(entry, header)
+        assert not tree.strictly_dominates(entry, entry)
+
+    def test_children(self):
+        f, entry, left, right, join = diamond()
+        tree = DominatorTree(f)
+        assert set(tree.children[entry]) == {left, right, join}
+
+
+class TestFrontiers:
+    def test_diamond_frontier(self):
+        f, entry, left, right, join = diamond()
+        tree = DominatorTree(f)
+        assert tree.frontier[left] == {join}
+        assert tree.frontier[right] == {join}
+        assert tree.frontier[entry] == set()
+
+    def test_loop_frontier_contains_header(self):
+        f, entry, header, body, _ = loop()
+        tree = DominatorTree(f)
+        assert header in tree.frontier[body]
+        assert header in tree.frontier[header]
+
+    def test_preorder_starts_at_entry(self):
+        f, entry, *_ = diamond()
+        tree = DominatorTree(f)
+        order = tree.dom_tree_preorder()
+        assert order[0] is entry
+        assert len(order) == 4
+
+    def test_nested_diamond(self):
+        f, entry, left, right, join = diamond()
+        tree = DominatorTree(f)
+        # join is dominated only by entry (not by either branch)
+        assert not tree.dominates(left, join)
+        assert not tree.dominates(right, join)

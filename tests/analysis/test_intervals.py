@@ -1,0 +1,185 @@
+"""Tests for interval (value-range) analysis."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.intervals import Interval, IntervalAnalysis
+from repro.symbolic import LinearExpr
+
+from ..conftest import lower_ssa
+
+ints = st.integers(-100, 100)
+
+
+def intervals_strategy():
+    return st.builds(lambda a, b: Interval(min(a, b), max(a, b)), ints, ints)
+
+
+def analyze(source):
+    module = lower_ssa(source)
+    return IntervalAnalysis(module.main), module.main
+
+
+class TestIntervalArithmetic:
+    def test_add(self):
+        assert Interval(1, 3).add(Interval(10, 20)) == Interval(11, 23)
+
+    def test_sub(self):
+        assert Interval(1, 3).sub(Interval(10, 20)) == Interval(-19, -7)
+
+    def test_neg(self):
+        assert Interval(1, 3).neg() == Interval(-3, -1)
+
+    def test_mul_signs(self):
+        assert Interval(-2, 3).mul(Interval(-5, 4)) == Interval(-15, 12)
+
+    def test_scale_negative(self):
+        assert Interval(1, 3).scale(-2) == Interval(-6, -2)
+
+    def test_abs(self):
+        assert Interval(-5, 3).abs_value() == Interval(0, 5)
+        assert Interval(2, 4).abs_value() == Interval(2, 4)
+
+    def test_join(self):
+        assert Interval(1, 3).join(Interval(5, 9)) == Interval(1, 9)
+
+    def test_widen(self):
+        from repro.analysis.intervals import NEG_INF, POS_INF
+        widened = Interval(1, 3).widen(Interval(0, 10))
+        assert widened.lo == NEG_INF
+        assert widened.hi == POS_INF
+        stable = Interval(1, 3).widen(Interval(1, 3))
+        assert stable == Interval(1, 3)
+
+    def test_infinity_times_zero(self):
+        from repro.analysis.intervals import POS_INF
+        assert Interval(0, POS_INF).mul(Interval(0, 0)) == Interval(0, 0)
+
+    @given(intervals_strategy(), intervals_strategy(), ints, ints)
+    def test_add_is_sound(self, a, b, x, y):
+        if a.lo <= x <= a.hi and b.lo <= y <= b.hi:
+            result = a.add(b)
+            assert result.lo <= x + y <= result.hi
+
+    @given(intervals_strategy(), intervals_strategy(), ints, ints)
+    def test_mul_is_sound(self, a, b, x, y):
+        if a.lo <= x <= a.hi and b.lo <= y <= b.hi:
+            result = a.mul(b)
+            assert result.lo <= x * y <= result.hi
+
+
+class TestAnalysis:
+    def test_constants_propagate(self):
+        analysis, main = analyze("""
+program p
+  integer :: a, b
+  a = 4
+  b = a * 3 + 1
+  print b
+end program
+""")
+        exit_blocks = [b for b in main.blocks if not b.successors()]
+        interval = analysis.interval_at(exit_blocks[0],
+                                        len(exit_blocks[0].instructions),
+                                        "b.1")
+        assert interval == Interval(13, 13)
+
+    def test_branch_join(self):
+        analysis, main = analyze("""
+program p
+  input integer :: c = 1
+  integer :: a
+  if (c > 0) then
+    a = 1
+  else
+    a = 5
+  end if
+  print a
+end program
+""")
+        join = next(b for b in main.blocks if b.name.startswith("if_exit"))
+        phi = join.phis()[0]
+        assert analysis.env_at(join)[phi.dest.name] == Interval(1, 5)
+
+    def test_loop_index_lower_bound(self):
+        analysis, main = analyze("""
+program p
+  input integer :: n = 5
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + 1
+  end do
+  print s
+end program
+""")
+        body = next(b for b in main.blocks if b.name.startswith("do_body"))
+        i_name = [p.dest.name for p in
+                  next(b for b in main.blocks
+                       if b.name.startswith("do_head")).phis()
+                  if p.dest.base_name() == "i"][0]
+        interval = analysis.env_at(body).get(i_name, Interval.top())
+        assert interval.lo == 1  # widening keeps the stable lower bound
+
+    def test_branch_refinement_constant_bound(self):
+        analysis, main = analyze("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 10
+    s = s + i
+  end do
+  print s
+end program
+""")
+        body = next(b for b in main.blocks if b.name.startswith("do_body"))
+        header = next(b for b in main.blocks
+                      if b.name.startswith("do_head"))
+        i_name = [p.dest.name for p in header.phis()
+                  if p.dest.base_name() == "i"][0]
+        interval = analysis.env_at(body).get(i_name, Interval.top())
+        # refinement on the taken edge clamps i <= 10
+        assert interval == Interval(1, 10)
+
+    def test_mod_bounds(self):
+        analysis, main = analyze("""
+program p
+  input integer :: x = 7
+  integer :: r
+  r = mod(abs(x), 5)
+  print r
+end program
+""")
+        exit_blocks = [b for b in main.blocks if not b.successors()]
+        interval = analysis.interval_at(exit_blocks[0],
+                                        len(exit_blocks[0].instructions),
+                                        "r.1")
+        assert interval == Interval(0, 4)
+
+    def test_linexpr_interval(self):
+        analysis, main = analyze("""
+program p
+  integer :: a
+  a = 4
+  print a
+end program
+""")
+        exit_block = main.entry
+        expr = LinearExpr({"a.1": 2}, 3)
+        interval = analysis.linexpr_interval(
+            exit_block, len(exit_block.instructions), expr)
+        assert interval == Interval(11, 11)
+
+    def test_terminates_on_irregular_loops(self):
+        analysis, main = analyze("""
+program p
+  integer :: i, j
+  i = 0
+  j = 100
+  while (i < j) do
+    i = i + 3
+    j = j - 2
+  end while
+  print i
+end program
+""")
+        assert analysis.entry_env  # reached a fixpoint without hanging

@@ -1,0 +1,75 @@
+"""Tests for postdominator analysis."""
+
+from repro.analysis import PostDominators
+from repro.ir import CondJump, Const, Function, Jump, Return
+
+from ..conftest import lower_ssa
+
+
+def diamond():
+    f = Function("f", is_main=True)
+    entry = f.new_block("entry")
+    left = f.new_block("left")
+    right = f.new_block("right")
+    join = f.new_block("join")
+    entry.append(CondJump(Const(True), left, right))
+    left.append(Jump(join))
+    right.append(Jump(join))
+    join.append(Return())
+    return f, entry, left, right, join
+
+
+class TestPostDominators:
+    def test_join_postdominates_everything(self):
+        f, entry, left, right, join = diamond()
+        pdom = PostDominators(f)
+        for block in (entry, left, right, join):
+            assert pdom.postdominates(join, block)
+
+    def test_arms_do_not_postdominate_entry(self):
+        f, entry, left, right, join = diamond()
+        pdom = PostDominators(f)
+        assert not pdom.postdominates(left, entry)
+        assert not pdom.postdominates(right, entry)
+
+    def test_reflexive(self):
+        f, entry, *_ = diamond()
+        pdom = PostDominators(f)
+        assert pdom.postdominates(entry, entry)
+
+    def test_loop_body_postdominates_itself_only(self):
+        module = lower_ssa("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 3
+    if (mod(i, 2) == 0) then
+      s = s + 1
+    end if
+    s = s + i
+  end do
+  print s
+end program
+""")
+        main = module.main
+        pdom = PostDominators(main)
+        body = next(b for b in main.blocks if b.name.startswith("do_body"))
+        then_block = next(b for b in main.blocks
+                          if b.name.startswith("if_then"))
+        join = next(b for b in main.blocks if b.name.startswith("if_exit"))
+        # the if-join postdominates the body entry; the then-arm does not
+        assert pdom.postdominates(join, body)
+        assert not pdom.postdominates(then_block, body)
+
+    def test_multiple_exits(self):
+        f = Function("f", is_main=True)
+        entry = f.new_block("entry")
+        a = f.new_block("a")
+        b = f.new_block("b")
+        entry.append(CondJump(Const(True), a, b))
+        a.append(Return())
+        b.append(Return())
+        pdom = PostDominators(f)
+        assert not pdom.postdominates(a, entry)
+        assert not pdom.postdominates(b, entry)
+        assert pdom.postdominates(a, a)

@@ -1,0 +1,205 @@
+"""Tests for the Python back-end (instrumented code generation)."""
+
+import pytest
+
+from repro.backend import compile_to_python
+from repro.benchsuite import all_programs
+from repro.checks import OptimizerOptions, Scheme, optimize_module
+from repro.errors import IRError, InterpError, RangeTrap
+from repro.interp import Machine
+from repro.pipeline import compile_source
+from repro.ssa import destruct_ssa
+
+from ..conftest import lower_ssa
+
+
+def destructed(source, options=None):
+    module = lower_ssa(source)
+    if options is not None:
+        optimize_module(module, options)
+    for function in module:
+        destruct_ssa(function)
+    return module
+
+
+def parity(source, inputs=None, options=None):
+    module = destructed(source, options)
+    machine = Machine(module, inputs)
+    machine.run()
+    runtime = compile_to_python(module).run(inputs)
+    assert runtime.output == machine.output
+    assert runtime.counters.checks == machine.counters.checks
+    assert runtime.counters.instructions == machine.counters.instructions
+    assert runtime.counters.guarded_checks == \
+        machine.counters.guarded_checks
+    return runtime
+
+
+class TestParity:
+    def test_loop_program(self, loop_program):
+        parity(loop_program, {"n": 12})
+
+    def test_arithmetic_semantics(self):
+        parity("""
+program p
+  input integer :: a = -7, b = 2
+  real :: x
+  x = 1.5
+  print a / b
+  print mod(a, b)
+  print abs(a) * 2
+  print min(a, b)
+  print x / 2.0
+  print sqrt(4.0)
+end program
+""")
+
+    def test_branches_and_while(self):
+        parity("""
+program p
+  integer :: i, s
+  s = 0
+  i = 0
+  while (i < 9) do
+    i = i + 1
+    if (mod(i, 2) == 0) then
+      s = s + i
+    else
+      s = s - 1
+    end if
+  end while
+  print s
+end program
+""")
+
+    def test_subroutine_calls(self):
+        parity("""
+program p
+  input integer :: n = 6
+  real :: a(10)
+  call fill(n, a)
+  print a(3)
+end program
+subroutine fill(n, a)
+  integer :: n, i
+  real :: a(10)
+  do i = 1, n
+    a(i) = real(i) * 1.5
+  end do
+end subroutine
+""")
+
+    def test_adjustable_arrays(self):
+        parity("""
+program p
+  input integer :: n = 4
+  real :: a(8)
+  call work(n, a)
+  print a(2)
+end program
+subroutine work(n, a)
+  integer :: n
+  real :: a(n)
+  a(2) = 5.0
+end subroutine
+""")
+
+    @pytest.mark.parametrize("scheme", [Scheme.NI, Scheme.LLS, Scheme.ALL])
+    def test_optimized_programs(self, loop_program, scheme):
+        parity(loop_program, {"n": 10},
+               OptimizerOptions(scheme=scheme))
+
+    @pytest.mark.parametrize("index", range(10))
+    def test_benchmark_suite(self, index):
+        program = all_programs()[index]
+        parity(program.source, program.test_inputs)
+
+    def test_cond_check_guard_semantics(self):
+        # zero-trip loop: the Cond-check's guard fails, no trap
+        source = """
+program p
+  input integer :: n = 0
+  integer :: i
+  real :: a(5)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+  print 1
+end program
+"""
+        runtime = parity(source, {"n": 0},
+                         OptimizerOptions(scheme=Scheme.LLS))
+        assert runtime.counters.traps == 0
+
+
+class TestTraps:
+    def test_range_trap_raised(self):
+        module = destructed("""
+program p
+  input integer :: i = 11
+  real :: a(10)
+  a(i) = 1.0
+end program
+""")
+        compiled = compile_to_python(module)
+        with pytest.raises(RangeTrap):
+            compiled.run({"i": 11})
+
+    def test_trap_counted(self):
+        module = destructed("""
+program p
+  input integer :: i = 11
+  real :: a(10)
+  a(i) = 1.0
+end program
+""")
+        compiled = compile_to_python(module)
+        try:
+            compiled.run({"i": 11})
+        except RangeTrap:
+            pass
+
+    def test_storage_safety_net(self):
+        # delete the checks, then compile: out-of-bounds still faults
+        module = destructed("""
+program p
+  input integer :: i = 11
+  real :: a(10)
+  a(i) = 1.0
+end program
+""")
+        from repro.ir import Check
+        for function in module:
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    if isinstance(inst, Check):
+                        block.remove(inst)
+        compiled = compile_to_python(module)
+        with pytest.raises(InterpError):
+            compiled.run({"i": 11})
+
+
+class TestRequirements:
+    def test_rejects_ssa_input(self, loop_program):
+        module = lower_ssa(loop_program)
+        with pytest.raises(IRError):
+            compile_to_python(module)
+
+    def test_generated_source_is_inspectable(self, loop_program):
+        module = destructed(loop_program)
+        compiled = compile_to_python(module)
+        assert "def fn_loopy" in compiled.source
+        assert "_counters.checks" in compiled.source
+
+    def test_run_compiled_pipeline_entry(self, loop_program):
+        program = compile_source(loop_program)
+        interp = program.run({"n": 9})
+        runtime = program.run_compiled({"n": 9})
+        assert runtime.output == interp.output
+        assert runtime.counters.checks == interp.counters.checks
+
+    def test_run_compiled_reusable(self, loop_program):
+        program = compile_source(loop_program)
+        first = program.run_compiled({"n": 3})
+        second = program.run_compiled({"n": 5})
+        assert first.counters.checks <= second.counters.checks

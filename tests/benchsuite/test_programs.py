@@ -1,0 +1,147 @@
+"""Tests for the ten-program benchmark suite.
+
+These assert the *shape* properties of the paper's evaluation on small
+(test-sized) inputs: scheme orderings per program, output preservation,
+and each program's signature phenomenon.
+"""
+
+import pytest
+
+from repro.benchsuite import all_programs, get_program
+from repro.checks import CheckKind, ImplicationMode, OptimizerOptions, Scheme
+from repro.pipeline.stats import (measure_baseline, measure_scheme,
+                                  verify_same_output)
+
+PROGRAMS = all_programs()
+NAMES = [p.name for p in PROGRAMS]
+
+
+def eliminated(program, scheme=Scheme.NI, kind=CheckKind.PRX,
+               mode=ImplicationMode.ALL):
+    baseline = measure_baseline(program.name, program.source,
+                                program.test_inputs)
+    options = OptimizerOptions(scheme=scheme, kind=kind, implication=mode)
+    cell = measure_scheme(program.name, program.source, options,
+                          baseline.dynamic_checks, program.test_inputs)
+    return cell.percent_eliminated
+
+
+class TestSuiteBasics:
+    def test_ten_programs(self):
+        assert len(PROGRAMS) == 10
+        assert NAMES == ["vortex", "arc2d", "bdna", "dyfesm", "mdg", "qcd",
+                         "spec77", "trfd", "linpackd", "simple"]
+
+    def test_get_program(self):
+        assert get_program("trfd").name == "trfd"
+        with pytest.raises(KeyError):
+            get_program("ghost")
+
+    def test_suites_attributed(self):
+        suites = {p.suite for p in PROGRAMS}
+        assert suites == {"Mendez", "Perfect", "Riceps"}
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_compiles_and_runs(self, program):
+        row = measure_baseline(program.name, program.source,
+                               program.test_inputs)
+        assert row.dynamic_checks > 0
+        assert row.dynamic_instructions > 0
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_no_traps_on_valid_inputs(self, program):
+        # measured twice (test and full inputs): neither traps
+        measure_baseline(program.name, program.source, program.inputs)
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_output_preserved_under_all(self, program):
+        options = OptimizerOptions(scheme=Scheme.ALL)
+        assert verify_same_output(program.source, options,
+                                  program.test_inputs)
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_output_preserved_under_inx_lls(self, program):
+        options = OptimizerOptions(scheme=Scheme.LLS, kind=CheckKind.INX)
+        assert verify_same_output(program.source, options,
+                                  program.test_inputs)
+
+
+class TestSchemeOrderings:
+    """The paper's qualitative orderings, per program."""
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_cs_at_least_ni(self, program):
+        assert eliminated(program, Scheme.CS) >= \
+            eliminated(program, Scheme.NI) - 1e-9
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_se_at_least_cs(self, program):
+        assert eliminated(program, Scheme.SE) >= \
+            eliminated(program, Scheme.CS) - 1e-9
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_li_at_least_ni(self, program):
+        assert eliminated(program, Scheme.LI) >= \
+            eliminated(program, Scheme.NI) - 1e-9
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_lls_at_least_li(self, program):
+        assert eliminated(program, Scheme.LLS) >= \
+            eliminated(program, Scheme.LI) - 1e-9
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_lls_dominates(self, program):
+        """Loop-based hoisting eliminates the lion's share (paper
+        result 3: ~98% on full inputs; >=80% even on tiny test inputs)."""
+        assert eliminated(program, Scheme.LLS) >= 80.0
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=NAMES)
+    def test_ni_prime_not_better_than_ni(self, program):
+        assert eliminated(program, Scheme.NI,
+                          mode=ImplicationMode.NONE) <= \
+            eliminated(program, Scheme.NI) + 1e-9
+
+
+class TestSignatureEffects:
+    def test_arc2d_cs_gain(self):
+        program = get_program("arc2d")
+        assert eliminated(program, Scheme.CS) > \
+            eliminated(program, Scheme.NI)
+
+    def test_dyfesm_pre_gain(self):
+        program = get_program("dyfesm")
+        assert eliminated(program, Scheme.SE) > \
+            eliminated(program, Scheme.NI)
+        assert eliminated(program, Scheme.LNI) > \
+            eliminated(program, Scheme.NI)
+
+    def test_bdna_implication_gap(self):
+        program = get_program("bdna")
+        assert eliminated(program, Scheme.NI, mode=ImplicationMode.NONE) < \
+            eliminated(program, Scheme.NI)
+
+    def test_qcd_lls_ceiling(self):
+        # indirect addressing keeps some checks in the loop
+        program = get_program("qcd")
+        assert eliminated(program, Scheme.LLS) < 97.0
+
+    def test_spec77_all_gain(self):
+        program = get_program("spec77")
+        assert eliminated(program, Scheme.ALL) > \
+            eliminated(program, Scheme.LLS)
+
+    def test_trfd_inx_li_gain(self):
+        """The paper's trfd phenomenon: induction-variable analysis
+        lets LI hoist more checks."""
+        program = get_program("trfd")
+        assert eliminated(program, Scheme.LI, kind=CheckKind.INX) > \
+            eliminated(program, Scheme.LI, kind=CheckKind.PRX)
+
+    def test_vortex_high_ni(self):
+        program = get_program("vortex")
+        assert eliminated(program, Scheme.NI) > 75.0
+
+    def test_trfd_low_ni(self):
+        program = get_program("trfd")
+        assert eliminated(program, Scheme.NI) < \
+            eliminated(get_program("vortex"), Scheme.NI)

@@ -1,0 +1,42 @@
+"""Tests for the suite runner (small inputs to stay fast)."""
+
+from repro.benchsuite import (TABLE2_SCHEMES, TABLE3_ROWS, all_programs,
+                              run_table1, run_table2, run_table3)
+from repro.checks import CheckKind, ImplicationMode, Scheme
+
+
+FIRST = all_programs()[:2]
+
+
+class TestRunner:
+    def test_table1_rows(self):
+        rows = run_table1(FIRST, small=True)
+        assert [r.name for r in rows] == [p.name for p in FIRST]
+        for row in rows:
+            assert row.dynamic_checks > 0
+
+    def test_table2_cells(self):
+        cells = run_table2(FIRST, kinds=(CheckKind.PRX,),
+                           schemes=(Scheme.NI, Scheme.LLS), small=True)
+        assert len(cells) == 4
+        for (label, name), cell in cells.items():
+            assert label in ("PRX-NI", "PRX-LLS")
+            assert 0.0 <= cell.percent_eliminated <= 100.0
+
+    def test_table3_cells(self):
+        rows = ((Scheme.NI, ImplicationMode.ALL),
+                (Scheme.NI, ImplicationMode.NONE))
+        cells = run_table3(FIRST, kinds=(CheckKind.PRX,), rows=rows,
+                           small=True)
+        assert len(cells) == 4
+        labels = {label for label, _ in cells}
+        assert labels == {"PRX-NI", "PRX-NI'"}
+
+    def test_default_scheme_tuple_matches_paper(self):
+        assert [s.value for s in TABLE2_SCHEMES] == \
+            ["NI", "CS", "LNI", "SE", "LI", "LLS", "ALL"]
+
+    def test_table3_rows_match_paper(self):
+        labels = [(s.value, m.value) for s, m in TABLE3_ROWS]
+        assert ("NI", "none") in labels
+        assert ("LLS", "cross-family") in labels

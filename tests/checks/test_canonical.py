@@ -1,0 +1,147 @@
+"""Tests for the canonical check form (paper section 2.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.checks import CanonicalCheck, bounds_checks_for, make_check
+from repro.ir import INT, Var
+from repro.symbolic import LinearExpr
+
+symbols = st.sampled_from(["i", "j", "n"])
+coeffs = st.integers(-9, 9)
+linexprs = st.builds(LinearExpr,
+                     st.dictionaries(symbols, coeffs, max_size=3), coeffs)
+envs = st.fixed_dictionaries({s: st.integers(-50, 50)
+                              for s in ["i", "j", "n"]})
+
+
+class TestCanonicalization:
+    def test_constant_term_folds_into_bound(self):
+        check = CanonicalCheck(LinearExpr({"i": 1}, 3), 10)
+        assert check.linexpr.const == 0
+        assert check.bound == 7
+
+    def test_upper_bound_construction(self):
+        # i + 1 <= 4*n  becomes  i - 4n <= -1  (the paper's example)
+        check = CanonicalCheck.upper(LinearExpr({"i": 1}, 1),
+                                     LinearExpr({"n": 4}, 0))
+        assert check.linexpr == LinearExpr({"i": 1, "n": -4}, 0)
+        assert check.bound == -1
+
+    def test_lower_bound_negates(self):
+        # i + 1 >= 4  becomes  -i <= -3  (the paper's example)
+        check = CanonicalCheck.lower(LinearExpr({"i": 1}, 1),
+                                     LinearExpr.constant(4))
+        assert check.linexpr == LinearExpr({"i": -1}, 0)
+        assert check.bound == -3
+
+    def test_figure1_canonical_forms(self):
+        # A[5..10], subscript 2*N: checks C1, C2 from Figure 1
+        two_n = LinearExpr({"n": 2}, 0)
+        c1 = CanonicalCheck.lower(two_n, LinearExpr.constant(5))
+        c2 = CanonicalCheck.upper(two_n, LinearExpr.constant(10))
+        assert c1 == CanonicalCheck(LinearExpr({"n": -2}, 0), -5)
+        assert c2 == CanonicalCheck(LinearExpr({"n": 2}, 0), 10)
+        # subscript 2*N-1: checks C3, C4
+        two_n_m1 = LinearExpr({"n": 2}, -1)
+        c3 = CanonicalCheck.lower(two_n_m1, LinearExpr.constant(5))
+        c4 = CanonicalCheck.upper(two_n_m1, LinearExpr.constant(10))
+        assert c3 == CanonicalCheck(LinearExpr({"n": -2}, 0), -6)
+        assert c4 == CanonicalCheck(LinearExpr({"n": 2}, 0), 11)
+        # C3 is stronger than C1, C2 stronger than C4 (same families)
+        assert c3.implies_same_family(c1)
+        assert c2.implies_same_family(c4)
+        assert not c1.implies_same_family(c3)
+
+    def test_equivalent_checks_unify(self):
+        a = CanonicalCheck.upper(LinearExpr({"i": 1, "j": 1}, 0),
+                                 LinearExpr.constant(10))
+        b = CanonicalCheck.upper(LinearExpr({"j": 1, "i": 1}, 2),
+                                 LinearExpr.constant(12))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_family_is_range_expression(self):
+        check = CanonicalCheck(LinearExpr({"i": 1}, 0), 5)
+        assert check.family == LinearExpr({"i": 1}, 0)
+
+    def test_with_bound(self):
+        check = CanonicalCheck(LinearExpr({"i": 1}, 0), 5)
+        assert check.with_bound(9).bound == 9
+        assert check.with_bound(9).linexpr == check.linexpr
+
+
+class TestCompileTime:
+    def test_constant_check_true(self):
+        check = CanonicalCheck(LinearExpr.constant(3), 5)
+        assert check.is_compile_time()
+        assert check.evaluate_compile_time() is True
+
+    def test_constant_check_false(self):
+        check = CanonicalCheck(LinearExpr.constant(7), 5)
+        assert check.evaluate_compile_time() is False
+
+    def test_symbolic_check_has_no_verdict(self):
+        check = CanonicalCheck(LinearExpr({"i": 1}, 0), 5)
+        assert not check.is_compile_time()
+        assert check.evaluate_compile_time() is None
+
+
+class TestBoundsChecksFor:
+    def test_pair_construction(self):
+        low, high = bounds_checks_for(LinearExpr({"i": 1}, 0),
+                                      LinearExpr.constant(1),
+                                      LinearExpr.constant(100))
+        assert low == CanonicalCheck(LinearExpr({"i": -1}, 0), -1)
+        assert high == CanonicalCheck(LinearExpr({"i": 1}, 0), 100)
+
+    def test_symbolic_upper_bound(self):
+        _, high = bounds_checks_for(LinearExpr({"i": 1}, 0),
+                                    LinearExpr.constant(1),
+                                    LinearExpr.symbol("n"))
+        assert high.linexpr == LinearExpr({"i": 1, "n": -1}, 0)
+        assert high.bound == 0
+
+
+class TestMakeCheck:
+    def test_operands_bound_by_symbol(self):
+        canonical = CanonicalCheck(LinearExpr({"i": 1, "n": -1}, 0), 0)
+        variables = {"i": Var("i", INT), "n": Var("n", INT)}
+        check = make_check(canonical, variables, "upper", "a")
+        assert check.operands["i"] == Var("i", INT)
+        assert check.array == "a"
+
+    def test_missing_variable_raises(self):
+        canonical = CanonicalCheck(LinearExpr({"i": 1}, 0), 0)
+        with pytest.raises(KeyError):
+            make_check(canonical, {}, "upper")
+
+
+class TestProperties:
+    @given(linexprs, coeffs, envs)
+    def test_canonicalization_preserves_truth(self, expr, bound, env):
+        """(expr <= bound) iff the canonical form holds."""
+        check = CanonicalCheck(expr, bound)
+        original = expr.evaluate(env) <= bound
+        canonical = check.linexpr.evaluate(env) <= check.bound
+        assert original == canonical
+
+    @given(linexprs, linexprs, envs)
+    def test_upper_construction_preserves_truth(self, sub, bound, env):
+        check = CanonicalCheck.upper(sub, bound)
+        assert (sub.evaluate(env) <= bound.evaluate(env)) == \
+            (check.linexpr.evaluate(env) <= check.bound)
+
+    @given(linexprs, linexprs, envs)
+    def test_lower_construction_preserves_truth(self, sub, bound, env):
+        check = CanonicalCheck.lower(sub, bound)
+        assert (sub.evaluate(env) >= bound.evaluate(env)) == \
+            (check.linexpr.evaluate(env) <= check.bound)
+
+    @given(linexprs, coeffs, coeffs, envs)
+    def test_same_family_implication_is_sound(self, expr, b1, b2, env):
+        strong = CanonicalCheck(expr, min(b1, b2))
+        weak = CanonicalCheck(expr, max(b1, b2))
+        assert strong.implies_same_family(weak)
+        if strong.linexpr.evaluate(env) <= strong.bound:
+            assert weak.linexpr.evaluate(env) <= weak.bound

@@ -1,0 +1,30 @@
+"""Tests for optimizer configuration and labels."""
+
+from repro.checks import CheckKind, ImplicationMode, OptimizerOptions, Scheme
+
+
+class TestLabels:
+    def test_default_label(self):
+        assert OptimizerOptions().label() == "PRX-LLS"
+
+    def test_inx_label(self):
+        options = OptimizerOptions(scheme=Scheme.SE, kind=CheckKind.INX)
+        assert options.label() == "INX-SE"
+
+    def test_primed_labels(self):
+        ni_prime = OptimizerOptions(scheme=Scheme.NI,
+                                    implication=ImplicationMode.NONE)
+        assert ni_prime.label() == "PRX-NI'"
+        lls_prime = OptimizerOptions(
+            scheme=Scheme.LLS,
+            implication=ImplicationMode.CROSS_FAMILY)
+        assert lls_prime.label() == "PRX-LLS'"
+
+    def test_nine_schemes(self):
+        values = [s.value for s in Scheme]
+        assert values == ["NI", "CS", "LNI", "SE", "LI", "LLS", "ALL",
+                          "MCM", "VR"]
+
+    def test_repr_is_informative(self):
+        text = repr(OptimizerOptions(scheme=Scheme.ALL))
+        assert "ALL" in text and "PRX" in text

@@ -1,0 +1,84 @@
+"""Figure-level reproductions asserted against the paper's claims."""
+
+from repro.reporting import (all_figures, figure1_availability,
+                             figure1_strengthening, figure5_safe_earliest,
+                             figure6_preheader)
+
+
+class TestFigure1:
+    """Figure 1: 4 subscript checks; availability leaves 3;
+    strengthening leaves 2."""
+
+    def test_availability_removes_one_subscript_check(self):
+        report = figure1_availability()
+        # the source adds one constant-subscript access (2 compile-time
+        # checks) that folding removes; of the figure's four checks,
+        # availability eliminates C4
+        assert report.checks_after == 3
+
+    def test_strengthening_reaches_two(self):
+        report = figure1_strengthening()
+        assert report.checks_after == 2
+
+    def test_final_checks_match_paper(self):
+        report = figure1_strengthening()
+        assert "check (-2*n <= -6)" in report.after_ir  # C3
+        assert "check (2*n <= 10)" in report.after_ir   # C2
+
+
+class TestFigure5:
+    def test_se_inserts_above_branch(self):
+        report = figure5_safe_earliest()
+        # after SE, the branch arms carry no checks; the hoisted checks
+        # sit before the branch
+        assert report.checks_after <= report.checks_before
+
+    def test_branch_arms_clean(self):
+        report = figure5_safe_earliest()
+        after_lines = report.after_ir.splitlines()
+        then_region = False
+        for line in after_lines:
+            if line.startswith("if_then"):
+                then_region = True
+            elif then_region and line.startswith(("if_", "entry", "dead")):
+                break
+            elif then_region:
+                assert "check" not in line
+
+
+class TestFigure6:
+    def test_loop_body_check_free(self):
+        report = figure6_preheader()
+        lines = report.after_ir.splitlines()
+        in_body = False
+        for line in lines:
+            if line.startswith("do_body"):
+                in_body = True
+            elif in_body and not line.startswith("  "):
+                in_body = False
+            elif in_body:
+                assert "check" not in line
+
+    def test_preheader_has_cond_checks(self):
+        report = figure6_preheader()
+        assert "cond-check" in report.after_ir
+
+    def test_substituted_limit_check(self):
+        report = figure6_preheader()
+        assert "cond-check (2*n <= 10)" in report.after_ir
+
+    def test_invariant_check_hoisted(self):
+        report = figure6_preheader()
+        assert "cond-check (k <= 10)" in report.after_ir
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        figures = all_figures()
+        assert set(figures) == {"figure1-NI", "figure1-CS", "figure5-SE",
+                                "figure6-LLS"}
+
+    def test_reports_render(self):
+        for report in all_figures().values():
+            text = str(report)
+            assert "before" in text and "after" in text

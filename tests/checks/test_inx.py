@@ -1,0 +1,131 @@
+"""Tests for INX-check construction (rewriting to induction form)."""
+
+from repro.analysis import LoopForest, compute_affine_forms
+from repro.checks import CanonicalCheck, rewrite_checks_to_inx
+from repro.induction import BasicVarMaterializer, InductionAnalysis, h_symbol
+from repro.interp import Machine
+from repro.ir import Check, verify_function
+
+from ..conftest import lower_ssa
+
+
+def rewrite(source):
+    module = lower_ssa(source)
+    main = module.main
+    forest = LoopForest(main)
+    env = compute_affine_forms(main)
+    induction = InductionAnalysis(main, forest, env)
+    materializer = BasicVarMaterializer(main, forest)
+    count = rewrite_checks_to_inx(main, induction, env, materializer)
+    verify_function(main)
+    return module, main, forest, count
+
+
+FIGURE2_STYLE = """
+program p
+  input integer :: n = 6
+  integer :: i, k, m
+  real :: a(100)
+  k = 3
+  m = 5
+  do i = 0, n - 1
+    k = k + m
+    a(k) = 2.0
+  end do
+  print a(8)
+end program
+"""
+
+
+class TestRewriting:
+    def test_derived_iv_becomes_h_expression(self):
+        module, main, forest, count = rewrite(FIGURE2_STYLE)
+        assert count >= 1
+        loop = forest.loops[0]
+        h = h_symbol(loop)
+        rewritten = [c for c in main.instructions()
+                     if isinstance(c, Check) and h in c.linexpr.symbols()]
+        assert rewritten
+        # the paper's INX-Check (5*h <= 92) for A[k] with bound 100:
+        # k2 = 5h+8, so upper is 5h <= 92
+        uppers = [CanonicalCheck.of(c) for c in rewritten
+                  if c.kind == "upper"]
+        assert any(c.linexpr.coefficient(h) == 5 and c.bound == 92
+                   for c in uppers)
+
+    def test_loop_index_checks_rewritten_to_h(self):
+        module, main, forest, count = rewrite("""
+program p
+  input integer :: n = 6
+  integer :: i
+  real :: a(100)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+  print a(1)
+end program
+""")
+        loop = forest.loops[0]
+        h = h_symbol(loop)
+        # i = h + 1, so (i <= 100) becomes (h <= 99)
+        uppers = [CanonicalCheck.of(c) for c in main.instructions()
+                  if isinstance(c, Check) and c.kind == "upper"]
+        assert any(c.linexpr == __import__(
+            "repro.symbolic", fromlist=["LinearExpr"]
+        ).LinearExpr({h: 1}, 0) and c.bound == 99 for c in uppers)
+
+    def test_equivalent_program_expressions_unify(self):
+        module, main, forest, count = rewrite("""
+program p
+  input integer :: n = 6
+  integer :: i, k
+  real :: a(100), b(100)
+  do i = 1, n
+    k = i
+    a(i) = 1.0
+    b(k) = 2.0
+  end do
+  print a(1)
+end program
+""")
+        families = {c.linexpr for c in main.instructions()
+                    if isinstance(c, Check)}
+        # a(i) and b(k) collapse onto the same h family
+        uppers = [c for c in main.instructions()
+                  if isinstance(c, Check) and c.kind == "upper"]
+        assert uppers[0].linexpr == uppers[1].linexpr
+
+    def test_polynomial_subscript_keeps_prx_form(self):
+        module, main, forest, count = rewrite("""
+program p
+  input integer :: n = 6
+  integer :: i, k
+  real :: a(100)
+  k = 0
+  do i = 1, n
+    k = k + i
+    a(k) = 1.0
+  end do
+  print a(1)
+end program
+""")
+        loop = forest.loops[0]
+        h = h_symbol(loop)
+        for check in main.instructions():
+            if isinstance(check, Check):
+                assert h not in check.linexpr.symbols()
+
+    def test_semantics_preserved(self):
+        reference = lower_ssa(FIGURE2_STYLE)
+        m1 = Machine(reference)
+        m1.run()
+        module, main, forest, count = rewrite(FIGURE2_STYLE)
+        m2 = Machine(module)
+        m2.run()
+        assert m1.output == m2.output
+        assert m1.counters.checks == m2.counters.checks
+
+    def test_rewrite_reports_count(self):
+        module, main, forest, count = rewrite(FIGURE2_STYLE)
+        total = sum(1 for i in main.instructions() if isinstance(i, Check))
+        assert 0 < count <= total

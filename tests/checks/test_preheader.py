@@ -1,0 +1,248 @@
+"""Tests for preheader insertion (LI and LLS)."""
+
+from repro.checks import (CheckKind, OptimizerOptions, Scheme,
+                          optimize_module)
+from repro.ir import Check
+
+from ..conftest import compile_and_run, lower_ssa, run_baseline
+
+
+def cond_checks(function):
+    return [i for i in function.instructions()
+            if isinstance(i, Check) and i.is_conditional]
+
+
+def body_checks(function):
+    from repro.analysis import LoopForest
+    forest = LoopForest(function)
+    found = []
+    for loop in forest.loops:
+        for block in loop.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Check):
+                    found.append(inst)
+    return found
+
+
+def optimized(source, scheme=Scheme.LLS, kind=CheckKind.PRX):
+    module = lower_ssa(source)
+    optimize_module(module, OptimizerOptions(scheme=scheme, kind=kind))
+    return module
+
+
+class TestInvariantHoisting:
+    SOURCE = """
+program p
+  input integer :: n = 10, k = 5
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    a(k) = a(k) + 1.0
+  end do
+  print a(5)
+end program
+"""
+
+    def test_li_hoists_invariant(self):
+        module = optimized(self.SOURCE, scheme=Scheme.LI)
+        assert cond_checks(module.main)
+        assert body_checks(module.main) == []
+
+    def test_guard_is_trip_condition(self):
+        module = optimized(self.SOURCE, scheme=Scheme.LI)
+        guard = cond_checks(module.main)[0].guards[0]
+        # 1 <= n  canonicalizes to  -n <= -1
+        assert str(guard.linexpr) == "-n"
+        assert guard.bound == -1
+
+    def test_constant_trip_inserts_plain_check(self):
+        module = optimized("""
+program p
+  input integer :: k = 5
+  integer :: i
+  real :: a(10)
+  do i = 1, 8
+    a(k) = a(k) + 1.0
+  end do
+  print a(5)
+end program
+""", scheme=Scheme.LI)
+        # trip count 8 is known nonzero at compile time: no guard needed
+        checks = [i for i in module.main.instructions()
+                  if isinstance(i, Check)]
+        assert checks
+        assert all(not c.is_conditional for c in checks)
+
+    def test_dead_loop_gets_no_insertion(self):
+        module = optimized("""
+program p
+  input integer :: k = 5
+  integer :: i
+  real :: a(10)
+  do i = 5, 1
+    a(k) = a(k) + 1.0
+  end do
+end program
+""", scheme=Scheme.LI)
+        assert cond_checks(module.main) == []
+
+
+class TestLoopLimitSubstitution:
+    def test_figure6_substitution(self):
+        module = optimized("""
+program p
+  input integer :: n = 4
+  integer :: j
+  integer :: a(1:10)
+  do j = 1, 2 * n
+    a(j) = a(j) + 2
+  end do
+  print a(1)
+end program
+""")
+        conds = cond_checks(module.main)
+        # the hoisted upper check is Check (2*n <= 10), as in Figure 6
+        uppers = [c for c in conds if str(c.linexpr) == "2*n"]
+        assert uppers and uppers[0].bound == 10
+        assert body_checks(module.main) == []
+
+    def test_lower_check_substitutes_first_iteration(self):
+        module = optimized("""
+program p
+  input integer :: n = 4
+  integer :: j
+  integer :: a(1:10)
+  do j = 1, n
+    a(j) = 1
+  end do
+  print a(1)
+end program
+""")
+        # lower check -j <= -1 at j=1 is compile-time true: vanishes
+        for check in module.main.instructions():
+            if isinstance(check, Check):
+                assert check.kind != "lower" or check.is_conditional
+
+    def test_nonunit_step_materializes_last_value(self):
+        source = """
+program p
+  input integer :: n = 19
+  integer :: i
+  real :: a(20)
+  do i = 1, n, 3
+    a(i) = 1.0
+  end do
+  print a(1)
+end program
+"""
+        module = optimized(source)
+        assert body_checks(module.main) == []
+        baseline = run_baseline(source, {"n": 19})
+        machine = compile_and_run(source, OptimizerOptions(scheme=Scheme.LLS),
+                                  {"n": 19})
+        assert machine.output == baseline.output
+
+    def test_nested_hoist_to_outermost(self):
+        source = """
+program p
+  input integer :: n = 5, m = 6
+  integer :: i, j
+  real :: c(10, 10)
+  do i = 1, n
+    do j = 1, m
+      c(i, j) = 1.0
+    end do
+  end do
+  print c(1, 1)
+end program
+"""
+        module = optimized(source)
+        main = module.main
+        # everything lands in the outermost preheader: the inner loop
+        # carries no checks, and the i-checks are substituted with n
+        assert body_checks(main) == []
+        conds = cond_checks(main)
+        exprs = {str(c.linexpr) for c in conds}
+        assert "n" in exprs and "m" in exprs
+
+    def test_cascaded_guards_stack(self):
+        source = """
+program p
+  input integer :: n = 5, m = 6
+  integer :: i, j
+  real :: c(10, 10)
+  do i = 1, n
+    do j = 1, m
+      c(i, j) = 1.0
+    end do
+  end do
+  print c(1, 1)
+end program
+"""
+        module = optimized(source)
+        conds = cond_checks(module.main)
+        m_checks = [c for c in conds if str(c.linexpr) == "m"]
+        assert m_checks
+        assert len(m_checks[0].guards) == 2  # inner and outer trip guards
+
+    def test_triangular_loop(self):
+        source = """
+program p
+  input integer :: n = 8
+  integer :: i, j
+  real :: a(50)
+  do i = 1, n
+    do j = 1, i
+      a(j) = a(j) + 1.0
+    end do
+  end do
+  print a(1)
+end program
+"""
+        baseline = run_baseline(source)
+        machine = compile_and_run(source, OptimizerOptions(scheme=Scheme.LLS))
+        assert machine.output == baseline.output
+        # the inner j-checks substitute to i, hoisted into the inner
+        # preheader; re-substituted with n out of the outer loop
+        assert machine.counters.checks < baseline.counters.checks * 0.2
+
+
+class TestIndirectLimits:
+    def test_indirect_subscript_not_hoisted(self):
+        source = """
+program p
+  input integer :: n = 8
+  integer :: i, k
+  integer :: idx(10)
+  real :: a(10)
+  do i = 1, n
+    idx(i) = i
+    k = idx(i)
+    a(k) = 1.0
+  end do
+  print a(1)
+end program
+"""
+        module = optimized(source)
+        remaining = body_checks(module.main)
+        # the a(k) checks (family on the loaded value) must stay inside
+        assert remaining
+
+    def test_while_loop_invariant_hoisting(self):
+        source = """
+program p
+  input integer :: n = 6, k = 3
+  integer :: i
+  real :: a(10)
+  i = 1
+  while (i <= n) do
+    a(k) = a(k) + 1.0
+    i = i + 1
+  end while
+  print a(3)
+end program
+"""
+        baseline = run_baseline(source)
+        machine = compile_and_run(source, OptimizerOptions(scheme=Scheme.LLS))
+        assert machine.output == baseline.output
+        assert machine.counters.checks < baseline.counters.checks

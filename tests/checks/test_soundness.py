@@ -1,0 +1,211 @@
+"""Behavior-preservation (soundness) tests for the optimizer.
+
+The paper's correctness contract (section 3): a range violation is
+detected in the optimized program iff it is detected in the unoptimized
+program, and no later.  These tests drive every scheme/kind/mode
+combination over trapping and non-trapping programs, plus a
+hypothesis-driven family of randomized loop programs.
+
+An ``InterpError`` (out-of-bounds access reaching memory) would mean a
+check was wrongly deleted -- the interpreter's array storage is an
+independent safety net.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checks import (CheckKind, ImplicationMode, OptimizerOptions,
+                          Scheme, optimize_module)
+from repro.errors import RangeTrap
+from repro.interp import Machine
+
+from ..conftest import ALL_KINDS, ALL_MODES, ALL_SCHEMES, lower_ssa
+
+TRAPPING = """
+program trapping
+  input integer :: n = 20
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+end program
+"""
+
+CONDITIONAL_TRAP = """
+program condtrap
+  input integer :: n = 5, c = 0
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    if (c > 0) then
+      a(i + 8) = 1.0
+    else
+      a(i) = 2.0
+    end if
+  end do
+  print a(1)
+end program
+"""
+
+
+def run_with(source, options, inputs):
+    module = lower_ssa(source)
+    optimize_module(module, options)
+    machine = Machine(module, inputs, max_steps=2_000_000)
+    machine.run()
+    return machine
+
+
+def outcome(source, options, inputs):
+    """('trap', None) or ('ok', output)."""
+    try:
+        machine = run_with(source, options, inputs)
+    except RangeTrap:
+        return ("trap", None)
+    return ("ok", machine.output)
+
+
+def baseline_outcome(source, inputs):
+    module = lower_ssa(source)
+    try:
+        machine = Machine(module, inputs, max_steps=2_000_000)
+        machine.run()
+    except RangeTrap:
+        return ("trap", None)
+    return ("ok", machine.output)
+
+
+class TestTrapPreservation:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_violation_still_traps(self, scheme, kind):
+        options = OptimizerOptions(scheme=scheme, kind=kind)
+        assert outcome(TRAPPING, options, {"n": 20})[0] == "trap"
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_no_false_trap_when_in_bounds(self, scheme):
+        options = OptimizerOptions(scheme=scheme)
+        assert outcome(TRAPPING, options, {"n": 10})[0] == "ok"
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_zero_trip_loop_never_traps(self, scheme):
+        options = OptimizerOptions(scheme=scheme)
+        # n = 0: the loop body (and its violation) never executes
+        assert outcome(TRAPPING, options, {"n": 0})[0] == "ok"
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("c", [0, 1])
+    def test_branch_dependent_trap(self, scheme, c):
+        options = OptimizerOptions(scheme=scheme)
+        expected = baseline_outcome(CONDITIONAL_TRAP, {"n": 5, "c": c})
+        assert outcome(CONDITIONAL_TRAP, options, {"n": 5, "c": c}) == \
+            expected
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_modes_preserve_traps(self, mode):
+        options = OptimizerOptions(scheme=Scheme.LLS, implication=mode)
+        assert outcome(TRAPPING, options, {"n": 11})[0] == "trap"
+        assert outcome(TRAPPING, options, {"n": 10})[0] == "ok"
+
+
+class TestNegativeStepLoops:
+    SOURCE = """
+program down
+  input integer :: hi = 10, lo = 1
+  integer :: i
+  real :: a(10)
+  do i = hi, lo, -1
+    a(i) = real(i)
+  end do
+  print a(1)
+end program
+"""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_downward_loop_ok(self, scheme):
+        options = OptimizerOptions(scheme=scheme)
+        expected = baseline_outcome(self.SOURCE, {"hi": 10, "lo": 1})
+        assert outcome(self.SOURCE, options, {"hi": 10, "lo": 1}) == expected
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_downward_loop_traps(self, scheme):
+        options = OptimizerOptions(scheme=scheme)
+        assert outcome(self.SOURCE, options, {"hi": 11, "lo": 1})[0] == "trap"
+
+
+class TestStridedLoops:
+    SOURCE = """
+program strided
+  input integer :: n = 19, s = 3
+  integer :: i
+  real :: a(20)
+  do i = 1, n, 3
+    a(i) = 1.0
+  end do
+  print a(1)
+end program
+"""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("n", [0, 1, 19, 20])
+    def test_strided_matches_baseline(self, scheme, n):
+        options = OptimizerOptions(scheme=scheme)
+        expected = baseline_outcome(self.SOURCE, {"n": n})
+        assert outcome(self.SOURCE, options, {"n": n}) == expected
+
+    @pytest.mark.parametrize("scheme", [Scheme.LLS, Scheme.ALL])
+    def test_strided_traps_past_bound(self, scheme):
+        options = OptimizerOptions(scheme=scheme)
+        # i = 1, 4, ..., 22 > 20: must trap
+        assert outcome(self.SOURCE, options, {"n": 22})[0] == "trap"
+
+
+RANDOM_TEMPLATE = """
+program random
+  input integer :: n = 1, m = 1, c = 0
+  integer :: i, j
+  real :: a(%(asize)d), b(0:%(bsize)d)
+  do i = %(start)d, n
+    a(%(coef)d * i + %(off)d) = 1.0
+    if (c > 0) then
+      b(i - %(boff)d) = 2.0
+    end if
+    do j = 1, m
+      a(j) = a(j) + 1.0
+    end do
+  end do
+  print a(%(asize)d)
+end program
+"""
+
+
+@st.composite
+def random_programs(draw):
+    params = {
+        "asize": draw(st.integers(5, 30)),
+        "bsize": draw(st.integers(5, 30)),
+        "start": draw(st.integers(1, 3)),
+        "coef": draw(st.integers(1, 3)),
+        "off": draw(st.integers(-2, 3)),
+        "boff": draw(st.integers(0, 3)),
+    }
+    inputs = {
+        "n": draw(st.integers(0, 12)),
+        "m": draw(st.integers(0, 8)),
+        "c": draw(st.integers(0, 1)),
+    }
+    scheme = draw(st.sampled_from(list(Scheme)))
+    kind = draw(st.sampled_from(list(CheckKind)))
+    mode = draw(st.sampled_from(list(ImplicationMode)))
+    return RANDOM_TEMPLATE % params, inputs, \
+        OptimizerOptions(scheme=scheme, kind=kind, implication=mode)
+
+
+class TestRandomizedBehaviorPreservation:
+    @settings(max_examples=60, deadline=None)
+    @given(random_programs())
+    def test_optimized_matches_baseline(self, case):
+        source, inputs, options = case
+        expected = baseline_outcome(source, inputs)
+        assert outcome(source, options, inputs) == expected

@@ -1,0 +1,117 @@
+"""Tests for check strengthening (CS)."""
+
+from repro.checks import (CanonicalCheck, CheckAnalysis,
+                          CheckImplicationGraph, OptimizerOptions, Scheme,
+                          optimize_module, strengthen_checks,
+                          universe_from_function)
+from repro.ir import Check
+
+from ..conftest import compile_and_run, lower_ssa, run_baseline
+
+
+def strengthen(source):
+    module = lower_ssa(source)
+    main = module.main
+    universe = universe_from_function(main)
+    cig = CheckImplicationGraph(universe)
+    analysis = CheckAnalysis(main, universe, cig)
+    replaced = strengthen_checks(analysis)
+    return main, replaced
+
+
+FIGURE1 = """
+program fig1
+  input integer :: n = 4
+  integer :: a(5:10)
+  a(2 * n) = 0
+  a(2 * n - 1) = 1
+end program
+"""
+
+
+class TestStrengthening:
+    def test_figure1_replacement(self):
+        main, replaced = strengthen(FIGURE1)
+        assert replaced == 1
+        # the first lower check (-2n <= -5) became (-2n <= -6)
+        lowers = [CanonicalCheck.of(c) for c in main.instructions()
+                  if isinstance(c, Check) and c.kind == "lower"]
+        assert lowers[0].bound == -6
+
+    def test_no_replacement_when_already_strongest(self):
+        main, replaced = strengthen("""
+program p
+  input integer :: n = 4
+  integer :: a(5:10)
+  a(2 * n - 1) = 1
+  a(2 * n) = 0
+end program
+""")
+        # reversed order: the strong lower check comes first already
+        assert replaced == 1  # now the UPPER check strengthens instead
+
+    def test_def_blocks_strengthening(self):
+        main, replaced = strengthen("""
+program p
+  integer :: k
+  real :: a(10)
+  k = 5
+  a(k) = 1.0
+  k = k + 1
+  a(k) = 2.0
+end program
+""")
+        # the second k is a different SSA value: families differ, no
+        # cross-strengthening is possible
+        assert replaced == 0
+
+    def test_branch_blocks_strengthening(self):
+        main, replaced = strengthen("""
+program p
+  input integer :: n = 3, c = 1
+  real :: a(10)
+  a(n) = 1.0
+  if (c > 0) then
+    a(n - 1) = 2.0
+  end if
+end program
+""")
+        # (-n <= -2) is not anticipatable at the first check (one arm
+        # does not perform it)
+        assert replaced == 0
+
+    def test_dynamic_improvement_over_ni(self):
+        source = """
+program p
+  input integer :: n = 30
+  integer :: i
+  real :: x(100)
+  do i = 2, n
+    x(i) = x(i) + x(i - 1)
+  end do
+  print x(2)
+end program
+"""
+        ni = compile_and_run(source, OptimizerOptions(scheme=Scheme.NI))
+        cs = compile_and_run(source, OptimizerOptions(scheme=Scheme.CS))
+        assert cs.counters.checks < ni.counters.checks
+
+    def test_strengthened_check_traps_earlier_but_equivalently(self):
+        # strengthening may trap earlier, never differently
+        source = """
+program p
+  input integer :: n = 1
+  integer :: a(5:10)
+  a(2 * n) = 0
+  a(2 * n - 1) = 1
+end program
+"""
+        from repro.errors import RangeTrap
+        import pytest
+        for optimize in (False, True):
+            module = lower_ssa(source)
+            if optimize:
+                optimize_module(module, OptimizerOptions(scheme=Scheme.CS))
+            from repro.interp import Machine
+            with pytest.raises(RangeTrap):
+                Machine(module, {"n": 1}).run()

@@ -1,0 +1,143 @@
+"""Tests for the value-range (abstract interpretation) baseline."""
+
+import pytest
+
+from repro.checks import OptimizerOptions, Scheme, count_checks, \
+    optimize_module
+from repro.checks.valuerange import eliminate_by_value_range
+from repro.errors import RangeTrap
+from repro.ir import Trap
+
+from ..conftest import compile_and_run, lower_ssa, run_baseline
+
+
+class TestValueRangeElimination:
+    def test_constant_bound_loop_fully_proven(self):
+        module = lower_ssa("""
+program p
+  integer :: i
+  real :: a(10)
+  do i = 1, 10
+    a(i) = 1.0
+  end do
+end program
+""")
+        removed, reports = eliminate_by_value_range(module.main)
+        assert removed == 2
+        assert count_checks(module.main) == 0
+        assert reports == []
+
+    def test_symbolic_bound_keeps_upper_check(self):
+        module = lower_ssa("""
+program p
+  input integer :: n = 5
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+end program
+""")
+        removed, reports = eliminate_by_value_range(module.main)
+        assert removed == 1          # the lower check i >= 1 is provable
+        assert count_checks(module.main) == 1
+
+    def test_provably_failing_check_reported(self):
+        module = lower_ssa("""
+program p
+  integer :: i
+  real :: a(10)
+  do i = 11, 20
+    a(i) = 1.0
+  end do
+end program
+""")
+        removed, reports = eliminate_by_value_range(module.main)
+        assert reports
+        assert any(isinstance(inst, Trap)
+                   for inst in module.main.instructions())
+
+    def test_branch_refinement_proves_checks(self):
+        module = lower_ssa("""
+program p
+  input integer :: k = 5
+  real :: a(10)
+  if (k >= 1) then
+    if (k <= 10) then
+      a(k) = 1.0
+    end if
+  end if
+end program
+""")
+        removed, reports = eliminate_by_value_range(module.main)
+        assert removed == 2
+        assert count_checks(module.main) == 0
+
+
+class TestVRScheme:
+    def test_vr_weaker_than_ni(self):
+        """The paper's prediction: compile-time-only elimination removes
+        fewer checks than the insertion-based algorithms."""
+        source = """
+program p
+  input integer :: n = 20
+  integer :: i
+  real :: a(50), b(50)
+  do i = 1, n
+    a(i) = b(i) + a(i)
+  end do
+  print a(1)
+end program
+"""
+        vr = compile_and_run(source, OptimizerOptions(scheme=Scheme.VR))
+        ni = compile_and_run(source, OptimizerOptions(scheme=Scheme.NI))
+        lls = compile_and_run(source, OptimizerOptions(scheme=Scheme.LLS))
+        assert lls.counters.checks < ni.counters.checks < \
+            vr.counters.checks
+
+    def test_vr_output_preserved(self, loop_program):
+        baseline = run_baseline(loop_program, {"n": 9})
+        vr = compile_and_run(loop_program, OptimizerOptions(scheme=Scheme.VR),
+                             {"n": 9})
+        assert vr.output == baseline.output
+
+    def test_vr_traps_preserved(self):
+        source = """
+program p
+  input integer :: n = 20
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+end program
+"""
+        with pytest.raises(RangeTrap):
+            compile_and_run(source, OptimizerOptions(scheme=Scheme.VR),
+                            {"n": 20})
+
+    def test_vr_shines_on_static_programs(self):
+        """All-constant bounds: VR alone removes everything."""
+        source = """
+program p
+  integer :: i, j
+  real :: c(10, 20)
+  do i = 1, 10
+    do j = 1, 20
+      c(i, j) = 1.0
+    end do
+  end do
+  print c(1, 1)
+end program
+"""
+        vr = compile_and_run(source, OptimizerOptions(scheme=Scheme.VR))
+        assert vr.counters.checks == 0
+
+    def test_vr_on_suite_is_sound(self):
+        from repro.benchsuite import all_programs
+        from repro.pipeline.stats import verify_same_output
+
+        for program in all_programs():
+            assert verify_same_output(program.source,
+                                      OptimizerOptions(scheme=Scheme.VR),
+                                      program.test_inputs)

@@ -1,0 +1,66 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks.config import (CheckKind, ImplicationMode, OptimizerOptions,
+                                 Scheme)
+from repro.checks.optimizer import optimize_module
+from repro.frontend.parser import parse_source
+from repro.interp.machine import Machine
+from repro.ir.lowering import LoweringOptions, lower_source_file
+from repro.ssa.construct import construct_ssa
+
+
+def lower(source, insert_checks=True):
+    """Parse + lower (no SSA)."""
+    return lower_source_file(parse_source(source),
+                             LoweringOptions(insert_checks))
+
+
+def lower_ssa(source, insert_checks=True):
+    """Parse + lower + SSA for every function."""
+    module = lower(source, insert_checks)
+    for function in module:
+        construct_ssa(function)
+    return module
+
+
+def compile_and_run(source, options=None, inputs=None, optimize=True,
+                    max_steps=5_000_000):
+    """Full pipeline; returns the machine after execution."""
+    module = lower_ssa(source)
+    if optimize:
+        optimize_module(module, options or OptimizerOptions())
+    machine = Machine(module, inputs, max_steps)
+    machine.run()
+    return machine
+
+
+def run_baseline(source, inputs=None, max_steps=5_000_000):
+    """Naive-checking run (no optimization)."""
+    return compile_and_run(source, inputs=inputs, optimize=False,
+                           max_steps=max_steps)
+
+
+ALL_SCHEMES = tuple(Scheme)
+ALL_KINDS = tuple(CheckKind)
+ALL_MODES = tuple(ImplicationMode)
+
+
+@pytest.fixture
+def loop_program():
+    """A small single-loop program used across many tests."""
+    return """
+program loopy
+  input integer :: n = 10
+  integer :: i
+  real :: a(0:99), b(100)
+  do i = 1, n
+    a(i) = a(i - 1) + 1.0
+    b(i) = a(i) * 2.0
+  end do
+  print b(n)
+end program
+"""

@@ -1,0 +1,178 @@
+"""Tests for the 'exit' and 'cycle' loop-control statements."""
+
+import pytest
+
+from repro.checks import OptimizerOptions, Scheme
+from repro.errors import SemanticError
+from repro.frontend import ast, parse_source
+
+from ..conftest import compile_and_run, lower, run_baseline
+
+
+class TestParsing:
+    def test_exit_statement(self):
+        unit = parse_source(
+            "program p\ninteger :: i\ndo i = 1, 3\nexit\nend do\n"
+            "end program").main
+        loop = unit.body[0]
+        assert isinstance(loop.body[0], ast.ExitStmt)
+
+    def test_cycle_statement(self):
+        unit = parse_source(
+            "program p\ninteger :: i\ndo i = 1, 3\ncycle\nend do\n"
+            "end program").main
+        loop = unit.body[0]
+        assert isinstance(loop.body[0], ast.CycleStmt)
+
+
+class TestLoweringErrors:
+    def test_exit_outside_loop(self):
+        with pytest.raises(SemanticError):
+            lower("program p\nexit\nend program")
+
+    def test_cycle_outside_loop(self):
+        with pytest.raises(SemanticError):
+            lower("program p\ncycle\nend program")
+
+
+class TestSemantics:
+    def test_exit_leaves_loop(self):
+        machine = run_baseline("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 100
+    if (i > 5) then
+      exit
+    end if
+    s = s + i
+  end do
+  print s
+  print i
+end program
+""")
+        assert machine.output == [15, 6]
+
+    def test_cycle_skips_rest_of_body(self):
+        machine = run_baseline("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 10
+    if (mod(i, 2) == 0) then
+      cycle
+    end if
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert machine.output == [25]  # 1+3+5+7+9
+
+    def test_cycle_still_increments(self):
+        machine = run_baseline("""
+program p
+  integer :: i, c
+  c = 0
+  do i = 1, 5
+    cycle
+    c = c + 1
+  end do
+  print c
+  print i
+end program
+""")
+        assert machine.output == [0, 6]
+
+    def test_exit_in_while(self):
+        machine = run_baseline("""
+program p
+  integer :: i
+  i = 0
+  while (.true.) do
+    i = i + 1
+    if (i >= 4) then
+      exit
+    end if
+  end while
+  print i
+end program
+""")
+        assert machine.output == [4]
+
+    def test_cycle_in_while(self):
+        machine = run_baseline("""
+program p
+  integer :: i, s
+  i = 0
+  s = 0
+  while (i < 6) do
+    i = i + 1
+    if (i == 3) then
+      cycle
+    end if
+    s = s + i
+  end while
+  print s
+end program
+""")
+        assert machine.output == [18]  # 1+2+4+5+6
+
+    def test_nested_loops_exit_innermost(self):
+        machine = run_baseline("""
+program p
+  integer :: i, j, s
+  s = 0
+  do i = 1, 3
+    do j = 1, 10
+      if (j > 2) then
+        exit
+      end if
+      s = s + 1
+    end do
+  end do
+  print s
+end program
+""")
+        assert machine.output == [6]
+
+
+class TestOptimizationWithLoopControl:
+    SOURCE = """
+program p
+  input integer :: n = 20, lim = 12
+  integer :: i
+  real :: a(50)
+  do i = 1, n
+    if (i > lim) then
+      exit
+    end if
+    if (mod(i, 3) == 0) then
+      cycle
+    end if
+    a(i) = real(i)
+  end do
+  print a(1)
+end program
+"""
+
+    @pytest.mark.parametrize("scheme", list(Scheme),
+                             ids=[s.value for s in Scheme])
+    def test_all_schemes_preserve_behavior(self, scheme):
+        baseline = run_baseline(self.SOURCE)
+        machine = compile_and_run(self.SOURCE,
+                                  OptimizerOptions(scheme=scheme))
+        assert machine.output == baseline.output
+
+    def test_early_exit_blocks_hoisting_of_late_checks(self):
+        """A check after a conditional exit is not anticipatable at the
+        body entry, so LLS must keep it inside (sound conservatism)."""
+        baseline = run_baseline(self.SOURCE)
+        lls = compile_and_run(self.SOURCE, OptimizerOptions(scheme=Scheme.LLS))
+        assert lls.counters.checks <= baseline.counters.checks
+        # a(i) is only checked on iterations that reach it; the hoisted
+        # version would trap on n > 50 even when lim stops the loop first
+        machine = compile_and_run(self.SOURCE,
+                                  OptimizerOptions(scheme=Scheme.LLS),
+                                  {"n": 200, "lim": 12})
+        assert machine.counters.traps == 0

@@ -1,0 +1,122 @@
+"""Tests for the mini-Fortran scanner."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_identifier(self):
+        token = tokenize("alpha")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "alpha"
+
+    def test_identifiers_are_lowercased(self):
+        assert tokenize("AlPhA")[0].text == "alpha"
+
+    def test_keyword(self):
+        token = tokenize("program")[0]
+        assert token.kind is TokenKind.KEYWORD
+        assert token.is_keyword("program")
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT
+        assert token.value == 42
+
+    def test_real_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.kind is TokenKind.REAL
+        assert token.value == 3.25
+
+    def test_real_with_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_leading_dot_real(self):
+        token = tokenize(".5")[0]
+        assert token.kind is TokenKind.REAL
+        assert token.value == 0.5
+
+
+class TestOperators:
+    def test_arithmetic_operators(self):
+        assert kinds("+ - * /")[:4] == [TokenKind.PLUS, TokenKind.MINUS,
+                                        TokenKind.STAR, TokenKind.SLASH]
+
+    def test_comparison_operators(self):
+        assert kinds("< <= > >= == /=")[:6] == [
+            TokenKind.LT, TokenKind.LE, TokenKind.GT, TokenKind.GE,
+            TokenKind.EQ, TokenKind.NE]
+
+    def test_double_colon(self):
+        assert kinds("::")[0] is TokenKind.DOUBLE_COLON
+
+    def test_single_colon(self):
+        assert kinds("1:10")[1] is TokenKind.COLON
+
+    def test_assignment_vs_equality(self):
+        assert kinds("=")[0] is TokenKind.ASSIGN
+        assert kinds("==")[0] is TokenKind.EQ
+
+    def test_logical_words(self):
+        assert kinds(".and. .or. .not.")[:3] == [
+            TokenKind.AND, TokenKind.OR, TokenKind.NOT]
+
+    def test_boolean_literals(self):
+        assert kinds(".true. .false.")[:2] == [TokenKind.TRUE,
+                                               TokenKind.FALSE]
+
+
+class TestLayout:
+    def test_comment_skipped(self):
+        assert texts("a ! this is a comment\nb") == ["a", "b"]
+
+    def test_newline_token_between_statements(self):
+        token_kinds = kinds("a\nb")
+        assert TokenKind.NEWLINE in token_kinds
+
+    def test_blank_lines_collapse(self):
+        token_kinds = kinds("a\n\n\n\nb")
+        assert token_kinds.count(TokenKind.NEWLINE) == 1
+
+    def test_leading_newlines_dropped(self):
+        assert kinds("\n\n\na")[0] is TokenKind.IDENT
+
+    def test_continuation(self):
+        token_kinds = kinds("a + &\n    b")
+        assert TokenKind.NEWLINE not in token_kinds[:3]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        idents = [t for t in tokens if t.kind is TokenKind.IDENT]
+        assert [t.line for t in idents] == [1, 2, 3]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_bad_dot_word(self):
+        with pytest.raises(LexError):
+            tokenize(".bogus.")
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as info:
+            tokenize("abc\n  #")
+        assert info.value.line == 2

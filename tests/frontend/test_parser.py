@@ -1,0 +1,241 @@
+"""Tests for the mini-Fortran parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast, parse_source
+
+
+def parse_main(body, decls="integer :: i\n"):
+    source = "program t\n%s%s\nend program\n" % (decls, body)
+    return parse_source(source).main
+
+
+def first_stmt(body, decls="integer :: i\n"):
+    return parse_main(body, decls).body[0]
+
+
+class TestUnits:
+    def test_program_name(self):
+        unit = parse_source("program hello\nend program").main
+        assert unit.name == "hello"
+        assert unit.is_main
+
+    def test_end_with_name(self):
+        unit = parse_source("program hello\nend program hello").main
+        assert unit.name == "hello"
+
+    def test_mismatched_end_name(self):
+        with pytest.raises(ParseError):
+            parse_source("program hello\nend program world")
+
+    def test_subroutine_params(self):
+        src = ("program p\nend program\n"
+               "subroutine s(a, b)\ninteger :: a, b\nend subroutine\n")
+        units = parse_source(src).units
+        assert units[1].params == ["a", "b"]
+        assert not units[1].is_main
+
+    def test_two_programs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("program a\nend program\nprogram b\nend program")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("   \n  \n")
+
+    def test_missing_main_is_parseable(self):
+        src = "subroutine s()\nend subroutine\n"
+        tree = parse_source(src)
+        with pytest.raises(ValueError):
+            tree.main
+
+
+class TestDeclarations:
+    def test_scalar_decl(self):
+        unit = parse_main("i = 1", "integer :: i, j\n")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.ScalarDecl)
+        assert decl.names == ["i", "j"]
+
+    def test_array_decl_with_bounds(self):
+        unit = parse_main("", "real :: a(0:9)\n")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.ArrayDecl)
+        assert decl.dims[0][0] is not None
+
+    def test_array_decl_bare_extent(self):
+        unit = parse_main("", "real :: a(10)\n")
+        assert unit.decls[0].dims[0][0] is None
+
+    def test_multi_dim_array(self):
+        unit = parse_main("", "real :: a(10, 0:5, 3)\n")
+        assert len(unit.decls[0].dims) == 3
+
+    def test_mixed_decl_line(self):
+        unit = parse_main("", "real :: x, a(5), y\n")
+        kinds = [type(d).__name__ for d in unit.decls]
+        assert kinds == ["ScalarDecl", "ArrayDecl"]
+        assert unit.decls[0].names == ["x", "y"]
+
+    def test_input_decl(self):
+        unit = parse_main("", "input integer :: n = 100\n")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.InputDecl)
+        assert decl.name == "n"
+
+    def test_input_decl_multiple(self):
+        unit = parse_main("", "input integer :: n = 1, m = 2\n")
+        assert len(unit.decls) == 2
+
+    def test_input_requires_default(self):
+        with pytest.raises(ParseError):
+            parse_main("", "input integer :: n\n")
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        stmt = first_stmt("i = 3")
+        assert isinstance(stmt, ast.AssignStmt)
+        assert isinstance(stmt.target, ast.VarRef)
+
+    def test_array_assignment(self):
+        stmt = first_stmt("a(i) = 1.0", "integer :: i\nreal :: a(5)\n")
+        assert isinstance(stmt.target, ast.ArrayRef)
+
+    def test_do_loop(self):
+        stmt = first_stmt("do i = 1, 10\ni = i\nend do")
+        assert isinstance(stmt, ast.DoStmt)
+        assert stmt.var == "i"
+        assert stmt.step is None
+        assert len(stmt.body) == 1
+
+    def test_do_loop_with_step(self):
+        stmt = first_stmt("do i = 10, 1, -2\nend do")
+        assert stmt.step is not None
+
+    def test_enddo_merged_keyword(self):
+        stmt = first_stmt("do i = 1, 3\nenddo")
+        assert isinstance(stmt, ast.DoStmt)
+
+    def test_while_loop(self):
+        stmt = first_stmt("while (i < 3) do\ni = i + 1\nend while")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_if_then(self):
+        stmt = first_stmt("if (i > 0) then\ni = 1\nend if")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body is None
+
+    def test_if_else(self):
+        stmt = first_stmt("if (i > 0) then\ni = 1\nelse\ni = 2\nend if")
+        assert stmt.else_body is not None
+
+    def test_else_if_chain(self):
+        stmt = first_stmt(
+            "if (i > 0) then\ni = 1\nelse if (i < 0) then\ni = 2\n"
+            "else\ni = 3\nend if")
+        assert len(stmt.arms) == 2
+        assert stmt.else_body is not None
+
+    def test_endif_merged_keyword(self):
+        stmt = first_stmt("if (i > 0) then\nendif")
+        assert isinstance(stmt, ast.IfStmt)
+
+    def test_call_statement(self):
+        stmt = first_stmt("call s(i, 2)")
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.name == "s"
+        assert len(stmt.args) == 2
+
+    def test_call_no_args(self):
+        stmt = first_stmt("call s")
+        assert stmt.args == []
+
+    def test_print(self):
+        stmt = first_stmt("print i + 1")
+        assert isinstance(stmt, ast.PrintStmt)
+
+    def test_return(self):
+        stmt = first_stmt("return")
+        assert isinstance(stmt, ast.ReturnStmt)
+
+
+class TestExpressions:
+    def expr(self, text, decls="integer :: i, j\n"):
+        return first_stmt("i = %s" % text, decls).expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr("1 + 2 * 3")
+        assert expr.op == "add"
+        assert expr.rhs.op == "mul"
+
+    def test_left_associativity(self):
+        expr = self.expr("10 - 3 - 2")
+        assert expr.op == "sub"
+        assert expr.lhs.op == "sub"
+
+    def test_parentheses(self):
+        expr = self.expr("(1 + 2) * 3")
+        assert expr.op == "mul"
+
+    def test_unary_minus(self):
+        expr = self.expr("-i")
+        assert isinstance(expr, ast.UnExpr)
+        assert expr.op == "neg"
+
+    def test_unary_plus_is_transparent(self):
+        expr = self.expr("+i")
+        assert isinstance(expr, ast.VarRef)
+
+    def test_comparison(self):
+        expr = self.expr("i <= j")
+        assert expr.op == "le"
+
+    def test_logical_precedence(self):
+        expr = self.expr("i < 1 .or. j < 2 .and. i < 3")
+        assert expr.op == "or"
+        assert expr.rhs.op == "and"
+
+    def test_not(self):
+        expr = self.expr(".not. (i < 1)")
+        assert expr.op == "not"
+
+    def test_intrinsic_call(self):
+        expr = self.expr("mod(i, 2)")
+        assert isinstance(expr, ast.Intrinsic)
+        assert expr.name == "mod"
+
+    def test_real_conversion_intrinsic(self):
+        expr = self.expr("real(i)")
+        assert isinstance(expr, ast.Intrinsic)
+
+    def test_array_ref_vs_intrinsic(self):
+        # 'mod' declared as an array shadows the intrinsic
+        expr = self.expr("mod(i)", "integer :: i, j\nreal :: mod(5)\n")
+        assert isinstance(expr, ast.ArrayRef)
+
+    def test_multi_dim_ref(self):
+        expr = self.expr("a(i, j)", "integer :: i, j\nreal :: a(5, 5)\n")
+        assert isinstance(expr, ast.ArrayRef)
+        assert len(expr.indices) == 2
+
+
+class TestErrors:
+    def test_missing_then(self):
+        with pytest.raises(ParseError):
+            parse_main("if (i > 0)\nend if")
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(ParseError):
+            parse_main("i = 1 1")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_main("i = (1 + 2")
+
+    def test_statement_before_decl_blocks_decl(self):
+        # declarations must precede statements; a later decl line parses
+        # as a statement and fails
+        with pytest.raises(ParseError):
+            parse_main("i = 1\ninteger :: j")

@@ -1,0 +1,210 @@
+"""Tests for counted-loop recognition and trip counts."""
+
+from repro.analysis import LoopForest, compute_affine_forms
+from repro.induction import find_loop_iv
+from repro.symbolic import LinearExpr
+
+from ..conftest import lower_ssa
+
+
+def iv_for(source, function_name=None):
+    module = lower_ssa(source)
+    function = (module.functions[function_name]
+                if function_name else module.main)
+    forest = LoopForest(function)
+    env = compute_affine_forms(function)
+    assert forest.loops, "expected a loop"
+    loop = forest.inner_to_outer()[0]
+    return find_loop_iv(function, loop, forest, env)
+
+
+class TestRecognition:
+    def test_unit_step_loop(self):
+        iv = iv_for("""
+program p
+  input integer :: n = 5
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert iv is not None
+        assert iv.step == 1
+        assert iv.init_affine == LinearExpr.constant(1)
+        assert iv.bound_affine == LinearExpr.symbol("n")
+
+    def test_nonunit_step(self):
+        iv = iv_for("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 2, 20, 3
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert iv.step == 3
+
+    def test_negative_step(self):
+        iv = iv_for("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 10, 1, -1
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert iv.step == -1
+        assert iv.bound_affine == LinearExpr.constant(1)
+
+    def test_expression_bound(self):
+        iv = iv_for("""
+program p
+  input integer :: n = 4
+  integer :: j, s
+  s = 0
+  do j = 1, 2 * n
+    s = s + j
+  end do
+  print s
+end program
+""")
+        assert iv.bound_affine == LinearExpr({"n": 2}, 0)
+
+    def test_counted_while_loop_recognized(self):
+        # a while loop that is structurally a counted loop is an IV too
+        iv = iv_for("""
+program p
+  integer :: i
+  i = 0
+  while (i < 5) do
+    i = i + 1
+  end while
+  print i
+end program
+""")
+        assert iv is not None
+        assert iv.step == 1
+        assert iv.bound_affine.const == 4  # i <= 4 after < normalization
+
+    def test_geometric_while_loop_rejected(self):
+        iv = iv_for("""
+program p
+  integer :: i
+  i = 1
+  while (i < 100) do
+    i = i * 2
+  end while
+  print i
+end program
+""")
+        assert iv is None
+
+    def test_variant_bound_rejected(self):
+        # while-style loop whose bound changes inside the loop
+        iv = iv_for("""
+program p
+  integer :: i, n
+  n = 10
+  i = 1
+  while (i <= n) do
+    i = i + 1
+    n = n - 1
+  end while
+  print i
+end program
+""")
+        assert iv is None
+
+
+class TestDerivedFacts:
+    def test_constant_trip_count(self):
+        iv = iv_for("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 10
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert iv.trip_count_const() == 10
+
+    def test_constant_trip_count_with_step(self):
+        iv = iv_for("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 10, 3
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert iv.trip_count_const() == 4  # i = 1, 4, 7, 10
+
+    def test_zero_trip(self):
+        iv = iv_for("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 5, 1
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert iv.trip_count_const() == 0
+
+    def test_symbolic_trip_count_is_none(self):
+        iv = iv_for("""
+program p
+  input integer :: n = 4
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert iv.trip_count_const() is None
+
+    def test_guard_orientation_positive_step(self):
+        iv = iv_for("""
+program p
+  input integer :: n = 4
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + i
+  end do
+  print s
+end program
+""")
+        lhs, rhs = iv.guard_lhs_rhs()
+        assert lhs == LinearExpr.constant(1)
+        assert rhs == LinearExpr.symbol("n")
+
+    def test_guard_orientation_negative_step(self):
+        iv = iv_for("""
+program p
+  input integer :: n = 4
+  integer :: i, s
+  s = 0
+  do i = n, 1, -1
+    s = s + i
+  end do
+  print s
+end program
+""")
+        lhs, rhs = iv.guard_lhs_rhs()
+        assert lhs == LinearExpr.constant(1)
+        assert rhs == LinearExpr.symbol("n")

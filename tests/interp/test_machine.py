@@ -1,0 +1,372 @@
+"""Tests for the IR interpreter."""
+
+import pytest
+
+from repro.errors import InterpError, RangeTrap
+from repro.interp import Machine, run_module
+
+from ..conftest import lower, lower_ssa
+
+
+def run(source, inputs=None, ssa=True, max_steps=1_000_000):
+    module = lower_ssa(source) if ssa else lower(source)
+    machine = Machine(module, inputs, max_steps)
+    machine.run()
+    return machine
+
+
+class TestArithmetic:
+    def test_integer_arithmetic(self):
+        machine = run("""
+program p
+  integer :: a
+  a = (7 + 3) * 2 - 5
+  print a
+end program
+""")
+        assert machine.output == [15]
+
+    def test_integer_division_truncates_toward_zero(self):
+        machine = run("""
+program p
+  input integer :: a = -7, b = 2
+  print a / b
+end program
+""")
+        assert machine.output == [-3]
+
+    def test_mod_semantics(self):
+        machine = run("""
+program p
+  input integer :: a = -7, b = 2
+  print mod(a, b)
+end program
+""")
+        assert machine.output == [-1]
+
+    def test_real_arithmetic(self):
+        machine = run("""
+program p
+  real :: x
+  x = 1.5 * 2.0 + 0.25
+  print x
+end program
+""")
+        assert machine.output == [3.25]
+
+    def test_intrinsics(self):
+        machine = run("""
+program p
+  input integer :: a = -4
+  print abs(a)
+  print min(a, 2)
+  print max(a, 2)
+  print real(a)
+  print int(2.9)
+end program
+""")
+        assert machine.output == [4, -4, 2, -4.0, 2]
+
+    def test_sqrt(self):
+        machine = run("program p\nprint sqrt(9.0)\nend program")
+        assert machine.output == [3.0]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            run("""
+program p
+  input integer :: z = 0
+  print 1 / z
+end program
+""")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        machine = run("""
+program p
+  input integer :: c = 1
+  if (c > 0) then
+    print 1
+  else
+    print 2
+  end if
+end program
+""", {"c": -5})
+        assert machine.output == [2]
+
+    def test_do_loop_sum(self):
+        machine = run("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 10
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert machine.output == [55]
+
+    def test_zero_trip_loop(self):
+        machine = run("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 5, 1
+    s = s + 1
+  end do
+  print s
+end program
+""")
+        assert machine.output == [0]
+
+    def test_negative_step_loop(self):
+        machine = run("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 10, 1, -2
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert machine.output == [30]
+
+    def test_dynamic_step(self):
+        machine = run("""
+program p
+  input integer :: st = 2
+  integer :: i, s
+  s = 0
+  do i = 1, 10, st
+    s = s + 1
+  end do
+  print s
+end program
+""", {"st": 3})
+        assert machine.output == [4]
+
+    def test_while_loop(self):
+        machine = run("""
+program p
+  integer :: i
+  i = 1
+  while (i < 100) do
+    i = i * 2
+  end while
+  print i
+end program
+""")
+        assert machine.output == [128]
+
+    def test_step_limit(self):
+        with pytest.raises(InterpError):
+            run("""
+program p
+  integer :: i
+  i = 0
+  while (i < 10) do
+    i = i - 1
+  end while
+end program
+""", max_steps=1000)
+
+
+class TestArraysAndCalls:
+    def test_array_roundtrip(self):
+        machine = run("""
+program p
+  integer :: i
+  real :: a(5)
+  do i = 1, 5
+    a(i) = real(i) * 2.0
+  end do
+  print a(3)
+end program
+""")
+        assert machine.output == [6.0]
+
+    def test_arrays_zero_initialized(self):
+        machine = run("""
+program p
+  real :: a(5)
+  integer :: b(3)
+  print a(1)
+  print b(2)
+end program
+""")
+        assert machine.output == [0.0, 0]
+
+    def test_multi_dim_array(self):
+        machine = run("""
+program p
+  integer :: m(2, 0:2)
+  m(2, 0) = 7
+  print m(2, 0)
+  print m(1, 0)
+end program
+""")
+        assert machine.output == [7, 0]
+
+    def test_call_passes_arrays_by_reference(self):
+        machine = run("""
+program p
+  real :: a(5)
+  call fill(a)
+  print a(2)
+end program
+subroutine fill(x)
+  real :: x(5)
+  x(2) = 9.0
+end subroutine
+""")
+        assert machine.output == [9.0]
+
+    def test_call_passes_scalars_by_value(self):
+        machine = run("""
+program p
+  integer :: n
+  n = 1
+  call bump(n)
+  print n
+end program
+subroutine bump(n)
+  integer :: n
+  n = n + 1
+end subroutine
+""")
+        assert machine.output == [1]
+
+    def test_adjustable_array_bounds(self):
+        machine = run("""
+program p
+  input integer :: n = 4
+  real :: a(8)
+  call work(n, a)
+  print a(4)
+end program
+subroutine work(n, a)
+  integer :: n, i
+  real :: a(n)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+end subroutine
+""")
+        assert machine.output == [4.0]
+
+    def test_input_defaults_and_overrides(self):
+        source = """
+program p
+  input integer :: n = 7
+  print n
+end program
+"""
+        assert run(source).output == [7]
+        assert run(source, {"n": 3}).output == [3]
+
+
+class TestChecksAtRuntime:
+    def test_in_bounds_passes(self):
+        machine = run("""
+program p
+  input integer :: i = 5
+  real :: a(10)
+  a(i) = 1.0
+  print a(i)
+end program
+""")
+        assert machine.counters.checks == 4
+        assert machine.counters.traps == 0
+
+    def test_upper_violation_traps(self):
+        with pytest.raises(RangeTrap):
+            run("""
+program p
+  input integer :: i = 11
+  real :: a(10)
+  a(i) = 1.0
+end program
+""")
+
+    def test_lower_violation_traps(self):
+        with pytest.raises(RangeTrap):
+            run("""
+program p
+  input integer :: i = 0
+  real :: a(10)
+  a(i) = 1.0
+end program
+""")
+
+    def test_trap_message_names_array(self):
+        with pytest.raises(RangeTrap) as info:
+            run("""
+program p
+  input integer :: i = 11
+  real :: vec(10)
+  vec(i) = 1.0
+end program
+""")
+        assert "vec" in str(info.value)
+
+    def test_counters_split_categories(self):
+        machine = run("""
+program p
+  integer :: i
+  real :: a(10)
+  do i = 1, 10
+    a(i) = 1.0
+  end do
+end program
+""")
+        assert machine.counters.checks == 20
+        assert machine.counters.instructions > 0
+        assert machine.counters.phis > 0  # SSA form executes phis
+
+
+class TestSSAVsNonSSA:
+    def test_same_results_both_forms(self, loop_program):
+        plain = run(loop_program, {"n": 8}, ssa=False)
+        renamed = run(loop_program, {"n": 8}, ssa=True)
+        assert plain.output == renamed.output
+        assert plain.counters.checks == renamed.counters.checks
+
+
+class TestRecursionGuard:
+    def test_runaway_recursion_is_caught(self):
+        import pytest
+        from repro.errors import InterpError
+        with pytest.raises(InterpError):
+            run("""
+program p
+  call spin(0)
+end program
+subroutine spin(d)
+  integer :: d
+  call spin(d + 1)
+end subroutine
+""")
+
+    def test_bounded_recursion_allowed(self):
+        machine = run("""
+program p
+  integer :: r(1)
+  call fib(7, r)
+  print r(1)
+end program
+subroutine fib(n, r)
+  integer :: n
+  integer :: r(1), x(1), y(1)
+  if (n < 2) then
+    r(1) = n
+    return
+  end if
+  call fib(n - 1, x)
+  call fib(n - 2, y)
+  r(1) = x(1) + y(1)
+end subroutine
+""")
+        assert machine.output == [13]

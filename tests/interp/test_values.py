@@ -1,0 +1,71 @@
+"""Tests for run-time array storage."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.interp import ArrayStorage
+from repro.ir import ArrayType, Dimension, INT, REAL
+
+
+def storage(element=REAL, bounds=((1, 10),)):
+    dims = [Dimension.of(lo, hi) for lo, hi in bounds]
+    return ArrayStorage("a", ArrayType(element, dims), list(bounds))
+
+
+class TestStorage:
+    def test_zero_fill_real(self):
+        array = storage(REAL)
+        assert array.load([5]) == 0.0
+
+    def test_zero_fill_int(self):
+        array = storage(INT)
+        assert array.load([5]) == 0
+
+    def test_store_load_roundtrip(self):
+        array = storage()
+        array.store([3], 2.5)
+        assert array.load([3]) == 2.5
+
+    def test_int_array_truncates(self):
+        array = storage(INT)
+        array.store([3], 2.9)
+        assert array.load([3]) == 2
+
+    def test_nonunit_lower_bound(self):
+        array = storage(bounds=((5, 10),))
+        array.store([5], 1.0)
+        array.store([10], 2.0)
+        assert array.load([5]) == 1.0
+        assert array.load([10]) == 2.0
+
+    def test_multi_dim_layout(self):
+        array = storage(bounds=((1, 3), (0, 2)))
+        array.store([2, 1], 9.0)
+        assert array.load([2, 1]) == 9.0
+        assert array.load([1, 1]) == 0.0
+
+    def test_out_of_bounds_low(self):
+        array = storage()
+        with pytest.raises(InterpError):
+            array.load([0])
+
+    def test_out_of_bounds_high(self):
+        array = storage()
+        with pytest.raises(InterpError):
+            array.store([11], 1.0)
+
+    def test_rank_mismatch(self):
+        array = storage(bounds=((1, 3), (1, 3)))
+        with pytest.raises(InterpError):
+            array.load([1])
+
+    def test_empty_extent(self):
+        array = storage(bounds=((5, 4),))
+        with pytest.raises(InterpError):
+            array.load([5])
+
+    def test_error_mentions_missing_check(self):
+        array = storage()
+        with pytest.raises(InterpError) as info:
+            array.load([99])
+        assert "missing range check" in str(info.value)

@@ -1,0 +1,149 @@
+"""Tests for the IR builder: folding, identities, block-local CSE."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (ArrayType, BinOp, Const, Dimension, Function, INT,
+                      IRBuilder, REAL, Var)
+
+
+def fresh():
+    function = Function("f", is_main=True)
+    builder = IRBuilder(function)
+    builder.set_block(function.new_block("entry"))
+    return function, builder
+
+
+class TestConstantFolding:
+    def test_add(self):
+        _, b = fresh()
+        assert b.binop("add", 2, 3) == Const(5)
+
+    def test_comparison(self):
+        _, b = fresh()
+        assert b.binop("lt", 2, 3) == Const(True)
+
+    def test_int_division_truncates_toward_zero(self):
+        _, b = fresh()
+        assert b.binop("div", -7, 2) == Const(-3)
+        assert b.binop("div", 7, -2) == Const(-3)
+
+    def test_mod_sign_follows_dividend(self):
+        _, b = fresh()
+        assert b.binop("mod", -7, 2) == Const(-1)
+        assert b.binop("mod", 7, 2) == Const(1)
+
+    def test_division_by_zero_not_folded(self):
+        _, b = fresh()
+        result = b.binop("div", 1, 0)
+        assert isinstance(result, Var)
+
+    def test_min_max(self):
+        _, b = fresh()
+        assert b.binop("min", 2, 3) == Const(2)
+        assert b.binop("max", 2, 3) == Const(3)
+
+    def test_unop_folds(self):
+        _, b = fresh()
+        assert b.unop("neg", 4) == Const(-4)
+        assert b.unop("abs", -4) == Const(4)
+        assert b.unop("itor", 2) == Const(2.0)
+        assert b.unop("rtoi", 2.9) == Const(2)
+
+    def test_transcendental_not_folded(self):
+        _, b = fresh()
+        assert isinstance(b.unop("sqrt", 4.0), Var)
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        _, b = fresh()
+        v = Var("x", INT)
+        assert b.binop("add", v, 0) is v
+        assert b.binop("add", 0, v) is v
+
+    def test_mul_one(self):
+        _, b = fresh()
+        v = Var("x", INT)
+        assert b.binop("mul", v, 1) is v
+
+    def test_real_identities_preserved(self):
+        # x + 0 on reals must not be folded (signed-zero semantics)
+        _, b = fresh()
+        v = Var("x", REAL)
+        assert isinstance(b.binop("add", v, 0), Var)
+
+
+class TestLocalCSE:
+    def test_repeated_expression_reuses_temp(self):
+        _, b = fresh()
+        v = Var("x", INT)
+        t1 = b.binop("mul", v, 5)
+        t2 = b.binop("mul", v, 5)
+        assert t1 is t2
+
+    def test_assignment_invalidates(self):
+        _, b = fresh()
+        v = Var("x", INT)
+        t1 = b.binop("mul", v, 5)
+        b.assign(v, 7)
+        t2 = b.binop("mul", v, 5)
+        assert t1 is not t2
+
+    def test_block_change_invalidates(self):
+        f, b = fresh()
+        v = Var("x", INT)
+        t1 = b.binop("mul", v, 5)
+        b.jump(f.new_block("next"))
+        b.set_block(f.blocks[-1])
+        t2 = b.binop("mul", v, 5)
+        assert t1 is not t2
+
+    def test_call_invalidates(self):
+        f, b = fresh()
+        v = Var("x", INT)
+        t1 = b.binop("mul", v, 5)
+        b.call("sub", [], [])
+        t2 = b.binop("mul", v, 5)
+        assert t1 is not t2
+
+    def test_unop_cse(self):
+        _, b = fresh()
+        v = Var("x", INT)
+        assert b.unop("neg", v) is b.unop("neg", v)
+
+
+class TestStructure:
+    def test_emit_into_terminated_block_fails(self):
+        f, b = fresh()
+        b.ret()
+        with pytest.raises(IRError):
+            b.binop("add", Var("x", INT), Var("y", INT))
+
+    def test_load_requires_declared_array(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.load("ghost", [Const(1)])
+
+    def test_store_requires_declared_array(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.store("ghost", [Const(1)], Const(1))
+
+    def test_load_result_type(self):
+        f, b = fresh()
+        f.add_array("a", ArrayType(REAL, [Dimension.of(1, 4)]))
+        dest = b.load("a", [Const(1)])
+        assert dest.type is REAL
+
+    def test_temp_types_recorded(self):
+        f, b = fresh()
+        t = b.new_temp(REAL)
+        assert f.scalar_types[t.name] is REAL
+
+    def test_result_type_mixing(self):
+        _, b = fresh()
+        t = b.binop("add", Var("x", INT), Var("y", REAL))
+        assert t.type is REAL
+        c = b.binop("lt", Var("x", INT), Var("z", INT))
+        assert c.type.value == "bool"

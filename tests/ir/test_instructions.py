@@ -1,0 +1,159 @@
+"""Tests for IR instructions, especially the Check canonical-form
+rewriting used by SSA renaming and copy propagation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (Assign, BinOp, Check, CondJump, Const, Function, INT,
+                      Jump, Load, Phi, Return, Store, UnOp, Var)
+from repro.ir.instructions import Guard
+from repro.symbolic import LinearExpr
+
+
+def make_check(terms, bound, kind="upper"):
+    linexpr = LinearExpr(terms, 0)
+    operands = {s: Var(s, INT) for s in linexpr.symbols()}
+    return Check(linexpr, bound, operands, kind)
+
+
+class TestUsesAndDefs:
+    def test_assign(self):
+        inst = Assign(Var("x", INT), Const(1))
+        assert inst.def_var() == Var("x", INT)
+        assert inst.uses() == [Const(1)]
+
+    def test_binop(self):
+        inst = BinOp(Var("t", INT), "add", Var("a", INT), Const(2))
+        assert len(inst.uses()) == 2
+
+    def test_bad_binop_op(self):
+        with pytest.raises(IRError):
+            BinOp(Var("t", INT), "frobnicate", Const(1), Const(2))
+
+    def test_bad_unop_op(self):
+        with pytest.raises(IRError):
+            UnOp(Var("t", INT), "nope", Const(1))
+
+    def test_load_store(self):
+        load = Load(Var("t", INT), "a", [Var("i", INT)])
+        store = Store("a", [Var("i", INT)], Var("t", INT))
+        assert load.def_var() is not None
+        assert store.def_var() is None
+        assert Var("i", INT) in store.uses()
+
+    def test_return_without_value(self):
+        assert Return().uses() == []
+
+    def test_terminator_flags(self):
+        assert Return().is_terminator
+        assert not Assign(Var("x", INT), Const(0)).is_terminator
+
+
+class TestReplaceUses:
+    def test_assign_replacement(self):
+        inst = Assign(Var("x", INT), Var("y", INT))
+        inst.replace_uses({Var("y", INT): Const(5)})
+        assert inst.src == Const(5)
+
+    def test_binop_replacement(self):
+        inst = BinOp(Var("t", INT), "add", Var("a", INT), Var("a", INT))
+        inst.replace_uses({Var("a", INT): Var("a.1", INT)})
+        assert inst.lhs == Var("a.1", INT)
+        assert inst.rhs == Var("a.1", INT)
+
+    def test_dest_not_replaced(self):
+        inst = Assign(Var("x", INT), Var("y", INT))
+        inst.replace_uses({Var("x", INT): Var("z", INT)})
+        assert inst.dest == Var("x", INT)
+
+
+class TestCheck:
+    def test_canonical_validation(self):
+        with pytest.raises(IRError):
+            Check(LinearExpr({"i": 1}, 0), 5, {}, "upper")
+
+    def test_kind_validation(self):
+        with pytest.raises(IRError):
+            make_check({"i": 1}, 5, kind="sideways")
+
+    def test_uses_are_operands(self):
+        check = make_check({"i": 1, "n": -1}, 0)
+        assert set(check.uses()) == {Var("i", INT), Var("n", INT)}
+
+    def test_rename_updates_linexpr(self):
+        check = make_check({"i": 2}, 10)
+        check.replace_uses({Var("i", INT): Var("i.3", INT)})
+        assert check.linexpr == LinearExpr({"i.3": 2}, 0)
+        assert check.operands["i.3"] == Var("i.3", INT)
+
+    def test_constant_folding_into_bound(self):
+        check = make_check({"i": 2}, 10)
+        check.replace_uses({Var("i", INT): Const(3)})
+        assert check.linexpr.is_constant()
+        assert check.bound == 4  # 2*3 <= 10 becomes 0 <= 4
+
+    def test_partial_fold(self):
+        check = make_check({"i": 1, "j": 1}, 10)
+        check.replace_uses({Var("j", INT): Const(4)})
+        assert check.linexpr == LinearExpr({"i": 1}, 0)
+        assert check.bound == 6
+
+    def test_rename_merges_symbols(self):
+        check = make_check({"i": 1, "j": 2}, 10)
+        check.replace_uses({Var("j", INT): Var("i", INT)})
+        assert check.linexpr == LinearExpr({"i": 3}, 0)
+
+    def test_guarded_check_uses_include_guard(self):
+        guard = Guard(LinearExpr({"n": -1}, 0), -1, {"n": Var("n", INT)})
+        check = Check(LinearExpr({"k": 1}, 0), 10, {"k": Var("k", INT)},
+                      "upper", "a", [guard])
+        assert check.is_conditional
+        assert Var("n", INT) in check.uses()
+
+    def test_guard_rename(self):
+        guard = Guard(LinearExpr({"n": -1}, 0), -1, {"n": Var("n", INT)})
+        check = Check(LinearExpr({"k": 1}, 0), 10, {"k": Var("k", INT)},
+                      "upper", "a", [guard])
+        check.replace_uses({Var("n", INT): Var("n.2", INT)})
+        assert check.guards[0].linexpr == LinearExpr({"n.2": -1}, 0)
+
+    def test_str_forms(self):
+        check = make_check({"i": 1}, 9)
+        assert "check (i <= 9)" in str(check)
+        guard = Guard(LinearExpr({"n": -1}, 0), -1, {"n": Var("n", INT)})
+        cond = Check(LinearExpr({"k": 1}, 0), 10, {"k": Var("k", INT)},
+                     "upper", "", [guard])
+        assert str(cond).startswith("cond-check")
+
+
+class TestControlFlow:
+    def test_jump_successors(self):
+        function = Function("f", is_main=True)
+        b1 = function.new_block()
+        b2 = function.new_block()
+        b1.append(Jump(b2))
+        assert b1.successors() == [b2]
+
+    def test_condjump_successors(self):
+        function = Function("f", is_main=True)
+        b1 = function.new_block()
+        b2 = function.new_block()
+        b3 = function.new_block()
+        b1.append(CondJump(Const(True), b2, b3))
+        assert b1.successors() == [b2, b3]
+
+    def test_phi_value_for(self):
+        function = Function("f", is_main=True)
+        b1 = function.new_block()
+        b2 = function.new_block()
+        phi = Phi(Var("x", INT), [(b1, Const(1)), (b2, Const(2))])
+        assert phi.value_for(b1) == Const(1)
+        with pytest.raises(IRError):
+            phi.value_for(function.new_block())
+
+    def test_phi_set_value_for(self):
+        function = Function("f", is_main=True)
+        b1 = function.new_block()
+        phi = Phi(Var("x", INT), [(b1, Const(1))])
+        phi.set_value_for(b1, Const(9))
+        assert phi.value_for(b1) == Const(9)

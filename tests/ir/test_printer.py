@@ -1,0 +1,57 @@
+"""Tests for the IR printer."""
+
+from repro.ir import format_block, format_function, format_module
+
+from ..conftest import lower, lower_ssa
+
+
+SOURCE = """
+program show
+  input integer :: n = 3
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  print a(1)
+end program
+subroutine helper(x)
+  real :: x(10)
+  x(1) = 0.0
+end subroutine
+"""
+
+
+class TestPrinter:
+    def test_module_lists_main_first(self):
+        text = format_module(lower(SOURCE))
+        assert text.index("program show") < text.index("subroutine helper")
+
+    def test_function_header_lists_params(self):
+        module = lower(SOURCE)
+        text = format_function(module.functions["helper"])
+        assert "subroutine helper(&x)" in text
+
+    def test_array_declarations_shown(self):
+        text = format_function(lower(SOURCE).main)
+        assert "array a: real(1:10)" in text
+
+    def test_blocks_labelled(self):
+        text = format_function(lower(SOURCE).main)
+        assert "do_head" in text
+        assert "entry" in text
+
+    def test_checks_printed_in_paper_notation(self):
+        text = format_function(lower(SOURCE).main)
+        assert "check (" in text
+        assert "<=" in text
+
+    def test_phis_printed(self):
+        text = format_function(lower_ssa(SOURCE).main)
+        assert "phi(" in text
+
+    def test_block_formatting(self):
+        main = lower(SOURCE).main
+        text = format_block(main.entry)
+        assert text.startswith(main.entry.name + ":")
+        assert "\n  " in text

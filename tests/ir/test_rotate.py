@@ -1,0 +1,114 @@
+"""Tests for the loop-rotation transform."""
+
+from repro.checks import OptimizerOptions, Scheme, optimize_module
+from repro.interp import Machine
+from repro.ir import CondJump, rotate_loops, rotate_module, verify_function
+from repro.pipeline import compile_source
+from repro.ssa import construct_ssa
+
+from ..conftest import lower
+
+WHILE_LOOP = """
+program w
+  input integer :: n = 10, k = 5
+  integer :: i
+  real :: a(10)
+  i = 1
+  while (i <= n) do
+    a(k) = a(k) + 1.0
+    i = i + 1
+  end while
+  print a(5)
+end program
+"""
+
+
+class TestRotation:
+    def test_rotates_while_loop(self):
+        module = lower(WHILE_LOOP)
+        assert rotate_loops(module.main) == 1
+
+    def test_latch_gets_conditional_terminator(self):
+        module = lower(WHILE_LOOP)
+        rotate_loops(module.main)
+        latches = [b for b in module.main.blocks
+                   if b.name.startswith("wh_latch")]
+        assert isinstance(latches[0].terminator, CondJump)
+
+    def test_semantics_preserved(self):
+        reference = lower(WHILE_LOOP)
+        m1 = Machine(reference, {"n": 7})
+        m1.run()
+        module = lower(WHILE_LOOP)
+        rotate_loops(module.main)
+        verify_function(module.main)
+        m2 = Machine(module, {"n": 7})
+        m2.run()
+        assert m1.output == m2.output
+        assert m1.counters.checks == m2.counters.checks
+
+    def test_zero_trip_semantics(self):
+        module = lower(WHILE_LOOP)
+        rotate_loops(module.main)
+        machine = Machine(module, {"n": 0})
+        machine.run()
+        reference = Machine(lower(WHILE_LOOP), {"n": 0})
+        reference.run()
+        assert machine.output == reference.output
+
+    def test_idempotent(self):
+        module = lower(WHILE_LOOP)
+        assert rotate_loops(module.main) == 1
+        assert rotate_loops(module.main) == 0
+
+    def test_ssa_construction_after_rotation(self):
+        module = lower(WHILE_LOOP)
+        rotate_module(module)
+        for function in module:
+            construct_ssa(function)
+        machine = Machine(module, {"n": 5})
+        machine.run()
+        assert machine.output
+
+    def test_straightline_untouched(self):
+        module = lower("""
+program p
+  integer :: i
+  i = 1
+  print i
+end program
+""")
+        assert rotate_loops(module.main) == 0
+
+
+class TestRotationEnablesSE:
+    """The paper: rotation lets safe-earliest hoist out of while loops."""
+
+    def test_se_hoists_after_rotation(self):
+        baseline = compile_source(WHILE_LOOP, optimize=False).run({"n": 40})
+        plain = compile_source(WHILE_LOOP,
+                               OptimizerOptions(scheme=Scheme.SE)
+                               ).run({"n": 40})
+        rotated = compile_source(WHILE_LOOP,
+                                 OptimizerOptions(scheme=Scheme.SE),
+                                 rotate_loops=True).run({"n": 40})
+        assert rotated.output == baseline.output
+        assert rotated.counters.checks < plain.counters.checks
+        assert rotated.counters.checks <= 4  # hoisted out of the loop
+
+    def test_rotation_preserves_traps(self):
+        import pytest
+        from repro.errors import RangeTrap
+        program = compile_source(WHILE_LOOP,
+                                 OptimizerOptions(scheme=Scheme.SE),
+                                 rotate_loops=True)
+        with pytest.raises(RangeTrap):
+            program.run({"n": 5, "k": 11})
+
+    def test_rotation_no_false_trap_on_zero_trip(self):
+        # k out of bounds but the loop never runs: must not trap
+        program = compile_source(WHILE_LOOP,
+                                 OptimizerOptions(scheme=Scheme.SE),
+                                 rotate_loops=True)
+        machine = program.run({"n": 0, "k": 11})
+        assert machine.output

@@ -1,0 +1,66 @@
+"""Tests for IR types."""
+
+import pytest
+
+from repro.ir import ArrayType, Dimension, INT, REAL
+from repro.symbolic import LinearExpr
+
+
+class TestDimension:
+    def test_of_ints(self):
+        dim = Dimension.of(1, 10)
+        assert dim.lower == LinearExpr.constant(1)
+        assert dim.upper == LinearExpr.constant(10)
+
+    def test_of_symbol(self):
+        dim = Dimension.of(1, "n")
+        assert dim.upper == LinearExpr.symbol("n")
+
+    def test_of_linexpr(self):
+        dim = Dimension.of(LinearExpr.constant(0), LinearExpr({"n": 2}, -1))
+        assert dim.upper.coefficient("n") == 2
+
+    def test_extent(self):
+        assert Dimension.of(1, 10).extent() == LinearExpr.constant(10)
+        assert Dimension.of(0, 9).extent() == LinearExpr.constant(10)
+
+    def test_is_static(self):
+        assert Dimension.of(1, 10).is_static()
+        assert not Dimension.of(1, "n").is_static()
+
+    def test_equality(self):
+        assert Dimension.of(1, 10) == Dimension.of(1, 10)
+        assert Dimension.of(1, 10) != Dimension.of(0, 10)
+
+    def test_bad_bound_type(self):
+        with pytest.raises(TypeError):
+            Dimension.of(1.5, 10)
+
+    def test_str(self):
+        assert str(Dimension.of(1, "n")) == "1:n"
+
+
+class TestArrayType:
+    def test_rank(self):
+        atype = ArrayType(REAL, [Dimension.of(1, 10), Dimension.of(0, 5)])
+        assert atype.rank == 2
+
+    def test_requires_dimension(self):
+        with pytest.raises(ValueError):
+            ArrayType(INT, [])
+
+    def test_is_static(self):
+        static = ArrayType(INT, [Dimension.of(1, 4)])
+        dynamic = ArrayType(INT, [Dimension.of(1, "n")])
+        assert static.is_static()
+        assert not dynamic.is_static()
+
+    def test_equality(self):
+        a = ArrayType(REAL, [Dimension.of(1, 10)])
+        b = ArrayType(REAL, [Dimension.of(1, 10)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str(self):
+        atype = ArrayType(REAL, [Dimension.of(1, 10)])
+        assert str(atype) == "real(1:10)"

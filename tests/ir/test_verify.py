@@ -1,0 +1,121 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (Assign, Const, Function, INT, Jump, Module, Phi,
+                      Return, Var, verify_function, verify_module)
+from repro.ir.instructions import Call
+
+
+def terminated_function():
+    f = Function("f", is_main=True)
+    block = f.new_block("entry")
+    block.append(Return())
+    return f, block
+
+
+class TestVerifyFunction:
+    def test_valid_function_passes(self):
+        f, _ = terminated_function()
+        verify_function(f)
+
+    def test_missing_entry(self):
+        with pytest.raises(IRError):
+            verify_function(Function("f"))
+
+    def test_unterminated_block(self):
+        f = Function("f")
+        block = f.new_block()
+        block.append(Assign(Var("x", INT), Const(1)))
+        with pytest.raises(IRError):
+            verify_function(f)
+
+    def test_empty_block(self):
+        f = Function("f")
+        f.new_block()
+        with pytest.raises(IRError):
+            verify_function(f)
+
+    def test_misplaced_phi(self):
+        f, block = terminated_function()
+        block.insert(0, Assign(Var("x", INT), Const(1)))
+        block.insert(1, Phi(Var("y", INT)))
+        with pytest.raises(IRError):
+            verify_function(f)
+
+    def test_phi_predecessor_mismatch(self):
+        f = Function("f")
+        entry = f.new_block("entry")
+        other = f.new_block("other")
+        join = f.new_block("join")
+        entry.append(Jump(join))
+        other.append(Jump(join))  # 'other' is unreachable but listed
+        phi = Phi(Var("x", INT), [(entry, Const(1))])
+        join.insert(0, phi)
+        join.append(Return())
+        with pytest.raises(IRError):
+            verify_function(f)
+
+    def test_stale_block_pointer(self):
+        f, block = terminated_function()
+        stray = Assign(Var("x", INT), Const(1))
+        stray.block = None
+        block.instructions.insert(0, stray)  # bypass append()
+        with pytest.raises(IRError):
+            verify_function(f)
+
+    def test_noncanonical_check(self):
+        from repro.ir import Check
+        from repro.symbolic import LinearExpr
+        f, block = terminated_function()
+        bad = Check.__new__(Check)
+        bad.linexpr = LinearExpr({"i": 1}, 5)  # nonzero constant term
+        bad.bound = 0
+        bad.operands = {"i": Var("i", INT)}
+        bad.kind = "upper"
+        bad.array = ""
+        bad.guards = []
+        bad.block = block
+        block.instructions.insert(0, bad)
+        with pytest.raises(IRError):
+            verify_function(f)
+
+
+class TestVerifyModule:
+    def test_call_scalar_arity(self):
+        module = Module()
+        caller = Function("main", is_main=True)
+        entry = caller.new_block()
+        entry.append(Call("callee", [Const(1), Const(2)]))
+        entry.append(Return())
+        callee = Function("callee")
+        callee.add_param(Var("n", INT))
+        callee.new_block().append(Return())
+        module.add(caller)
+        module.add(callee)
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_call_array_arity(self):
+        module = Module()
+        caller = Function("main", is_main=True)
+        entry = caller.new_block()
+        entry.append(Call("callee", [], ["a"]))
+        entry.append(Return())
+        callee = Function("callee")
+        callee.new_block().append(Return())
+        module.add(caller)
+        module.add(callee)
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_call_unknown_function(self):
+        module = Module()
+        caller = Function("main", is_main=True)
+        entry = caller.new_block()
+        entry.append(Call("ghost", []))
+        entry.append(Return())
+        module.add(caller)
+        with pytest.raises(IRError):
+            verify_module(module)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+program demo
+  input integer :: n = 20
+  integer :: i
+  real :: a(50)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  print a(n)
+end program
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.f"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_output(self, source_file, capsys):
+        code = main(["run", source_file, "--input", "n=10"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == "10.0"
+        assert "range checks executed" in captured.err
+
+    def test_run_uses_defaults(self, source_file, capsys):
+        code = main(["run", source_file])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "20.0"
+
+    def test_run_unoptimized(self, source_file, capsys):
+        main(["run", source_file, "--no-optimize"])
+        err = capsys.readouterr().err
+        assert "42 range checks" in err  # 2 per iteration + 2 post-loop
+
+    def test_trap_exit_code(self, source_file, capsys):
+        code = main(["run", source_file, "--input", "n=60"])
+        assert code == 2
+        assert "TRAP" in capsys.readouterr().err
+
+    def test_scheme_selection(self, source_file, capsys):
+        main(["run", source_file, "--scheme", "NI"])
+        err1 = capsys.readouterr().err
+        main(["run", source_file, "--scheme", "LLS"])
+        err2 = capsys.readouterr().err
+        assert err1 != err2
+
+    def test_rotate_flag(self, source_file, capsys):
+        code = main(["run", source_file, "--scheme", "SE",
+                     "--rotate-loops"])
+        assert code == 0
+
+    def test_bad_input_format(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--input", "n"])
+
+    def test_missing_file(self, capsys):
+        code = main(["run", "/nonexistent/path.f"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.f"
+        bad.write_text("program p\nif then\nend program")
+        code = main(["run", str(bad)])
+        assert code == 1
+
+
+class TestDumpAndCompare:
+    def test_dump_shows_ir(self, source_file, capsys):
+        code = main(["dump", source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "program demo" in out
+        assert "cond-check" in out  # LLS hoisted something
+
+    def test_dump_unoptimized_has_plain_checks(self, source_file, capsys):
+        main(["dump", source_file, "--no-optimize"])
+        out = capsys.readouterr().out
+        assert "check (" in out
+
+    def test_compare_lists_all_schemes(self, source_file, capsys):
+        code = main(["compare", source_file, "--input", "n=15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for scheme in ("NI", "CS", "LNI", "SE", "LI", "LLS", "ALL", "MCM"):
+            assert scheme in out
+
+
+class TestFigures:
+    def test_figures_render(self, capsys):
+        code = main(["figures"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure1" in out
+        assert "figure6" in out
+
+
+class TestExplain:
+    def test_explain_renders_report(self, source_file, capsys):
+        code = main(["explain", source_file, "--scheme", "LLS"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimization report (PRX-LLS)" in out
+        assert "eliminated" in out
+
+    def test_explain_respects_kind(self, source_file, capsys):
+        code = main(["explain", source_file, "--kind", "INX"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "INX-LLS" in out
+
+    def test_run_compiled_engine(self, source_file, capsys):
+        code = main(["run", source_file, "--input", "n=10",
+                     "--engine", "compiled"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == "10.0"

@@ -1,0 +1,87 @@
+"""Tests for the end-to-end pipeline driver."""
+
+import pytest
+
+from repro import (CheckKind, OptimizerOptions, RangeTrap, Scheme,
+                   compile_source)
+
+
+class TestCompileSource:
+    def test_default_pipeline(self, loop_program):
+        program = compile_source(loop_program)
+        machine = program.run({"n": 5})
+        assert machine.output
+
+    def test_no_checks_variant(self, loop_program):
+        program = compile_source(loop_program, insert_checks=False)
+        machine = program.run({"n": 5})
+        assert machine.counters.checks == 0
+
+    def test_unoptimized_variant(self, loop_program):
+        naive = compile_source(loop_program, optimize=False)
+        optimized = compile_source(loop_program)
+        m1 = naive.run({"n": 5})
+        m2 = optimized.run({"n": 5})
+        assert m2.counters.checks < m1.counters.checks
+        assert m1.output == m2.output
+
+    def test_non_ssa_variant(self, loop_program):
+        program = compile_source(loop_program, ssa=False, optimize=False)
+        machine = program.run({"n": 5})
+        assert machine.counters.phis == 0
+
+    def test_stats_exposed(self, loop_program):
+        program = compile_source(loop_program,
+                                 OptimizerOptions(scheme=Scheme.LLS))
+        total = program.total_stats()
+        assert total.checks_before > total.checks_after
+
+    def test_trap_propagates(self):
+        program = compile_source("""
+program p
+  input integer :: i = 11
+  real :: a(10)
+  a(i) = 1.0
+end program
+""")
+        with pytest.raises(RangeTrap):
+            program.run({"i": 11})
+
+    def test_each_scheme_runs(self, loop_program):
+        for scheme in Scheme:
+            program = compile_source(loop_program,
+                                     OptimizerOptions(scheme=scheme))
+            machine = program.run({"n": 4})
+            assert machine.output
+
+    def test_inx_kind_runs(self, loop_program):
+        program = compile_source(
+            loop_program,
+            OptimizerOptions(scheme=Scheme.LLS, kind=CheckKind.INX))
+        machine = program.run({"n": 4})
+        assert machine.output
+
+
+class TestValueNumberingOption:
+    INDIRECT = """
+program p
+  input integer :: i = 2, j = 3, c = 1
+  real :: a(100), b(100)
+  a(i * j) = 1.0
+  if (c > 0) then
+    b(i * j) = 2.0
+  end if
+  print a(6)
+end program
+"""
+
+    def test_gvn_improves_check_elimination(self):
+        plain = compile_source(self.INDIRECT,
+                               OptimizerOptions(scheme=Scheme.NI))
+        gvn = compile_source(self.INDIRECT,
+                             OptimizerOptions(scheme=Scheme.NI),
+                             value_number=True)
+        m_plain = plain.run()
+        m_gvn = gvn.run()
+        assert m_gvn.output == m_plain.output
+        assert m_gvn.counters.checks < m_plain.counters.checks

@@ -1,0 +1,108 @@
+"""Tests for the post-LCM cleanup passes."""
+
+from repro.interp import Machine
+from repro.ir import (Assign, Const, Function, INT, IRBuilder, Module, Var,
+                      verify_function)
+from repro.pre import (cleanup_after_lcm, propagate_copies_locally,
+                       remove_dead_pure_code)
+
+from ..conftest import lower
+
+
+def straightline():
+    f = Function("main", is_main=True)
+    b = IRBuilder(f)
+    b.set_block(f.new_block("entry"))
+    return f, b
+
+
+class TestCopyPropagation:
+    def test_simple_copy_forwarded(self):
+        f, b = straightline()
+        x, y, z = Var("x", INT), Var("y", INT), Var("z", INT)
+        b.assign(y, 5)
+        b.assign(x, y)
+        b.assign(z, b.binop("add", x, 1))
+        b.print_value(z)
+        b.ret()
+        replaced = propagate_copies_locally(f)
+        assert replaced >= 1
+        module = Module("m")
+        module.add(f)
+        machine = Machine(module)
+        machine.run()
+        assert machine.output == [6]
+
+    def test_redefinition_invalidates(self):
+        f, b = straightline()
+        x, y = Var("x", INT), Var("y", INT)
+        b.assign(y, 5)
+        b.assign(x, y)
+        b.assign(y, 9)          # y redefined: x must keep the old value
+        b.print_value(x)
+        b.ret()
+        propagate_copies_locally(f)
+        module = Module("m")
+        module.add(f)
+        machine = Machine(module)
+        machine.run()
+        assert machine.output == [5]
+
+    def test_constant_propagation(self):
+        f, b = straightline()
+        x = Var("x", INT)
+        b.assign(x, 7)
+        b.print_value(x)
+        b.ret()
+        replaced = propagate_copies_locally(f)
+        assert replaced == 1
+
+
+class TestDeadCodeRemoval:
+    def test_unused_def_removed(self):
+        f, b = straightline()
+        b.assign(Var("x", INT), 5)
+        b.ret()
+        removed = remove_dead_pure_code(f)
+        assert removed == 1
+
+    def test_chains_collapse(self):
+        f, b = straightline()
+        x, y = Var("x", INT), Var("y", INT)
+        b.assign(x, 5)
+        b.assign(y, x)  # y unused; x only used by the dead copy
+        b.ret()
+        removed = remove_dead_pure_code(f)
+        assert removed == 2
+
+    def test_used_defs_kept(self):
+        f, b = straightline()
+        x = Var("x", INT)
+        b.assign(x, 5)
+        b.print_value(x)
+        b.ret()
+        assert remove_dead_pure_code(f) == 0
+
+    def test_stores_never_removed(self):
+        source = """
+program p
+  real :: a(5)
+  a(1) = 1.0
+end program
+"""
+        module = lower(source, insert_checks=False)
+        from repro.ir import Store
+        remove_dead_pure_code(module.main)
+        assert any(isinstance(i, Store)
+                   for i in module.main.instructions())
+
+    def test_cleanup_combined(self):
+        f, b = straightline()
+        x, y = Var("x", INT), Var("y", INT)
+        b.assign(x, 5)
+        b.assign(y, x)
+        b.print_value(y)
+        b.ret()
+        changed = cleanup_after_lcm(f)
+        assert changed >= 1
+        verify_function(f)

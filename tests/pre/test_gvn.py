@@ -1,0 +1,164 @@
+"""Tests for global value numbering."""
+
+from repro.checks import CanonicalCheck, OptimizerOptions, Scheme, \
+    optimize_module
+from repro.interp import Machine
+from repro.ir import BinOp, Check
+from repro.pre import global_value_numbering
+
+from ..conftest import lower_ssa
+
+
+def count_binops(function, op=None):
+    return sum(1 for i in function.instructions()
+               if isinstance(i, BinOp) and (op is None or i.op == op))
+
+
+class TestGVN:
+    def test_cross_block_redundancy_removed(self):
+        module = lower_ssa("""
+program p
+  input integer :: n = 3, c = 1
+  integer :: a, b
+  if (c > 0) then
+    a = n * 7
+  end if
+  b = n * 7
+  print b
+end program
+""")
+        main = module.main
+        # n*7 in the if-arm does NOT dominate the later one; but the
+        # entry block computes nothing -- only dominating repeats go
+        removed = global_value_numbering(main)
+        assert removed == 0  # no false positives across non-dominators
+
+    def test_dominating_redundancy_removed(self):
+        module = lower_ssa("""
+program p
+  input integer :: n = 3
+  integer :: a, b, c
+  a = n * 7
+  if (a > 0) then
+    b = n * 7
+    print b
+  end if
+  c = n * 7
+  print c
+end program
+""")
+        main = module.main
+        before = count_binops(main, "mul")
+        removed = global_value_numbering(main)
+        assert removed == 2
+        assert count_binops(main, "mul") == before - 2
+        machine = Machine(module, {"n": 3})
+        machine.run()
+        assert machine.output == [21, 21]
+
+    def test_commutativity(self):
+        module = lower_ssa("""
+program p
+  input integer :: n = 3, m = 4
+  integer :: a, b
+  a = n + m
+  b = m + n
+  print a + b
+end program
+""")
+        removed = global_value_numbering(module.main)
+        assert removed >= 1
+
+    def test_copy_chains_share_numbers(self):
+        module = lower_ssa("""
+program p
+  input integer :: n = 3
+  integer :: a, b, c
+  a = n
+  b = a * 2
+  c = n * 2
+  print b + c
+end program
+""")
+        removed = global_value_numbering(module.main)
+        assert removed == 1
+
+    def test_checks_families_merge(self):
+        """The range-check payoff: nonlinear subscripts computed in
+        different (dominating) blocks end up in one family."""
+        source = """
+program p
+  input integer :: i = 2, j = 3, c = 1
+  real :: a(100), b(100)
+  a(i * j) = 1.0
+  if (c > 0) then
+    b(i * j) = 2.0
+  end if
+end program
+"""
+        module = lower_ssa(source)
+        main = module.main
+        global_value_numbering(main)
+        families = {CanonicalCheck.of(inst).linexpr
+                    for inst in main.instructions()
+                    if isinstance(inst, Check)}
+        # one family for i*j uppers and one for lowers
+        symbolic = [f for f in families if not f.is_constant()]
+        assert len(symbolic) == 2
+        # and redundancy elimination now removes the duplicated pair
+        optimize_module(module, OptimizerOptions(scheme=Scheme.NI))
+        remaining = [inst for inst in main.instructions()
+                     if isinstance(inst, Check)]
+        assert len(remaining) == 2
+
+    def test_semantics_preserved_on_suite_program(self):
+        from repro.benchsuite import get_program
+        program = get_program("linpackd")
+        module = lower_ssa(program.source)
+        reference = Machine(lower_ssa(program.source), program.test_inputs)
+        reference.run()
+        for function in module:
+            global_value_numbering(function)
+        machine = Machine(module, program.test_inputs)
+        machine.run()
+        assert machine.output == reference.output
+
+    def test_phi_value_reused_across_blocks(self):
+        # the merged (phi) value is a single SSA name, so a computation
+        # over it in a dominated block merges with the dominating one
+        module = lower_ssa("""
+program p
+  input integer :: c = 1
+  integer :: n, a, b
+  if (c > 0) then
+    n = 2
+  else
+    n = 5
+  end if
+  a = n * 3
+  if (a > 0) then
+    b = n * 3
+    print b
+  end if
+  print a
+end program
+""")
+        removed = global_value_numbering(module.main)
+        assert removed == 1
+        machine = Machine(module, {"c": 0})
+        machine.run()
+        assert machine.output == [15, 15]
+
+    def test_same_block_already_handled_by_builder_cse(self):
+        # two identical expressions in one block share a temp at
+        # lowering time; GVN has nothing left to do
+        module = lower_ssa("""
+program p
+  input integer :: n = 2
+  integer :: a, b
+  a = n * 3
+  b = n * 3
+  print a + b
+end program
+""")
+        assert global_value_numbering(module.main) == 0

@@ -1,0 +1,187 @@
+"""Tests for expression PRE (lazy code motion)."""
+
+from repro.interp import Machine
+from repro.ir import (Assign, BinOp, Const, Function, INT, IRBuilder, Jump,
+                      Module, Return, Var, verify_function)
+from repro.pre import (LazyCodeMotion, cleanup_after_lcm,
+                       eliminate_partial_redundancies)
+
+from ..conftest import lower
+
+
+def run_and_count(module):
+    machine = Machine(module)
+    machine.run()
+    return machine
+
+
+def build_diamond(partial=True):
+    f = Function("main", is_main=True)
+    b = IRBuilder(f)
+    entry = f.new_block("entry")
+    then_b = f.new_block("then")
+    else_b = f.new_block("else")
+    join = f.new_block("join")
+    b.set_block(entry)
+    a = Var("a", INT)
+    c = Var("c", INT)
+    b.assign(a, 7)
+    cond = b.binop("gt", a, 3)
+    b.cond_jump(cond, then_b, else_b)
+    b.set_block(then_b)
+    b.assign(c, b.binop("mul", a, 5))
+    b.jump(join)
+    b.set_block(else_b)
+    if not partial:
+        b.assign(c, b.binop("mul", a, 5))
+    else:
+        b.assign(c, 0)
+    b.jump(join)
+    b.set_block(join)
+    b.assign(Var("d", INT), b.binop("mul", a, 5))
+    b.print_value(Var("d", INT))
+    b.print_value(c)
+    b.ret()
+    module = Module("m")
+    module.add(f)
+    return module, f
+
+
+def count_muls(function):
+    return sum(1 for i in function.instructions()
+               if isinstance(i, BinOp) and i.op == "mul")
+
+
+class TestLCM:
+    def test_partial_redundancy_eliminated(self):
+        module, f = build_diamond(partial=True)
+        before = run_and_count(module)
+        inserted, replaced = eliminate_partial_redundancies(f)
+        verify_function(f)
+        assert inserted == 1
+        assert replaced == 1
+        after = run_and_count(module)
+        assert after.output == before.output
+
+    def test_full_redundancy_eliminated(self):
+        module, f = build_diamond(partial=False)
+        before = run_and_count(module)
+        inserted, replaced = eliminate_partial_redundancies(f)
+        verify_function(f)
+        assert replaced >= 1
+        after = run_and_count(module)
+        assert after.output == before.output
+
+    def test_top_test_loop_blocks_hoisting(self):
+        """The paper's observation (section 3.3): the control-flow
+        structure of while-style loops prevents a computation from being
+        anticipatable at the preheader, so plain LCM cannot hoist it."""
+        source = """
+program p
+  input integer :: n = 10, m = 3
+  integer :: i, s, t
+  s = 0
+  do i = 1, n
+    t = m * 7
+    s = s + t
+  end do
+  print s
+end program
+"""
+        module = lower(source, insert_checks=False)
+        before = run_and_count(module)
+        eliminate_partial_redundancies(module.main)
+        verify_function(module.main)
+        after = run_and_count(module)
+        assert after.output == before.output
+        # no improvement is possible without loop rotation
+        assert after.counters.instructions == before.counters.instructions
+
+    def test_bottom_test_loop_hoists_invariant(self):
+        """With a rotated (repeat-style) loop the invariant hoists."""
+        f = Function("main", is_main=True)
+        b = IRBuilder(f)
+        entry = f.new_block("entry")
+        body = f.new_block("body")
+        exit_block = f.new_block("exit")
+        i = Var("i", INT)
+        m = Var("m", INT)
+        s = Var("s", INT)
+        b.set_block(entry)
+        b.assign(i, 0)
+        b.assign(m, 3)
+        b.assign(s, 0)
+        b.jump(body)
+        b.set_block(body)
+        t = b.binop("mul", m, 7)
+        b.assign(s, b.binop("add", s, t))
+        b.assign(i, b.binop("add", i, 1))
+        cond = b.binop("lt", i, 10)
+        b.cond_jump(cond, body, exit_block)
+        b.set_block(exit_block)
+        b.print_value(s)
+        b.ret()
+        module = Module("m")
+        module.add(f)
+        before = run_and_count(module)
+        inserted, replaced = eliminate_partial_redundancies(f)
+        cleanup_after_lcm(f)
+        verify_function(f)
+        assert inserted >= 1 and replaced >= 1
+        after = run_and_count(module)
+        assert after.output == before.output == [210]
+        assert after.counters.instructions < before.counters.instructions
+
+    def test_no_change_on_clean_code(self):
+        source = """
+program p
+  input integer :: n = 3
+  integer :: a
+  a = n * 2
+  print a
+end program
+"""
+        module = lower(source, insert_checks=False)
+        inserted, replaced = eliminate_partial_redundancies(module.main)
+        assert replaced == 0
+
+    def test_operand_kill_blocks_motion(self):
+        source = """
+program p
+  input integer :: n = 3
+  integer :: a, b
+  a = n * 2
+  n = n + 1
+  b = n * 2
+  print a + b
+end program
+"""
+        # n is an input but reassigned; n*2 before and after differ
+        module = lower(source, insert_checks=False)
+        before = run_and_count(module)
+        eliminate_partial_redundancies(module.main)
+        after = run_and_count(module)
+        assert after.output == before.output == [14]
+
+    def test_branchy_program_preserved(self):
+        source = """
+program p
+  input integer :: n = 6
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    if (mod(i, 2) == 0) then
+      s = s + i * 3
+    else
+      s = s - i * 3
+    end if
+  end do
+  print s
+end program
+"""
+        module = lower(source, insert_checks=False)
+        before = run_and_count(module)
+        eliminate_partial_redundancies(module.main)
+        verify_function(module.main)
+        after = run_and_count(module)
+        assert after.output == before.output

@@ -1,0 +1,80 @@
+"""Tests for the block-local PRE properties (ANTLOC/COMP/TRANSP)."""
+
+from repro.analysis.availexpr import expr_key
+from repro.ir import BinOp
+from repro.pre import LocalProperties
+
+from ..conftest import lower
+
+
+def properties_for(source):
+    module = lower(source, insert_checks=False)
+    return LocalProperties(module.main), module.main
+
+
+class TestLocalProperties:
+    def test_upward_and_downward_exposure(self):
+        props, main = properties_for("""
+program p
+  input integer :: n = 1
+  integer :: a, b
+  a = n * 2
+  n = 7
+  b = n * 2
+end program
+""")
+        entry = main.entry
+        muls = [i for i in main.instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        key = expr_key(muls[0])
+        # n*2 is computed before n's redefinition: upward exposed...
+        assert key in props.antloc[entry]
+        # ...and recomputed after it: downward exposed at block exit
+        assert key in props.comp[entry]
+        # but the block redefines n, so it is not transparent
+        assert key not in props.transp[entry]
+
+    def test_killed_expression_not_downward_exposed(self):
+        props, main = properties_for("""
+program p
+  input integer :: n = 1
+  integer :: a
+  a = n * 2
+  n = 7
+end program
+""")
+        entry = main.entry
+        muls = [i for i in main.instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        key = expr_key(muls[0])
+        assert key in props.antloc[entry]
+        assert key not in props.comp[entry]
+
+    def test_transparent_block(self):
+        props, main = properties_for("""
+program p
+  input integer :: n = 1, m = 2
+  integer :: a
+  a = n * 2
+  print m
+end program
+""")
+        entry = main.entry
+        muls = [i for i in main.instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        key = expr_key(muls[0])
+        assert key in props.transp[entry]
+
+    def test_killed_by_map(self):
+        props, main = properties_for("""
+program p
+  input integer :: n = 1
+  integer :: a
+  a = n * 2
+end program
+""")
+        muls = [i for i in main.instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        key = expr_key(muls[0])
+        assert key in props.killed_by("n")
+        assert props.killed_by("unrelated") == set()

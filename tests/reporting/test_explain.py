@@ -1,0 +1,74 @@
+"""Tests for the optimization explanation report."""
+
+from repro.checks import OptimizerOptions, Scheme
+from repro.reporting import explain_optimization
+
+SOURCE = """
+program p
+  input integer :: n = 20
+  integer :: i
+  real :: a(0:50)
+  do i = 1, n
+    a(i) = a(i - 1) + 1.0
+  end do
+  print a(1)
+end program
+"""
+
+
+class TestExplain:
+    def test_dynamic_counts(self):
+        report = explain_optimization(SOURCE,
+                                      OptimizerOptions(scheme=Scheme.LLS))
+        assert report.dynamic_before > report.dynamic_after
+        assert report.percent_eliminated > 90.0
+
+    def test_families_tracked(self):
+        report = explain_optimization(SOURCE,
+                                      OptimizerOptions(scheme=Scheme.LLS))
+        function = report.functions["p"]
+        # the loop-index families were emptied
+        i_families = [f for key, f in function.families.items()
+                      if key.startswith("i.") or key.startswith("-i.")]
+        assert i_families
+        for family in i_families:
+            assert family.checks_before
+            assert not family.checks_after
+
+    def test_inserted_cond_checks_listed(self):
+        report = explain_optimization(SOURCE,
+                                      OptimizerOptions(scheme=Scheme.LLS))
+        function = report.functions["p"]
+        inserted = [cond for family in function.families.values()
+                    for cond in family.cond_checks_after]
+        assert any("cond-check" in text for text in inserted)
+
+    def test_render_is_readable(self):
+        report = explain_optimization(SOURCE,
+                                      OptimizerOptions(scheme=Scheme.NI))
+        text = report.render()
+        assert "optimization report (PRX-NI)" in text
+        assert "family" in text
+
+    def test_ni_keeps_some_checks(self):
+        report = explain_optimization(SOURCE,
+                                      OptimizerOptions(scheme=Scheme.NI))
+        function = report.functions["p"]
+        survivors = sum(len(f.checks_after)
+                        for f in function.families.values())
+        assert survivors > 0
+
+    def test_trap_reports_surface(self):
+        bad = """
+program p
+  real :: a(10)
+  a(11) = 1.0
+  print a(1)
+end program
+"""
+        # the trap is compile-time; executing would raise, so only
+        # collect statics by giving the interpreter a run that traps
+        import pytest
+        from repro.errors import RangeTrap
+        with pytest.raises(RangeTrap):
+            explain_optimization(bad, OptimizerOptions(scheme=Scheme.NI))

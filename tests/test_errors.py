@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (CompileTimeTrap, InterpError, IRError, LexError,
+                          ParseError, RangeTrap, ReproError, SemanticError,
+                          SourceError)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (SourceError("x"), LexError("x"), ParseError("x"),
+                    SemanticError("x"), IRError("x"), InterpError("x"),
+                    RangeTrap("x"), CompileTimeTrap("x")):
+            assert isinstance(exc, ReproError)
+
+    def test_source_errors_are_catchable_together(self):
+        for cls in (LexError, ParseError, SemanticError):
+            assert issubclass(cls, SourceError)
+
+    def test_range_trap_is_interp_error(self):
+        assert issubclass(RangeTrap, InterpError)
+
+
+class TestFormatting:
+    def test_message_only(self):
+        assert str(SourceError("boom")) == "boom"
+
+    def test_with_line(self):
+        assert str(SourceError("boom", 12)) == "line 12: boom"
+
+    def test_with_line_and_column(self):
+        assert str(SourceError("boom", 12, 3)) == "line 12, column 3: boom"
+
+    def test_trap_carries_check_repr(self):
+        trap = RangeTrap("failed", "check (i <= 9)")
+        assert trap.check_repr == "check (i <= 9)"
+
+
+class TestCatchability:
+    def test_frontend_error_is_catchable_at_api_level(self):
+        from repro import compile_source
+        with pytest.raises(ReproError):
+            compile_source("program p\nif then\nend program")
+
+    def test_semantic_error_is_catchable(self):
+        from repro import compile_source
+        with pytest.raises(SemanticError):
+            compile_source("program p\ni = 1\nend program")

@@ -1,0 +1,107 @@
+"""The paper's four headline results, asserted as tests.
+
+From the abstract: "(1) the execution overhead of naive range checking
+is high enough to merit optimization, (2) there are substantial
+differences between various optimizations, (3) loop-based optimizations
+that hoist checks out of loops are effective in eliminating about 98%
+of the range checks, and (4) more sophisticated analysis and
+optimization algorithms produce very marginal benefits."
+
+Run on the full benchmark suite with test-sized inputs; the benchmark
+harness (`benchmarks/`) re-asserts the same shapes at full scale.
+"""
+
+import pytest
+
+from repro.benchsuite import all_programs
+from repro.checks import ImplicationMode, OptimizerOptions, Scheme
+from repro.pipeline.stats import measure_baseline, measure_scheme
+
+PROGRAMS = all_programs()
+
+
+@pytest.fixture(scope="module")
+def suite_data():
+    data = {}
+    for program in PROGRAMS:
+        baseline = measure_baseline(program.name, program.source,
+                                    program.test_inputs)
+        cells = {}
+        for scheme in (Scheme.NI, Scheme.CS, Scheme.SE, Scheme.LLS,
+                       Scheme.ALL):
+            cells[scheme] = measure_scheme(
+                program.name, program.source,
+                OptimizerOptions(scheme=scheme),
+                baseline.dynamic_checks, program.test_inputs)
+        data[program.name] = (baseline, cells)
+    return data
+
+
+class TestResult1Overhead:
+    def test_checks_are_a_large_fraction_of_work(self, suite_data):
+        for name, (baseline, _) in suite_data.items():
+            assert baseline.dynamic_ratio > 20.0, name
+
+    def test_every_program_runs_thousands_of_checks(self, suite_data):
+        for name, (baseline, _) in suite_data.items():
+            assert baseline.dynamic_checks > 100, name
+
+
+class TestResult2SubstantialDifferences:
+    def test_lls_beats_ni_substantially(self, suite_data):
+        for name, (_, cells) in suite_data.items():
+            gap = cells[Scheme.LLS].percent_eliminated - \
+                cells[Scheme.NI].percent_eliminated
+            assert gap > 5.0, name
+
+    def test_spread_across_schemes(self, suite_data):
+        spreads = []
+        for name, (_, cells) in suite_data.items():
+            values = [c.percent_eliminated for c in cells.values()]
+            spreads.append(max(values) - min(values))
+        assert max(spreads) > 20.0
+
+
+class TestResult3LoopHoisting:
+    def test_lls_suite_average_is_high(self, suite_data):
+        average = sum(cells[Scheme.LLS].percent_eliminated
+                      for _, cells in suite_data.values()) / len(suite_data)
+        # ~98% on the paper's full-scale inputs; >= 90% at test scale,
+        # where the constant preheader cost is amortized less
+        assert average >= 90.0
+
+    def test_lls_wins_on_every_program(self, suite_data):
+        for name, (_, cells) in suite_data.items():
+            best_other = max(
+                cells[s].percent_eliminated
+                for s in (Scheme.NI, Scheme.CS, Scheme.SE))
+            assert cells[Scheme.LLS].percent_eliminated >= best_other, name
+
+
+class TestResult4MarginalSophistication:
+    def test_all_gains_little_over_lls(self, suite_data):
+        for name, (_, cells) in suite_data.items():
+            gain = cells[Scheme.ALL].percent_eliminated - \
+                cells[Scheme.LLS].percent_eliminated
+            assert gain < 10.0, name
+
+    def test_cs_and_se_gain_little_over_ni(self, suite_data):
+        for name, (_, cells) in suite_data.items():
+            assert cells[Scheme.SE].percent_eliminated - \
+                cells[Scheme.NI].percent_eliminated < 15.0, name
+
+    def test_implications_barely_matter_for_lls(self):
+        for program in PROGRAMS[:4]:
+            baseline = measure_baseline(program.name, program.source,
+                                        program.test_inputs)
+            lls = measure_scheme(program.name, program.source,
+                                 OptimizerOptions(scheme=Scheme.LLS),
+                                 baseline.dynamic_checks,
+                                 program.test_inputs)
+            lls_prime = measure_scheme(
+                program.name, program.source,
+                OptimizerOptions(scheme=Scheme.LLS,
+                                 implication=ImplicationMode.CROSS_FAMILY),
+                baseline.dynamic_checks, program.test_inputs)
+            assert lls.percent_eliminated - \
+                lls_prime.percent_eliminated < 8.0
