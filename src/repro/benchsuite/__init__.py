@@ -1,9 +1,11 @@
 """The ten-program benchmark suite and its runner (paper section 4)."""
 
+from .parallel import SuiteResult, run_compare, run_program, run_suite
 from .registry import BenchmarkProgram, all_programs, get_program
 from .runner import (TABLE2_SCHEMES, TABLE3_ROWS, run_table1, run_table2,
                      run_table3)
 
-__all__ = ["BenchmarkProgram", "TABLE2_SCHEMES", "TABLE3_ROWS",
-           "all_programs", "get_program", "run_table1", "run_table2",
+__all__ = ["BenchmarkProgram", "SuiteResult", "TABLE2_SCHEMES",
+           "TABLE3_ROWS", "all_programs", "get_program", "run_compare",
+           "run_program", "run_suite", "run_table1", "run_table2",
            "run_table3"]

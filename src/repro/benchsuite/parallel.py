@@ -1,0 +1,185 @@
+"""Parallel, cache-aware execution of the benchmark suite.
+
+``repro tables``/``compare`` evaluate an embarrassingly parallel grid:
+every benchmark program is independent of every other, and within one
+program every optimizer configuration starts from the same frontend
+module.  :func:`run_suite` therefore fans out *per program* over a
+``concurrent.futures`` process pool — each worker task compiles the
+frontend once (through a private :class:`FrontendCache`), measures the
+Table 1 baseline, and then every Table 2/3 cell against it.
+
+Determinism: tasks are submitted and collected in registry order, so
+results (and the rendered tables) are byte-identical for any ``--jobs``
+value.  Robustness: any pool-level failure (fork limits, pickling,
+broken workers) falls back to running the remaining work serially in
+this process.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..checks.config import CheckKind, OptimizerOptions, Scheme
+from ..pipeline.cache import CACHE_DIR_ENV, FrontendCache
+from ..pipeline.stats import (BaselineMeasurement, SchemeMeasurement,
+                              measure_baseline, measure_scheme)
+from .registry import BenchmarkProgram, all_programs, get_program
+from .runner import TABLE2_SCHEMES, TABLE3_ROWS
+
+Cells = Dict[Tuple[str, str], SchemeMeasurement]
+
+
+class SuiteResult:
+    """Everything one ``tables`` run produced, in registry order."""
+
+    def __init__(self, names: List[str], rows: List[BaselineMeasurement],
+                 table2: Cells, table3: Cells,
+                 cache_stats: Dict[str, Dict[str, int]],
+                 jobs: int = 1, parallel: bool = False) -> None:
+        self.names = names
+        self.rows = rows
+        self.table2 = table2
+        self.table3 = table3
+        #: per-program FrontendCache counter snapshots
+        self.cache_stats = cache_stats
+        self.jobs = jobs
+        #: whether the process pool was actually used (False after a
+        #: serial fallback)
+        self.parallel = parallel
+
+    def frontend_compiles(self) -> int:
+        """Total frontend runs across the suite — equals the number of
+        programs when the cache did its job."""
+        return sum(stats.get("frontend_compiles", 0)
+                   for stats in self.cache_stats.values())
+
+
+ProgramResult = Tuple[BaselineMeasurement, Cells, Cells, Dict[str, int]]
+
+
+def run_program(name: str, small: bool = False) -> ProgramResult:
+    """Measure one program under every table configuration.
+
+    This is the process-pool task: module-level so it pickles, keyed
+    by program name so only small strings cross the process boundary.
+    A task-private :class:`FrontendCache` guarantees the frontend runs
+    exactly once regardless of which process executes the task.
+    """
+    program = get_program(name)
+    inputs = program.test_inputs if small else program.inputs
+    # task-private counters (the "frontend once per program" proof),
+    # but still honoring the REPRO_CACHE_DIR on-disk layer
+    cache = FrontendCache(os.environ.get(CACHE_DIR_ENV) or None)
+    baseline = measure_baseline(program.name, program.source, inputs,
+                                cache=cache)
+    table2: Cells = {}
+    for kind in (CheckKind.PRX, CheckKind.INX):
+        for scheme in TABLE2_SCHEMES:
+            options = OptimizerOptions(scheme=scheme, kind=kind)
+            table2[(options.label(), name)] = measure_scheme(
+                name, program.source, options, baseline.dynamic_checks,
+                inputs, cache=cache)
+    table3: Cells = {}
+    for kind in (CheckKind.PRX, CheckKind.INX):
+        for scheme, mode in TABLE3_ROWS:
+            options = OptimizerOptions(scheme=scheme, kind=kind,
+                                       implication=mode)
+            table3[(options.label(), name)] = measure_scheme(
+                name, program.source, options, baseline.dynamic_checks,
+                inputs, cache=cache)
+    return baseline, table2, table3, cache.stats()
+
+
+def _run_pool(names: List[str], small: bool,
+              jobs: int) -> List[Optional[ProgramResult]]:
+    """One result per name, in order; ``None`` where a task failed."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    results: List[Optional[ProgramResult]] = [None] * len(names)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(run_program, name, small) for name in names]
+        for index, future in enumerate(futures):
+            results[index] = future.result()
+    return results
+
+
+def run_suite(programs: Optional[Iterable[BenchmarkProgram]] = None,
+              small: bool = False, jobs: int = 1) -> SuiteResult:
+    """Run Tables 1-3 for the suite, ``jobs`` programs at a time.
+
+    ``jobs <= 1`` runs serially in-process.  Pool failures degrade to
+    serial execution with a note on stderr; results are identical
+    either way.
+    """
+    names = [p.name for p in (programs or all_programs())]
+    results: List[Optional[ProgramResult]] = [None] * len(names)
+    used_pool = False
+    if jobs > 1 and len(names) > 1:
+        try:
+            results = _run_pool(names, small, jobs)
+            used_pool = True
+        except Exception as error:  # pool machinery, not measurement
+            print("warning: process pool failed (%s: %s); "
+                  "falling back to serial execution"
+                  % (type(error).__name__, error), file=sys.stderr)
+            results = [None] * len(names)
+    for index, name in enumerate(names):
+        if results[index] is None:
+            results[index] = run_program(name, small)
+
+    rows: List[BaselineMeasurement] = []
+    table2: Cells = {}
+    table3: Cells = {}
+    cache_stats: Dict[str, Dict[str, int]] = {}
+    for name, result in zip(names, results):
+        baseline, cells2, cells3, stats = result
+        rows.append(baseline)
+        table2.update(cells2)
+        table3.update(cells3)
+        cache_stats[name] = stats
+    return SuiteResult(names, rows, table2, table3, cache_stats,
+                       jobs=jobs, parallel=used_pool)
+
+
+# -- per-scheme fan-out for ``repro compare`` -------------------------
+
+
+def compare_scheme(source: str, kind_name: str, scheme_name: str,
+                   baseline_checks: int,
+                   inputs: Dict[str, float]) -> SchemeMeasurement:
+    """Process-pool task for one ``compare`` row (module-level for
+    pickling; enums travel by name)."""
+    options = OptimizerOptions(scheme=Scheme[scheme_name],
+                               kind=CheckKind[kind_name])
+    return measure_scheme("<file>", source, options, baseline_checks,
+                          inputs)
+
+
+def run_compare(source: str, kind: CheckKind, baseline_checks: int,
+                inputs: Dict[str, float],
+                jobs: int = 1) -> List[Tuple[Scheme, SchemeMeasurement]]:
+    """One ``compare`` cell per scheme, in :class:`Scheme` order."""
+    schemes = list(Scheme)
+    cells: List[Optional[SchemeMeasurement]] = [None] * len(schemes)
+    if jobs > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [pool.submit(compare_scheme, source, kind.name,
+                                       scheme.name, baseline_checks, inputs)
+                           for scheme in schemes]
+                for index, future in enumerate(futures):
+                    cells[index] = future.result()
+        except Exception as error:
+            print("warning: process pool failed (%s: %s); "
+                  "falling back to serial execution"
+                  % (type(error).__name__, error), file=sys.stderr)
+            cells = [None] * len(schemes)
+    for index, scheme in enumerate(schemes):
+        if cells[index] is None:
+            cells[index] = compare_scheme(source, kind.name, scheme.name,
+                                          baseline_checks, inputs)
+    return list(zip(schemes, cells))

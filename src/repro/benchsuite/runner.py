@@ -4,13 +4,22 @@ Each public function returns plain data structures (dicts keyed by
 program and configuration) that :mod:`repro.reporting.tables` renders
 in the paper's layout, and that the benchmark harness asserts shape
 properties on.
+
+All three runners share one :class:`~repro.pipeline.cache.FrontendCache`
+(the process-wide one unless an explicit cache is passed), so a full
+``tables`` run pays the parse+lower+SSA frontend exactly once per
+program instead of once per configuration (~19x).  ``run_table2`` and
+``run_table3`` also accept precomputed baselines so the naive-checking
+execution is shared as well; :mod:`repro.benchsuite.parallel` builds
+on that to fan programs out across a process pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..checks.config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
+from ..pipeline.cache import FrontendCache, shared_cache
 from ..pipeline.stats import (BaselineMeasurement, SchemeMeasurement,
                               measure_baseline, measure_scheme)
 from .registry import BenchmarkProgram, all_programs
@@ -32,31 +41,53 @@ TABLE3_ROWS: Tuple[Tuple[Scheme, ImplicationMode], ...] = (
 )
 
 
+def _resolve_cache(cache: Optional[FrontendCache]) -> FrontendCache:
+    return cache if cache is not None else shared_cache()
+
+
+def _baseline_for(program: BenchmarkProgram,
+                  inputs: Mapping[str, int],
+                  baselines: Optional[Mapping[str, BaselineMeasurement]],
+                  cache: FrontendCache) -> BaselineMeasurement:
+    if baselines is not None and program.name in baselines:
+        return baselines[program.name]
+    return measure_baseline(program.name, program.source, inputs,
+                            cache=cache)
+
+
 def run_table1(programs: Optional[Iterable[BenchmarkProgram]] = None,
-               small: bool = False) -> List[BaselineMeasurement]:
+               small: bool = False,
+               cache: Optional[FrontendCache] = None
+               ) -> List[BaselineMeasurement]:
     """Program characteristics (Table 1) for the whole suite."""
+    cache = _resolve_cache(cache)
     rows = []
     for program in programs or all_programs():
         inputs = program.test_inputs if small else program.inputs
-        rows.append(measure_baseline(program.name, program.source, inputs))
+        rows.append(measure_baseline(program.name, program.source, inputs,
+                                     cache=cache))
     return rows
 
 
 def run_table2(programs: Optional[Iterable[BenchmarkProgram]] = None,
                kinds: Tuple[CheckKind, ...] = (CheckKind.PRX, CheckKind.INX),
                schemes: Tuple[Scheme, ...] = TABLE2_SCHEMES,
-               small: bool = False
+               small: bool = False,
+               cache: Optional[FrontendCache] = None,
+               baselines: Optional[Mapping[str, BaselineMeasurement]] = None
                ) -> Dict[Tuple[str, str], SchemeMeasurement]:
     """Percent of checks eliminated per (kind-scheme, program)."""
+    cache = _resolve_cache(cache)
     results: Dict[Tuple[str, str], SchemeMeasurement] = {}
     for program in programs or all_programs():
         inputs = program.test_inputs if small else program.inputs
-        baseline = measure_baseline(program.name, program.source, inputs)
+        baseline = _baseline_for(program, inputs, baselines, cache)
         for kind in kinds:
             for scheme in schemes:
                 options = OptimizerOptions(scheme=scheme, kind=kind)
                 cell = measure_scheme(program.name, program.source, options,
-                                      baseline.dynamic_checks, inputs)
+                                      baseline.dynamic_checks, inputs,
+                                      cache=cache)
                 results[(options.label(), program.name)] = cell
     return results
 
@@ -64,18 +95,22 @@ def run_table2(programs: Optional[Iterable[BenchmarkProgram]] = None,
 def run_table3(programs: Optional[Iterable[BenchmarkProgram]] = None,
                kinds: Tuple[CheckKind, ...] = (CheckKind.PRX, CheckKind.INX),
                rows: Tuple[Tuple[Scheme, ImplicationMode], ...] = TABLE3_ROWS,
-               small: bool = False
+               small: bool = False,
+               cache: Optional[FrontendCache] = None,
+               baselines: Optional[Mapping[str, BaselineMeasurement]] = None
                ) -> Dict[Tuple[str, str], SchemeMeasurement]:
     """The implication-mode ablation (Table 3)."""
+    cache = _resolve_cache(cache)
     results: Dict[Tuple[str, str], SchemeMeasurement] = {}
     for program in programs or all_programs():
         inputs = program.test_inputs if small else program.inputs
-        baseline = measure_baseline(program.name, program.source, inputs)
+        baseline = _baseline_for(program, inputs, baselines, cache)
         for kind in kinds:
             for scheme, mode in rows:
                 options = OptimizerOptions(scheme=scheme, kind=kind,
                                            implication=mode)
                 cell = measure_scheme(program.name, program.source, options,
-                                      baseline.dynamic_checks, inputs)
+                                      baseline.dynamic_checks, inputs,
+                                      cache=cache)
                 results[(options.label(), program.name)] = cell
     return results

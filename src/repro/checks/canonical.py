@@ -36,6 +36,16 @@ class CanonicalCheck:
         self.bound = bound
         self._hash = hash((linexpr, bound))
 
+    def __getstate__(self):
+        # never pickle the cached hash: it depends on the process's
+        # string hash seed and would corrupt hash containers after a
+        # cross-process round trip (e.g. the on-disk frontend cache)
+        return (self.linexpr, self.bound)
+
+    def __setstate__(self, state) -> None:
+        self.linexpr, self.bound = state
+        self._hash = hash((self.linexpr, self.bound))
+
     # -- constructors ---------------------------------------------------
 
     @staticmethod

@@ -30,11 +30,17 @@ def _parse_inputs(pairs: List[str]) -> Dict[str, float]:
     inputs: Dict[str, float] = {}
     for pair in pairs:
         name, _, text = pair.partition("=")
-        if not text:
+        name = name.strip()
+        text = text.strip()
+        if not name or not text:
             raise SystemExit("--input expects NAME=VALUE, got %r" % pair)
-        value = float(text) if "." in text or "e" in text.lower() \
-            else int(text)
-        inputs[name.strip()] = value
+        try:
+            value = float(text) if "." in text or "e" in text.lower() \
+                else int(text)
+        except ValueError:
+            raise SystemExit(
+                "--input %s: %r is not a decimal number" % (name, text))
+        inputs[name] = value
     return inputs
 
 
@@ -91,18 +97,26 @@ def _cmd_dump(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from .benchsuite import run_compare
+
     with open(args.file) as handle:
         source = handle.read()
     inputs = _parse_inputs(args.input)
     baseline = measure_baseline(args.file, source, inputs)
+    cells = run_compare(source, CheckKind[args.kind],
+                        baseline.dynamic_checks, inputs, jobs=args.jobs)
+    if args.json:
+        import json
+
+        from .reporting import compare_to_dict
+
+        print(json.dumps(compare_to_dict(args.file, baseline, cells),
+                         indent=2, sort_keys=True))
+        return 0
     print("naive checking: %d dynamic checks (%.1f%% of instructions)"
           % (baseline.dynamic_checks, baseline.dynamic_ratio))
     print("%-6s %12s %12s" % ("scheme", "dyn.checks", "eliminated"))
-    for scheme in Scheme:
-        options = OptimizerOptions(scheme=scheme,
-                                   kind=CheckKind[args.kind])
-        cell = measure_scheme(args.file, source, options,
-                              baseline.dynamic_checks, inputs)
+    for scheme, cell in cells:
         print("%-6s %12d %11.2f%%"
               % (scheme.value, cell.dynamic_checks,
                  cell.percent_eliminated))
@@ -120,27 +134,51 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+TABLE3_LABELS = ["PRX-NI", "PRX-NI'", "PRX-SE", "PRX-SE'", "PRX-LLS",
+                 "PRX-LLS'", "INX-NI", "INX-NI'", "INX-SE", "INX-SE'",
+                 "INX-LLS", "INX-LLS'"]
+
+
+def _table2_labels() -> List[str]:
+    from .benchsuite import TABLE2_SCHEMES
+
+    return ["%s-%s" % (kind.value, scheme.value)
+            for kind in (CheckKind.PRX, CheckKind.INX)
+            for scheme in TABLE2_SCHEMES]
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
-    from .benchsuite import (TABLE2_SCHEMES, all_programs, run_table1,
-                             run_table2, run_table3)
+    from .benchsuite import run_suite
     from .reporting import (format_scheme_table, format_table1,
                             overhead_estimate)
 
-    names = [p.name for p in all_programs()]
-    rows = run_table1(small=args.small)
-    print(format_table1(rows))
-    print("overhead estimate: %.0f%% - %.0f%%\n" % overhead_estimate(rows))
-    cells = run_table2(small=args.small)
-    labels = ["%s-%s" % (kind.value, scheme.value)
-              for kind in (CheckKind.PRX, CheckKind.INX)
-              for scheme in TABLE2_SCHEMES]
-    print(format_scheme_table(cells, labels, names, "Table 2"))
+    suite = run_suite(small=args.small, jobs=args.jobs)
+    labels = _table2_labels()
+    if args.json:
+        import json
+
+        from .reporting import tables_to_dict
+
+        print(json.dumps(tables_to_dict(suite, args.small, labels,
+                                        TABLE3_LABELS),
+                         indent=2, sort_keys=True))
+        return 0
+    # The Range(s) wall-clock column is opt-in so the default table
+    # text is byte-identical across runs and --jobs values.
+    print(format_table1(suite.rows))
+    print("overhead estimate: %.0f%% - %.0f%%\n"
+          % overhead_estimate(suite.rows))
+    print(format_scheme_table(suite.table2, labels, suite.names, "Table 2",
+                              timings=args.timings))
     print()
-    cells3 = run_table3(small=args.small)
-    labels3 = ["PRX-NI", "PRX-NI'", "PRX-SE", "PRX-SE'", "PRX-LLS",
-               "PRX-LLS'", "INX-NI", "INX-NI'", "INX-SE", "INX-SE'",
-               "INX-LLS", "INX-LLS'"]
-    print(format_scheme_table(cells3, labels3, names, "Table 3"))
+    print(format_scheme_table(suite.table3, TABLE3_LABELS, suite.names,
+                              "Table 3", timings=args.timings))
+    optimize_total = sum(c.optimize_seconds for c in suite.table2.values())
+    optimize_total += sum(c.optimize_seconds for c in suite.table3.values())
+    print("-- %d programs, %d cells, %.3fs in the check optimizer "
+          "(frontend compiled %d times)"
+          % (len(suite.names), len(suite.table2) + len(suite.table3),
+             optimize_total, suite.frontend_compiles()), file=sys.stderr)
     return 0
 
 
@@ -182,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 metavar="NAME=VALUE")
     compare_parser.add_argument("--kind", default="PRX",
                                 choices=[k.name for k in CheckKind])
+    compare_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                                help="measure schemes N at a time in a "
+                                     "process pool")
+    compare_parser.add_argument("--json", action="store_true",
+                                help="emit machine-readable results")
     compare_parser.set_defaults(handler=_cmd_compare)
 
     explain_parser = commands.add_parser(
@@ -195,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
         "tables", help="regenerate the paper's tables")
     tables_parser.add_argument("--small", action="store_true",
                                help="use test-sized inputs")
+    tables_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                               help="run benchmark programs N at a time "
+                                    "in a process pool")
+    tables_parser.add_argument("--json", action="store_true",
+                               help="emit machine-readable results "
+                                    "(counts + per-pass timings)")
+    tables_parser.add_argument("--timings", action="store_true",
+                               help="include the wall-clock Range(s) "
+                                    "column (nondeterministic output)")
     tables_parser.set_defaults(handler=_cmd_tables)
 
     figures_parser = commands.add_parser(
@@ -213,6 +265,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     except OSError as error:
         print("error: %s" % error, file=sys.stderr)
+        return 1
+    except RecursionError:
+        print("error: nesting too deep for the compiler "
+              "(simplify the expression or raise the recursion limit)",
+              file=sys.stderr)
+        return 1
+    except Exception as error:  # last resort: bounded, no traceback
+        message = "%s: %s" % (type(error).__name__, error)
+        if len(message) > 300:
+            message = message[:300] + "..."
+        print("internal error: %s" % message, file=sys.stderr)
         return 1
 
 

@@ -1,0 +1,204 @@
+"""Compilation caching for the measurement harness.
+
+The frontend prefix of the pipeline (parse -> lower -> [rotate] -> SSA)
+does not depend on the optimizer configuration, yet the table runs
+evaluate ~19 configurations per benchmark.  :class:`FrontendCache`
+memoizes the post-SSA module per ``(source hash, frontend options)``
+key and hands out a deep copy per request, so one table run pays the
+frontend exactly once per program.
+
+The cache keeps counters (``frontend_compiles``, ``hits``, ``misses``)
+that the benchmark tests assert on, and every request records either
+the fresh pass events or a ``frontend``/``clone`` pair (with
+``cached=True``) into the caller's :class:`PipelineTrace`.
+
+An optional on-disk layer (``disk_dir`` or the ``REPRO_CACHE_DIR``
+environment variable) pickles compiled frontends keyed by the same
+hash, surviving across processes; corrupt or unreadable entries fall
+back to recompilation.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+import pickle
+import time
+from typing import Dict, Optional, Tuple
+
+from ..ir.function import Module
+from .driver import module_size, run_frontend
+from .trace import PipelineTrace
+
+#: Environment variable enabling the on-disk layer for the default cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class _CacheEntry:
+    """A frontend module plus its pickled form.
+
+    Cloning by ``pickle.loads`` is ~5x faster than ``copy.deepcopy``
+    on this IR, so the blob — not the module — is the hot artifact;
+    ``blob=None`` (unpicklable module) degrades to deepcopy.
+    """
+
+    __slots__ = ("module", "blob", "size", "trace")
+
+    def __init__(self, module: Module,
+                 trace: Optional[PipelineTrace] = None) -> None:
+        self.module = module
+        self.trace = trace
+        self.size = module_size(module)
+        try:
+            self.blob: Optional[bytes] = pickle.dumps(module,
+                                                      _PICKLE_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError,
+                RecursionError):
+            self.blob = None
+
+    def clone(self) -> Module:
+        if self.blob is not None:
+            return pickle.loads(self.blob)
+        return copy.deepcopy(self.module)
+
+
+class FrontendCache:
+    """Shares one parsed+lowered+SSA module across configurations.
+
+    ``frontend()`` returns a private deep copy on every call, so
+    callers may mutate (optimize, destruct) their module freely.
+    """
+
+    def __init__(self, disk_dir: Optional[str] = None) -> None:
+        self.disk_dir = disk_dir
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        #: Number of times the frontend passes actually executed — the
+        #: counter the "at most once per program per table run"
+        #: acceptance test asserts on.
+        self.frontend_compiles = 0
+        self._memory: Dict[Tuple[str, bool, bool], _CacheEntry] = {}
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def key(source: str, insert_checks: bool = True,
+            rotate_loops: bool = False) -> Tuple[str, bool, bool]:
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return (digest, insert_checks, rotate_loops)
+
+    def _disk_path(self, key: Tuple[str, bool, bool]) -> str:
+        digest, insert_checks, rotate_loops = key
+        name = "%s-%d%d.frontend.pickle" % (digest, insert_checks,
+                                            rotate_loops)
+        return os.path.join(self.disk_dir or "", name)
+
+    # -- the on-disk layer ---------------------------------------------
+
+    def _load_disk(self, key: Tuple[str, bool, bool]
+                   ) -> Optional[_CacheEntry]:
+        if not self.disk_dir:
+            return None
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                module = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(module, Module):
+            return None
+        self.disk_hits += 1
+        return _CacheEntry(module)
+
+    def _store_disk(self, key: Tuple[str, bool, bool],
+                    blob: Optional[bytes]) -> None:
+        if not self.disk_dir or blob is None:
+            return
+        path = self._disk_path(key)
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            tmp = path + ".tmp.%d" % os.getpid()
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # caching is best-effort; never fail a compile
+
+    # -- the public API ------------------------------------------------
+
+    def frontend(self, source: str, insert_checks: bool = True,
+                 rotate_loops: bool = False,
+                 trace: Optional[PipelineTrace] = None) -> Module:
+        """A fresh deep copy of the cached frontend module for
+        ``source``, compiling (and caching) it on first request."""
+        key = self.key(source, insert_checks, rotate_loops)
+        entry = self._memory.get(key)
+        if entry is None:
+            entry = self._load_disk(key)
+            if entry is not None:
+                self._memory[key] = entry
+        if entry is None:
+            compile_trace = PipelineTrace()
+            module = run_frontend(source, insert_checks=insert_checks,
+                                  rotate_loops=rotate_loops, ssa=True,
+                                  trace=compile_trace)
+            entry = _CacheEntry(module, compile_trace)
+            self._memory[key] = entry
+            self.misses += 1
+            self.frontend_compiles += 1
+            self._store_disk(key, entry.blob)
+            if trace is not None:
+                trace.extend(compile_trace)
+        else:
+            self.hits += 1
+            if trace is not None:
+                trace.record("frontend", 0.0, size_after=entry.size,
+                             cached=True)
+        start = time.perf_counter()
+        module = entry.clone()
+        if trace is not None:
+            trace.record("clone", time.perf_counter() - start,
+                         size_before=entry.size, size_after=entry.size)
+        return module
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer is left alone)."""
+        self._memory.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for reporting and tests."""
+        return {
+            "frontend_compiles": self.frontend_compiles,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._memory),
+        }
+
+    def __repr__(self) -> str:
+        return "FrontendCache(%d entries, %d hits, %d compiles)" % (
+            len(self._memory), self.hits, self.frontend_compiles)
+
+
+_shared: Optional[FrontendCache] = None
+
+
+def shared_cache() -> FrontendCache:
+    """The process-wide cache the table runners default to.
+
+    Honors ``REPRO_CACHE_DIR`` for the optional on-disk layer.
+    """
+    global _shared
+    if _shared is None:
+        _shared = FrontendCache(os.environ.get(CACHE_DIR_ENV) or None)
+    return _shared
+
+
+def reset_shared_cache() -> None:
+    """Forget the process-wide cache (tests, long-lived servers)."""
+    global _shared
+    _shared = None

@@ -1,14 +1,25 @@
 """End-to-end compilation pipeline.
 
-``compile_source`` takes mini-Fortran text through: parse -> lower
-(with naive range checks) -> SSA -> range-check optimization, and
-returns a :class:`CompiledProgram` that can be executed with dynamic
-counting.  This is the Python counterpart of the paper's
+``compile_source`` takes mini-Fortran text through an explicit pass
+pipeline: parse -> lower (with naive range checks) -> [rotate] -> SSA
+-> [GVN] -> range-check optimization, and returns a
+:class:`CompiledProgram` that can be executed with dynamic counting.
+This is the Python counterpart of the paper's
 Nascent-plus-instrumented-C-backend toolchain.
+
+Each pass records a :class:`~repro.pipeline.trace.PassEvent` (wall
+time, IR size delta, optimizer counters) into a
+:class:`~repro.pipeline.trace.PipelineTrace`.  The frontend prefix
+(parse+lower+rotate+SSA) is pure with respect to the optimizer
+configuration, so the measurement harness shares it across the ~19
+configurations of one benchmark via
+:class:`~repro.pipeline.cache.FrontendCache`.
 """
 
 from __future__ import annotations
 
+import copy
+import time
 from typing import Dict, Mapping, Optional, Union
 
 from ..checks.config import OptimizerOptions
@@ -18,18 +29,95 @@ from ..interp.machine import Machine
 from ..ir.function import Module
 from ..ir.lowering import LoweringOptions, lower_source_file
 from ..ssa.construct import construct_ssa
+from .trace import PipelineTrace
 
 Number = Union[int, float]
 
 
+def module_size(module: Optional[Module]) -> int:
+    """Static instruction count of a module (0 for ``None``)."""
+    if module is None:
+        return 0
+    return sum(1 for function in module for _ in function.instructions())
+
+
+def run_frontend(source: str, insert_checks: bool = True,
+                 rotate_loops: bool = False, ssa: bool = True,
+                 trace: Optional[PipelineTrace] = None) -> Module:
+    """The configuration-independent frontend prefix of the pipeline.
+
+    Runs parse -> lower -> [rotate] -> [SSA] and records one trace
+    event per pass.  The returned module has naive checks (when
+    ``insert_checks``) and no optimization applied; it is the artifact
+    :class:`~repro.pipeline.cache.FrontendCache` memoizes.
+    """
+    trace = trace if trace is not None else PipelineTrace()
+
+    start = time.perf_counter()
+    tree = parse_source(source)
+    trace.record("parse", time.perf_counter() - start)
+
+    start = time.perf_counter()
+    module = lower_source_file(tree, LoweringOptions(insert_checks))
+    trace.record("lower", time.perf_counter() - start,
+                 size_after=module_size(module))
+
+    if rotate_loops:
+        from ..ir.rotate import rotate_module
+
+        with trace.timed("rotate", module_size(module)) as event:
+            rotate_module(module)
+            event.size_after = module_size(module)
+
+    if ssa:
+        with trace.timed("ssa", module_size(module)) as event:
+            for function in module:
+                construct_ssa(function)
+            event.size_after = module_size(module)
+    return module
+
+
+def _run_gvn(module: Module, trace: PipelineTrace) -> None:
+    from ..pre.gvn import global_value_numbering
+
+    with trace.timed("gvn", module_size(module)) as event:
+        for function in module:
+            global_value_numbering(function)
+        event.size_after = module_size(module)
+
+
+def _run_check_optimizer(module: Module, options: OptimizerOptions,
+                         trace: PipelineTrace) -> Dict[str, OptimizeStats]:
+    with trace.timed("check-optimize", module_size(module)) as event:
+        stats = optimize_module(module, options)
+        event.size_after = module_size(module)
+        event.counters = {
+            "checks_before": sum(s.checks_before for s in stats.values()),
+            "checks_after": sum(s.checks_after for s in stats.values()),
+            "inserted": sum(s.inserted for s in stats.values()),
+            "eliminated": sum(s.eliminated for s in stats.values()),
+            "compile_time": sum(s.compile_time for s in stats.values()),
+        }
+    return stats
+
+
 class CompiledProgram:
-    """A compiled (and possibly optimized) module, ready to execute."""
+    """A compiled (and possibly optimized) module, ready to execute.
+
+    ``run`` interprets ``self.module`` directly; ``run_compiled``
+    translates through the Python back-end.  The back-end consumes
+    non-SSA IR, so ``run_compiled`` destructs SSA on a *deep copy* of
+    the module — ``self.module`` is never mutated by execution, and
+    ``run``/``run_compiled`` may be called in any order (and
+    interleaved) with identical results.
+    """
 
     def __init__(self, module: Module,
-                 optimize_stats: Optional[Dict[str, OptimizeStats]] = None
-                 ) -> None:
+                 optimize_stats: Optional[Dict[str, OptimizeStats]] = None,
+                 trace: Optional[PipelineTrace] = None) -> None:
         self.module = module
         self.optimize_stats = optimize_stats or {}
+        self.trace = trace if trace is not None else PipelineTrace()
         self._python_module = None
 
     def run(self, inputs: Optional[Mapping[str, Number]] = None,
@@ -43,19 +131,22 @@ class CompiledProgram:
         """Execute via the Python back-end (the paper's instrumented-C
         methodology; ~10x faster than interpretation).
 
-        SSA is destructed on first use, so dynamic *instruction* counts
-        include the parallel-copy moves phis lower to; check counts and
-        outputs are identical to :meth:`run`.  Returns the back-end
-        runtime (``.counters``, ``.output``).
+        SSA is destructed on a private deep copy of the module, so
+        dynamic *instruction* counts include the parallel-copy moves
+        phis lower to; check counts and outputs are identical to
+        :meth:`run`, and calling the two in either order gives the
+        same numbers.  Returns the back-end runtime (``.counters``,
+        ``.output``).
         """
         if self._python_module is None:
             from ..backend.pybackend import compile_to_python
             from ..ssa.destruct import destruct_ssa
 
-            for function in self.module:
+            module = copy.deepcopy(self.module)
+            for function in module:
                 if any(block.phis() for block in function.blocks):
                     destruct_ssa(function)
-            self._python_module = compile_to_python(self.module)
+            self._python_module = compile_to_python(module)
         return self._python_module.run(inputs)
 
     def total_stats(self) -> OptimizeStats:
@@ -72,7 +163,10 @@ def compile_source(source: str,
                    optimize: bool = True,
                    ssa: bool = True,
                    rotate_loops: bool = False,
-                   value_number: bool = False) -> CompiledProgram:
+                   value_number: bool = False,
+                   trace: Optional[PipelineTrace] = None,
+                   cache: Optional["FrontendCache"] = None
+                   ) -> CompiledProgram:
     """Compile mini-Fortran source text.
 
     * ``insert_checks=False`` builds the check-free program (the
@@ -85,24 +179,29 @@ def compile_source(source: str,
     * ``value_number=True`` runs dominator-scoped GVN before check
       optimization, merging check families whose nonlinear subscripts
       are computed redundantly across blocks;
+    * ``trace`` collects per-pass events (a fresh
+      :class:`PipelineTrace` is created when omitted; it is exposed as
+      ``CompiledProgram.trace``);
+    * ``cache`` is an optional
+      :class:`~repro.pipeline.cache.FrontendCache`; when given (and
+      ``ssa`` is on) the frontend prefix is fetched from it — a deep
+      copy per call — instead of re-running parse/lower/SSA;
     * otherwise the checks are optimized under ``options``.
     """
-    tree = parse_source(source)
-    module = lower_source_file(tree, LoweringOptions(insert_checks))
-    if rotate_loops:
-        from ..ir.rotate import rotate_module
-
-        rotate_module(module)
+    trace = trace if trace is not None else PipelineTrace()
+    if cache is not None and ssa:
+        module = cache.frontend(source, insert_checks=insert_checks,
+                                rotate_loops=rotate_loops, trace=trace)
+    else:
+        module = run_frontend(source, insert_checks=insert_checks,
+                              rotate_loops=rotate_loops, ssa=ssa,
+                              trace=trace)
     if not ssa:
-        return CompiledProgram(module)
-    for function in module:
-        construct_ssa(function)
+        return CompiledProgram(module, trace=trace)
     if value_number:
-        from ..pre.gvn import global_value_numbering
-
-        for function in module:
-            global_value_numbering(function)
+        _run_gvn(module, trace)
     if not (insert_checks and optimize):
-        return CompiledProgram(module)
-    stats = optimize_module(module, options or OptimizerOptions())
-    return CompiledProgram(module, stats)
+        return CompiledProgram(module, trace=trace)
+    stats = _run_check_optimizer(module, options or OptimizerOptions(),
+                                 trace)
+    return CompiledProgram(module, stats, trace=trace)

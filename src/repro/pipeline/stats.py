@@ -5,6 +5,12 @@ Tables 2 and 3 need the percentage of dynamic checks each optimizer
 configuration eliminates, plus the compile time spent in the range
 check optimizer.  These helpers compile and execute one program under
 one configuration and collect exactly those numbers.
+
+Both measurement entry points accept an optional
+:class:`~repro.pipeline.cache.FrontendCache`; when given, the
+parse+lower+SSA prefix is shared (one compile per program) and each
+measurement carries a :class:`~repro.pipeline.trace.PipelineTrace`
+with per-pass timings.
 """
 
 from __future__ import annotations
@@ -15,12 +21,12 @@ from typing import Dict, Mapping, Optional, Union
 from ..analysis.loops import LoopForest
 from ..checks.config import OptimizerOptions
 from ..checks.optimizer import count_checks, optimize_module
-from ..frontend.parser import parse_source
 from ..interp.machine import Machine
 from ..ir.function import Module
 from ..ir.instructions import Check
-from ..ir.lowering import LoweringOptions, lower_source_file
-from ..ssa.construct import construct_ssa
+from .cache import FrontendCache
+from .driver import run_frontend
+from .trace import PipelineTrace
 
 Number = Union[int, float]
 
@@ -37,6 +43,7 @@ class BaselineMeasurement:
         self.dynamic_instructions = 0
         self.static_checks = 0
         self.dynamic_checks = 0
+        self.trace = PipelineTrace()
 
     @property
     def static_ratio(self) -> float:
@@ -69,6 +76,7 @@ class SchemeMeasurement:
         self.static_checks = 0
         self.optimize_seconds = 0.0
         self.compile_seconds = 0.0
+        self.trace = PipelineTrace()
 
     @property
     def percent_eliminated(self) -> float:
@@ -82,12 +90,17 @@ class SchemeMeasurement:
             self.name, self.label, self.percent_eliminated)
 
 
-def build_unoptimized(source: str) -> Module:
-    """Parse, lower with naive checks, and convert to SSA."""
-    module = lower_source_file(parse_source(source), LoweringOptions(True))
-    for function in module:
-        construct_ssa(function)
-    return module
+def build_unoptimized(source: str,
+                      cache: Optional[FrontendCache] = None,
+                      trace: Optional[PipelineTrace] = None) -> Module:
+    """Parse, lower with naive checks, and convert to SSA.
+
+    With a ``cache``, this is a deep copy of the shared frontend
+    module rather than a fresh frontend run.
+    """
+    if cache is not None:
+        return cache.frontend(source, trace=trace)
+    return run_frontend(source, trace=trace)
 
 
 def count_static(module: Module):
@@ -117,7 +130,8 @@ def count_static(module: Module):
 def _execute(module: Module, inputs: Optional[Mapping[str, Number]],
              max_steps: int, engine: str):
     """Run via the interpreter or the Python back-end; returns counters
-    and output uniformly."""
+    and output uniformly.  The compiled engine destructs SSA in place,
+    so it consumes ``module`` — callers hand over a private copy."""
     if engine == "interp":
         machine = Machine(module, inputs, max_steps)
         machine.run()
@@ -137,17 +151,21 @@ def _execute(module: Module, inputs: Optional[Mapping[str, Number]],
 def measure_baseline(name: str, source: str,
                      inputs: Optional[Mapping[str, Number]] = None,
                      max_steps: int = 50_000_000,
-                     engine: str = "interp") -> BaselineMeasurement:
+                     engine: str = "interp",
+                     cache: Optional[FrontendCache] = None
+                     ) -> BaselineMeasurement:
     """Compile without optimization, run, and fill a Table 1 row."""
     row = BaselineMeasurement(name)
     row.lines = sum(1 for line in source.splitlines() if line.strip())
-    module = build_unoptimized(source)
+    module = build_unoptimized(source, cache, row.trace)
     row.subroutines = sum(1 for f in module if not f.is_main)
     instructions, checks, loops = count_static(module)
     row.static_instructions = instructions
     row.static_checks = checks
     row.loops = loops
-    counters, _ = _execute(module, inputs, max_steps, engine)
+    with row.trace.timed("execute") as event:
+        counters, _ = _execute(module, inputs, max_steps, engine)
+        event.counters = {"engine": engine}
     row.dynamic_instructions = counters.instructions
     row.dynamic_checks = counters.checks
     return row
@@ -157,23 +175,26 @@ def measure_scheme(name: str, source: str, options: OptimizerOptions,
                    baseline_checks: int,
                    inputs: Optional[Mapping[str, Number]] = None,
                    max_steps: int = 50_000_000,
-                   engine: str = "interp") -> SchemeMeasurement:
+                   engine: str = "interp",
+                   cache: Optional[FrontendCache] = None
+                   ) -> SchemeMeasurement:
     """Compile under ``options``, run, and fill a Table 2/3 cell."""
     cell = SchemeMeasurement(name, options.label())
     cell.baseline_checks = baseline_checks
 
     compile_start = time.perf_counter()
-    module = lower_source_file(parse_source(source), LoweringOptions(True))
-    for function in module:
-        construct_ssa(function)
+    module = build_unoptimized(source, cache, cell.trace)
     optimize_start = time.perf_counter()
-    optimize_module(module, options)
+    with cell.trace.timed("check-optimize") as event:
+        optimize_module(module, options)
     optimize_end = time.perf_counter()
 
     cell.optimize_seconds = optimize_end - optimize_start
     cell.compile_seconds = optimize_end - compile_start
     cell.static_checks = sum(count_checks(f) for f in module)
-    counters, _ = _execute(module, inputs, max_steps, engine)
+    with cell.trace.timed("execute") as exec_event:
+        counters, _ = _execute(module, inputs, max_steps, engine)
+        exec_event.counters = {"engine": engine}
     cell.dynamic_checks = counters.checks
     return cell
 

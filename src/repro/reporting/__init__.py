@@ -6,13 +6,16 @@ from .figures import (FIGURE1_SOURCE, FIGURE5_SOURCE, FIGURE6_SOURCE,
                       figure6_preheader)
 from .explain import (ExplanationReport, FamilyReport, FunctionReport,
                       explain_optimization)
+from .jsonout import (baseline_to_dict, cell_to_dict, cells_to_list,
+                      compare_to_dict, tables_to_dict)
 from .tables import (format_scheme_table, format_table1, overhead_estimate,
                      rows_as_dict)
 
 __all__ = ["ExplanationReport", "FamilyReport", "FIGURE1_SOURCE",
            "FIGURE5_SOURCE", "FIGURE6_SOURCE", "FunctionReport",
-           "explain_optimization",
+           "baseline_to_dict", "cell_to_dict", "cells_to_list",
+           "compare_to_dict", "explain_optimization",
            "FigureReport", "all_figures", "figure1_availability",
            "figure1_strengthening", "figure5_safe_earliest",
            "figure6_preheader", "format_scheme_table", "format_table1",
-           "overhead_estimate", "rows_as_dict"]
+           "overhead_estimate", "rows_as_dict", "tables_to_dict"]

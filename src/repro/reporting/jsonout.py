@@ -1,0 +1,100 @@
+"""Machine-readable results (the ``--json`` flag).
+
+The text tables round percentages to two decimals and omit raw counts;
+downstream tooling (regression dashboards, the benchmark harness)
+wants the numbers themselves.  These helpers turn measurement objects
+into plain dicts: per-cell dynamic counts, static counts, and the
+per-pass timing events from each measurement's
+:class:`~repro.pipeline.trace.PipelineTrace`.
+
+Serialize with ``json.dumps(..., sort_keys=True)`` for byte-stable
+output across runs with equal measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from ..pipeline.stats import BaselineMeasurement, SchemeMeasurement
+
+#: Bumped whenever the JSON layout changes incompatibly.
+TABLES_SCHEMA = "repro.tables.v1"
+COMPARE_SCHEMA = "repro.compare.v1"
+
+
+def baseline_to_dict(row: BaselineMeasurement) -> Dict[str, Any]:
+    """One Table 1 row as a plain dict."""
+    return {
+        "program": row.name,
+        "lines": row.lines,
+        "subroutines": row.subroutines,
+        "loops": row.loops,
+        "static_instructions": row.static_instructions,
+        "dynamic_instructions": row.dynamic_instructions,
+        "static_checks": row.static_checks,
+        "dynamic_checks": row.dynamic_checks,
+        "static_ratio": row.static_ratio,
+        "dynamic_ratio": row.dynamic_ratio,
+        "passes": row.trace.as_dict()["events"],
+    }
+
+
+def cell_to_dict(cell: SchemeMeasurement) -> Dict[str, Any]:
+    """One Table 2/3 cell as a plain dict."""
+    return {
+        "program": cell.name,
+        "config": cell.label,
+        "dynamic_checks": cell.dynamic_checks,
+        "baseline_checks": cell.baseline_checks,
+        "static_checks": cell.static_checks,
+        "percent_eliminated": cell.percent_eliminated,
+        "optimize_seconds": cell.optimize_seconds,
+        "compile_seconds": cell.compile_seconds,
+        "frontend_cached": cell.trace.frontend_was_cached(),
+        "passes": cell.trace.as_dict()["events"],
+    }
+
+
+def cells_to_list(cells: Mapping[Tuple[str, str], SchemeMeasurement],
+                  row_order: Iterable[str],
+                  program_order: Iterable[str]) -> List[Dict[str, Any]]:
+    """Cells flattened in deterministic (config, program) order."""
+    programs = list(program_order)
+    out = []
+    for label in row_order:
+        for program in programs:
+            cell = cells.get((label, program))
+            if cell is not None:
+                out.append(cell_to_dict(cell))
+    return out
+
+
+def tables_to_dict(suite: "SuiteResult", small: bool,
+                   table2_labels: Iterable[str],
+                   table3_labels: Iterable[str]) -> Dict[str, Any]:
+    """The full ``repro tables --json`` document."""
+    return {
+        "schema": TABLES_SCHEMA,
+        "small": small,
+        "jobs": suite.jobs,
+        "parallel": suite.parallel,
+        "programs": suite.names,
+        "table1": [baseline_to_dict(row) for row in suite.rows],
+        "table2": cells_to_list(suite.table2, table2_labels, suite.names),
+        "table3": cells_to_list(suite.table3, table3_labels, suite.names),
+        "cache": {name: dict(stats)
+                  for name, stats in suite.cache_stats.items()},
+    }
+
+
+def compare_to_dict(path: str, baseline: BaselineMeasurement,
+                    cells: Iterable[Tuple["Scheme", SchemeMeasurement]]
+                    ) -> Dict[str, Any]:
+    """The ``repro compare --json`` document."""
+    return {
+        "schema": COMPARE_SCHEMA,
+        "file": path,
+        "baseline": baseline_to_dict(baseline),
+        "schemes": [dict(cell_to_dict(cell), scheme=scheme.value)
+                    for scheme, cell in cells],
+    }

@@ -31,13 +31,20 @@ def format_table1(rows: Sequence[BaselineMeasurement]) -> str:
 def format_scheme_table(
         cells: Mapping[Tuple[str, str], SchemeMeasurement],
         row_order: Iterable[str], program_order: Iterable[str],
-        title: str = "") -> str:
-    """Tables 2/3: % of checks eliminated, one row per configuration."""
+        title: str = "", timings: bool = True) -> str:
+    """Tables 2/3: % of checks eliminated, one row per configuration.
+
+    ``timings=False`` drops the wall-clock "Range(s)" column, making
+    the rendered table deterministic across runs and job counts (the
+    exact timings stay available via the JSON output).
+    """
     programs = list(program_order)
     rows = list(row_order)
     width = max(8, max((len(p) for p in programs), default=8) + 1)
     header = "%-10s" % "scheme" + "".join(
-        "%*s" % (width, p) for p in programs) + "%10s" % "Range(s)"
+        "%*s" % (width, p) for p in programs)
+    if timings:
+        header += "%10s" % "Range(s)"
     lines = []
     if title:
         lines.append(title)
@@ -53,7 +60,8 @@ def format_scheme_table(
             else:
                 out.append("%*.2f" % (width, cell.percent_eliminated))
                 optimize_total += cell.optimize_seconds
-        out.append("%10.3f" % optimize_total)
+        if timings:
+            out.append("%10.3f" % optimize_total)
         lines.append("".join(out))
     return "\n".join(lines)
 

@@ -51,6 +51,14 @@ class LinearExpr:
         self._const = const
         self._hash = hash((tuple(sorted(cleaned.items())), const))
 
+    def __getstate__(self):
+        # the cached hash is seed-dependent; recompute after unpickling
+        return (self._terms, self._const)
+
+    def __setstate__(self, state) -> None:
+        self._terms, self._const = state
+        self._hash = hash((tuple(sorted(self._terms.items())), self._const))
+
     # -- constructors -------------------------------------------------
 
     @staticmethod

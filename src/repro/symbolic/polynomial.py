@@ -53,6 +53,14 @@ class Polynomial:
         self._coeffs = cleaned
         self._hash = hash(tuple(sorted(cleaned.items())))
 
+    def __getstate__(self):
+        # the cached hash is seed-dependent; recompute after unpickling
+        return self._coeffs
+
+    def __setstate__(self, state) -> None:
+        self._coeffs = state
+        self._hash = hash(tuple(sorted(self._coeffs.items())))
+
     # -- constructors -------------------------------------------------
 
     @staticmethod

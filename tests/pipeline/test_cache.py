@@ -1,0 +1,157 @@
+"""Tests for the frontend compilation cache."""
+
+from repro.checks.config import OptimizerOptions, Scheme
+from repro.checks.optimizer import optimize_module
+from repro.interp.machine import Machine
+from repro.pipeline import (FrontendCache, PipelineTrace, compile_source,
+                            reset_shared_cache, shared_cache)
+
+
+def run_checks(module, inputs):
+    machine = Machine(module, inputs)
+    machine.run()
+    return machine.counters.checks
+
+
+class TestFrontendCache:
+    def test_compiles_once_for_same_source(self, loop_program):
+        cache = FrontendCache()
+        cache.frontend(loop_program)
+        cache.frontend(loop_program)
+        cache.frontend(loop_program)
+        assert cache.frontend_compiles == 1
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_distinct_options_are_distinct_entries(self, loop_program):
+        cache = FrontendCache()
+        cache.frontend(loop_program, insert_checks=True)
+        cache.frontend(loop_program, insert_checks=False)
+        cache.frontend(loop_program, rotate_loops=True)
+        assert cache.frontend_compiles == 3
+
+    def test_clones_are_isolated(self, loop_program):
+        cache = FrontendCache()
+        first = cache.frontend(loop_program)
+        second = cache.frontend(loop_program)
+        naive = run_checks(second, {"n": 10})
+        optimize_module(first, OptimizerOptions(scheme=Scheme.LLS))
+        # optimizing one copy must not leak into the other two
+        assert run_checks(first, {"n": 10}) < naive
+        third = cache.frontend(loop_program)
+        assert run_checks(third, {"n": 10}) == naive
+
+    def test_cached_results_match_fresh_compile(self, loop_program):
+        cache = FrontendCache()
+        options = OptimizerOptions(scheme=Scheme.LLS)
+        fresh = compile_source(loop_program, options)
+        cache.frontend(loop_program)  # prime
+        cached = compile_source(loop_program, options, cache=cache)
+        m1 = fresh.run({"n": 10})
+        m2 = cached.run({"n": 10})
+        assert m1.output == m2.output
+        assert m1.counters.checks == m2.counters.checks
+        assert m1.counters.instructions == m2.counters.instructions
+
+    def test_trace_marks_cached_frontend(self, loop_program):
+        cache = FrontendCache()
+        first = PipelineTrace()
+        cache.frontend(loop_program, trace=first)
+        assert first.run_count("parse") == 1
+        assert not first.frontend_was_cached()
+        second = PipelineTrace()
+        cache.frontend(loop_program, trace=second)
+        assert second.run_count("parse") == 0
+        assert second.frontend_was_cached()
+        assert second.run_count("clone") == 1
+
+    def test_clear_drops_memory(self, loop_program):
+        cache = FrontendCache()
+        cache.frontend(loop_program)
+        cache.clear()
+        cache.frontend(loop_program)
+        assert cache.frontend_compiles == 2
+
+    def test_stats_snapshot(self, loop_program):
+        cache = FrontendCache()
+        cache.frontend(loop_program)
+        stats = cache.stats()
+        assert stats["frontend_compiles"] == 1
+        assert stats["entries"] == 1
+
+
+class TestDiskCache:
+    def test_second_cache_hits_disk(self, loop_program, tmp_path):
+        disk = str(tmp_path)
+        one = FrontendCache(disk_dir=disk)
+        one.frontend(loop_program)
+        assert one.frontend_compiles == 1
+
+        two = FrontendCache(disk_dir=disk)
+        module = two.frontend(loop_program)
+        assert two.frontend_compiles == 0
+        assert two.disk_hits == 1
+        assert run_checks(module, {"n": 10}) > 0
+
+    def test_corrupt_entry_recompiles(self, loop_program, tmp_path):
+        disk = str(tmp_path)
+        one = FrontendCache(disk_dir=disk)
+        one.frontend(loop_program)
+        for path in tmp_path.iterdir():
+            path.write_bytes(b"not a pickle")
+        two = FrontendCache(disk_dir=disk)
+        two.frontend(loop_program)
+        assert two.frontend_compiles == 1
+
+    def test_cross_process_entry_matches_fresh_compile(self, loop_program,
+                                                       tmp_path):
+        """Entries written by a process with a different string-hash
+        seed must optimize identically to a fresh compile (cached
+        ``_hash`` slots used to leak stale seed-dependent hashes)."""
+        import os
+        import subprocess
+        import sys
+
+        disk = str(tmp_path)
+        env = dict(os.environ, PYTHONHASHSEED="12345",
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        script = (
+            "from repro.pipeline import FrontendCache\n"
+            "FrontendCache(disk_dir=%r).frontend(%r)\n"
+            % (disk, loop_program))
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+
+        cache = FrontendCache(disk_dir=disk)
+        options = OptimizerOptions(scheme=Scheme.LLS)
+        cached = compile_source(loop_program, options, cache=cache)
+        assert cache.disk_hits == 1
+        fresh = compile_source(loop_program, options)
+        m1 = cached.run({"n": 10})
+        m2 = fresh.run({"n": 10})
+        assert m1.counters.checks == m2.counters.checks
+        assert m1.counters.instructions == m2.counters.instructions
+        assert m1.output == m2.output
+
+    def test_no_disk_dir_never_writes(self, loop_program, tmp_path,
+                                      monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = FrontendCache()
+        cache.frontend(loop_program)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSharedCache:
+    def test_shared_cache_is_a_singleton(self):
+        reset_shared_cache()
+        try:
+            assert shared_cache() is shared_cache()
+        finally:
+            reset_shared_cache()
+
+    def test_env_var_enables_disk_layer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_shared_cache()
+        try:
+            assert shared_cache().disk_dir == str(tmp_path)
+        finally:
+            reset_shared_cache()

@@ -63,6 +63,20 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", source_file, "--input", "n"])
 
+    def test_non_numeric_input_is_clean_exit(self, source_file):
+        with pytest.raises(SystemExit) as info:
+            main(["run", source_file, "--input", "n=abc"])
+        assert "not a decimal number" in str(info.value)
+
+    def test_hex_input_is_clean_exit(self, source_file):
+        with pytest.raises(SystemExit) as info:
+            main(["run", source_file, "--input", "n=0x10"])
+        assert "0x10" in str(info.value)
+
+    def test_missing_name_is_clean_exit(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--input", "=5"])
+
     def test_missing_file(self, capsys):
         code = main(["run", "/nonexistent/path.f"])
         assert code == 1
@@ -94,6 +108,71 @@ class TestDumpAndCompare:
         assert code == 0
         for scheme in ("NI", "CS", "LNI", "SE", "LI", "LLS", "ALL", "MCM"):
             assert scheme in out
+
+
+class TestErrorPaths:
+    """main() must never leak a raw traceback for user-triggered
+    failures — unexpected exceptions get a bounded message."""
+
+    def test_unexpected_exception_is_bounded(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def explode(args):
+            raise KeyError("x" * 1000)
+
+        monkeypatch.setattr(cli, "_cmd_figures", explode)
+        code = cli.main(["figures"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "internal error: KeyError" in err
+        assert len(err) < 400
+        assert "Traceback" not in err
+
+    def test_recursion_error_has_friendly_message(self, capsys,
+                                                  monkeypatch):
+        import repro.cli as cli
+
+        def explode(args):
+            raise RecursionError("maximum recursion depth exceeded")
+
+        monkeypatch.setattr(cli, "_cmd_figures", explode)
+        code = cli.main(["figures"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "nesting too deep" in err
+
+    def test_deeply_nested_expression_does_not_traceback(self, tmp_path,
+                                                         capsys):
+        depth = 4000
+        source = ("program p\n  integer :: x\n  x = %s1%s\n"
+                  "  print x\nend program\n"
+                  % ("(" * depth, ")" * depth))
+        path = tmp_path / "deep.f"
+        path.write_text(source)
+        code = main(["dump", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "Traceback" not in err
+
+
+class TestTablesAndCompareFlags:
+    def test_compare_json_document(self, source_file, capsys):
+        import json
+
+        code = main(["compare", source_file, "--input", "n=15", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["schema"] == "repro.compare.v1"
+        assert doc["baseline"]["dynamic_checks"] > 0
+        schemes = {cell["scheme"] for cell in doc["schemes"]}
+        assert {"NI", "LLS", "MCM"} <= schemes
+
+    def test_compare_jobs_flag_accepted(self, source_file, capsys):
+        code = main(["compare", source_file, "--input", "n=15",
+                     "--jobs", "2"])
+        assert code == 0
+        assert "LLS" in capsys.readouterr().out
 
 
 class TestFigures:

@@ -62,6 +62,41 @@ end program
         assert machine.output
 
 
+class TestEngineCallOrder:
+    """``run_compiled`` must not mutate the shared module (it used to
+    destruct SSA in place, corrupting later ``run()`` counts)."""
+
+    def test_run_counts_unaffected_by_run_compiled(self, loop_program):
+        pristine = compile_source(loop_program)
+        expected = pristine.run({"n": 8})
+
+        program = compile_source(loop_program)
+        program.run_compiled({"n": 8})
+        machine = program.run({"n": 8})
+
+        assert machine.output == expected.output
+        assert machine.counters.instructions == \
+            expected.counters.instructions
+        assert machine.counters.checks == expected.counters.checks
+        assert machine.counters.phis == expected.counters.phis
+
+    def test_module_still_has_phis_after_run_compiled(self, loop_program):
+        program = compile_source(loop_program)
+        program.run_compiled({"n": 8})
+        assert any(block.phis()
+                   for function in program.module
+                   for block in function.blocks)
+
+    def test_interleaved_runs_are_stable(self, loop_program):
+        program = compile_source(loop_program)
+        first = program.run({"n": 8})
+        backend = program.run_compiled({"n": 8})
+        second = program.run({"n": 8})
+        assert first.counters.instructions == second.counters.instructions
+        assert first.counters.checks == second.counters.checks \
+            == backend.counters.checks
+
+
 class TestValueNumberingOption:
     INDIRECT = """
 program p

@@ -1,0 +1,84 @@
+"""Tests for machine-readable (--json) reporting."""
+
+import json
+
+from repro.benchsuite import all_programs, run_suite
+from repro.pipeline.stats import BaselineMeasurement, SchemeMeasurement
+from repro.reporting import (baseline_to_dict, cell_to_dict, cells_to_list,
+                             tables_to_dict)
+
+
+def fake_baseline(name="alpha"):
+    row = BaselineMeasurement(name)
+    row.lines = 12
+    row.static_instructions = 100
+    row.dynamic_instructions = 1000
+    row.static_checks = 40
+    row.dynamic_checks = 400
+    row.trace.record("parse", 0.001)
+    return row
+
+
+def fake_cell(name="alpha", label="PRX-LLS"):
+    cell = SchemeMeasurement(name, label)
+    cell.baseline_checks = 400
+    cell.dynamic_checks = 4
+    cell.static_checks = 7
+    cell.optimize_seconds = 0.01
+    cell.trace.record("frontend", 0.0, cached=True)
+    cell.trace.record("check-optimize", 0.01)
+    return cell
+
+
+class TestDictShapes:
+    def test_baseline_fields(self):
+        data = baseline_to_dict(fake_baseline())
+        assert data["program"] == "alpha"
+        assert data["dynamic_checks"] == 400
+        assert data["dynamic_ratio"] == 40.0
+        assert data["passes"][0]["pass"] == "parse"
+
+    def test_cell_fields(self):
+        data = cell_to_dict(fake_cell())
+        assert data["config"] == "PRX-LLS"
+        assert data["percent_eliminated"] == 99.0
+        assert data["frontend_cached"] is True
+        assert [p["pass"] for p in data["passes"]] == \
+            ["frontend", "check-optimize"]
+
+    def test_everything_is_json_serializable(self):
+        blob = json.dumps({
+            "row": baseline_to_dict(fake_baseline()),
+            "cell": cell_to_dict(fake_cell()),
+        }, sort_keys=True)
+        assert "PRX-LLS" in blob
+
+
+class TestCellOrdering:
+    def test_flattened_in_config_then_program_order(self):
+        cells = {("PRX-NI", "beta"): fake_cell("beta", "PRX-NI"),
+                 ("PRX-NI", "alpha"): fake_cell("alpha", "PRX-NI"),
+                 ("PRX-LLS", "alpha"): fake_cell("alpha", "PRX-LLS")}
+        out = cells_to_list(cells, ["PRX-NI", "PRX-LLS"], ["alpha", "beta"])
+        assert [(c["config"], c["program"]) for c in out] == \
+            [("PRX-NI", "alpha"), ("PRX-NI", "beta"), ("PRX-LLS", "alpha")]
+
+    def test_missing_cells_skipped(self):
+        cells = {("PRX-NI", "alpha"): fake_cell("alpha", "PRX-NI")}
+        out = cells_to_list(cells, ["PRX-NI"], ["alpha", "ghost"])
+        assert len(out) == 1
+
+
+class TestTablesDocument:
+    def test_real_suite_document(self):
+        suite = run_suite(all_programs()[:1], small=True, jobs=1)
+        doc = tables_to_dict(suite, True, ["PRX-NI", "PRX-LLS"],
+                             ["PRX-NI", "PRX-NI'"])
+        assert doc["schema"] == "repro.tables.v1"
+        assert doc["small"] is True
+        assert doc["programs"] == suite.names
+        assert len(doc["table1"]) == 1
+        assert all(cell["baseline_checks"] > 0 for cell in doc["table2"])
+        name = suite.names[0]
+        assert doc["cache"][name]["frontend_compiles"] == 1
+        json.dumps(doc, sort_keys=True)  # must be serializable
