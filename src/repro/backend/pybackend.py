@@ -217,9 +217,12 @@ class _FunctionEmitter:
                  % (inst.array, indices, self._value(inst.src)))
         elif isinstance(inst, Check):
             indent = 3
-            for guard in inst.guards:
-                line(indent, "if (%s) <= %d:"
-                     % (self._linexpr(guard.linexpr), guard.bound))
+            if inst.guards:
+                condition = " and ".join(
+                    "(%s) <= %d" % (self._linexpr(guard.linexpr),
+                                    guard.bound)
+                    for guard in inst.guards)
+                line(indent, "if %s:" % condition)
                 indent += 1
             line(indent, "if (%s) > %d:"
                  % (self._linexpr(inst.linexpr), inst.bound))
@@ -227,6 +230,12 @@ class _FunctionEmitter:
                  % ("range check failed: %s <= %d (array %s, %s bound)"
                     % (inst.linexpr, inst.bound, inst.array or "?",
                        inst.kind)))
+            if inst.guards:
+                # mirror the interpreter: a failed guard still counts
+                # the Cond-check as executed work, but the range
+                # inequality itself was skipped
+                line(indent - 1, "else:")
+                line(indent, "_counters.guard_skipped += 1")
         elif isinstance(inst, Trap):
             line(3, "_rt.trap(%r)" % inst.message)
         elif isinstance(inst, Print):
@@ -271,7 +280,12 @@ class _Runtime:
         from ..errors import RangeTrap
 
         self.counters.traps += 1
-        raise RangeTrap(message)
+        error = RangeTrap(message)
+        # the runtime (output so far, counters) would otherwise be
+        # unreachable after the raise; the fuzz oracle compares it
+        # against the interpreter's trap-time state
+        error.runtime = self
+        raise error
 
 
 class CompiledPythonModule:

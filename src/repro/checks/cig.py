@@ -161,17 +161,35 @@ class CheckImplicationGraph:
         return frozen
 
     def strongest_implying(self, check_id: int,
-                           candidate_ids: FrozenSet[int]) -> Optional[int]:
-        """Among ``candidate_ids`` restricted to the same family, the
-        strongest check that implies ``check_id`` (used by CS)."""
+                           candidate_ids: FrozenSet[int],
+                           cross_family: bool = False) -> Optional[int]:
+        """The strongest check among ``candidate_ids`` that implies
+        ``check_id`` (used by CS).
+
+        Candidates from ``check_id``'s own family are ranked by their
+        bound.  With ``cross_family`` -- the paper's general definition
+        -- candidates from other families also qualify when the family
+        graph has an implication path; they are ranked by the bound
+        they *effectively impose* on ``check_id``'s family (their own
+        bound plus the path weight), which makes scores comparable
+        across families."""
         family = self.universe.family_of[check_id]
         best: Optional[int] = None
+        best_score: Optional[int] = None
         for cid in candidate_ids:
-            if self.universe.family_of[cid] != family:
+            candidate_family = self.universe.family_of[cid]
+            if candidate_family == family:
+                score = self.universe.check_of(cid).bound
+            elif cross_family:
+                path = self._dist.get((candidate_family, family))
+                if path is None:
+                    continue
+                score = self.universe.check_of(cid).bound + path
+            else:
                 continue
             if not self.as_strong(cid, check_id):
                 continue
-            if best is None or self.universe.check_of(cid).bound < \
-                    self.universe.check_of(best).bound:
+            if best_score is None or score < best_score:
                 best = cid
+                best_score = score
         return best

@@ -39,6 +39,7 @@ from ..ir.values import Const, Value, Var
 from ..symbolic import LinearExpr
 from .canonical import CanonicalCheck, make_check, make_guard
 from .cig import ImplicationStore
+from .config import ImplicationMode
 from .dataflow import CheckAnalysis, EdgeGen
 
 
@@ -219,6 +220,15 @@ class PreheaderInserter:
             if hoisted is None:
                 return False
         else:
+            return False
+
+        if hoisted != canonical and \
+                self.analysis.cig.mode is ImplicationMode.NONE:
+            # Profitability under the no-implication ablation: a
+            # loop-limit-substituted check lives in a different family,
+            # and with implication reduced to identity it can never
+            # imply the body check it covers -- inserting it would only
+            # add dynamic checks on top of the surviving body check.
             return False
 
         guards = list(inner_guards)

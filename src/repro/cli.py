@@ -61,6 +61,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=[m.name for m in ImplicationMode])
     parser.add_argument("--rotate-loops", action="store_true",
                         help="apply loop rotation before optimization")
+    parser.add_argument("--verify-ir", action="store_true",
+                        help="run the IR verifier after every pass")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -69,7 +71,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     inputs = _parse_inputs(args.input)
     program = compile_source(source, _options(args),
                              optimize=not args.no_optimize,
-                             rotate_loops=args.rotate_loops)
+                             rotate_loops=args.rotate_loops,
+                             verify_ir=args.verify_ir)
     try:
         if args.engine == "compiled":
             result = program.run_compiled(inputs)
@@ -91,7 +94,8 @@ def _cmd_dump(args: argparse.Namespace) -> int:
         source = handle.read()
     program = compile_source(source, _options(args),
                              optimize=not args.no_optimize,
-                             rotate_loops=args.rotate_loops)
+                             rotate_loops=args.rotate_loops,
+                             verify_ir=args.verify_ir)
     print(format_module(program.module))
     return 0
 
@@ -182,6 +186,34 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import run_campaign
+
+    config_labels = None
+    if args.configs:
+        config_labels = [label.strip()
+                         for chunk in args.configs
+                         for label in chunk.split(",") if label.strip()]
+    try:
+        result = run_campaign(
+            count=args.count, seed=args.seed, jobs=args.jobs,
+            config_labels=config_labels, engines=not args.no_engines,
+            corpus_dir=args.corpus, shrink_failures=not args.no_shrink,
+            max_failures=args.max_failures,
+            log=lambda message: print(message, file=sys.stderr))
+    except ValueError as error:
+        raise SystemExit("fuzz: %s" % error)
+    print("fuzzed %d programs (seeds %d..%d): %d failure(s)"
+          % (result.programs, args.seed, args.seed + args.count - 1,
+             len(result.failures)))
+    for failure in result.failures:
+        print("-" * 60)
+        print(failure.describe())
+        print("program:")
+        print(failure.source)
+    return 0 if result.ok else 3
+
+
 def _cmd_figures(_args: argparse.Namespace) -> int:
     from .reporting import all_figures
 
@@ -248,6 +280,33 @@ def build_parser() -> argparse.ArgumentParser:
                                help="include the wall-clock Range(s) "
                                     "column (nondeterministic output)")
     tables_parser.set_defaults(handler=_cmd_tables)
+
+    fuzz_parser = commands.add_parser(
+        "fuzz", help="differential fuzzing of the check optimizer")
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="first generator seed (default 0)")
+    fuzz_parser.add_argument("--count", type=int, default=100, metavar="N",
+                             help="number of programs to generate")
+    fuzz_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="fuzz N seeds at a time in a process "
+                                  "pool")
+    fuzz_parser.add_argument("--configs", action="append", default=[],
+                             metavar="LABELS",
+                             help="comma-separated configuration labels "
+                                  "(e.g. PRX-LLS,INX-SE); default: the "
+                                  "full scheme x kind x implication "
+                                  "matrix")
+    fuzz_parser.add_argument("--corpus", metavar="DIR",
+                             help="persist minimized failures into DIR")
+    fuzz_parser.add_argument("--max-failures", type=int, default=10,
+                             metavar="N",
+                             help="keep at most N failures (default 10)")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="keep failing programs unminimized")
+    fuzz_parser.add_argument("--no-engines", action="store_true",
+                             help="skip the Python back-end comparison "
+                                  "(interpreter-only oracle)")
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     figures_parser = commands.add_parser(
         "figures", help="print figure reproductions")

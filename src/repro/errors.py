@@ -61,5 +61,29 @@ class RangeTrap(InterpError):
         super().__init__(message)
 
 
+class BoundsAuditError(InterpError):
+    """The interpreter's independent per-access bounds audit fired.
+
+    Raised (only when the machine runs with ``bounds_audit=True``)
+    the moment a Load/Store would touch an element outside the
+    declared array bounds *without a preceding range check having
+    trapped*.  A correct optimizer configuration can never reach this:
+    the safety property of the transformation is exactly that every
+    necessary check survives, so the trap fires first.
+    """
+
+    def __init__(self, array: str, indices, dim: int,
+                 low: int, high: int) -> None:
+        self.array = array
+        self.indices = list(indices)
+        self.dim = dim
+        self.low = low
+        self.high = high
+        super().__init__(
+            "bounds audit: array %s index %d outside %d:%d in dimension %d "
+            "(access %r escaped range checking)"
+            % (array, indices[dim - 1], low, high, dim, tuple(indices)))
+
+
 class CompileTimeTrap(ReproError):
     """A range check was proven to always fail at compile time."""

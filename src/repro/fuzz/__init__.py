@@ -1,0 +1,23 @@
+"""Differential fuzzing of the range-check optimizer.
+
+:mod:`repro.fuzz.generator` emits seeded random mini-Fortran programs;
+:mod:`repro.fuzz.oracle` runs each one under every optimizer
+configuration and asserts the safety/equivalence contract against the
+naive-checking baseline; :mod:`repro.fuzz.shrink` minimizes failures;
+:mod:`repro.fuzz.runner` drives campaigns (``repro fuzz`` on the CLI)
+and persists minimized failures to the regression corpus.
+"""
+
+from .generator import GeneratorConfig, ProgramGenerator, generate_program
+from .oracle import (FuzzFailure, Oracle, all_configurations,
+                     config_by_label)
+from .runner import (CampaignResult, fuzz_one, read_corpus, run_campaign,
+                     shrink_failure, write_corpus_entry)
+from .shrink import make_predicate, shrink
+
+__all__ = [
+    "CampaignResult", "FuzzFailure", "GeneratorConfig", "Oracle",
+    "ProgramGenerator", "all_configurations", "config_by_label",
+    "fuzz_one", "generate_program", "make_predicate", "read_corpus",
+    "run_campaign", "shrink", "shrink_failure", "write_corpus_entry",
+]

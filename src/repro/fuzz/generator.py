@@ -1,0 +1,352 @@
+"""Seeded random mini-Fortran program generator.
+
+Every program this module emits is *well-formed*: it parses, passes
+semantic analysis, and terminates quickly.  What varies -- and what
+exercises the check optimizer -- is the shape of the loop nests and
+subscripts:
+
+* counted loops with positive, negative, and non-unit steps;
+* triangular loops (the inner bound uses the outer loop variable);
+* symbolic bounds through the ``input`` scalar ``n`` (never assigned,
+  so it stays legal in array declarations);
+* multi-dimensional arrays and multiple offset accesses per array
+  (check families with nontrivial implications);
+* conditionals, ``exit``/``cycle``, ``while`` loops;
+* zero-trip and single-trip loops (the guard cases of Cond-checks);
+* a tunable fraction of deliberately out-of-bounds accesses, so the
+  differential oracle sees both trapping and clean executions.
+
+The generator is deterministic per seed (one ``random.Random(seed)``),
+which is what makes corpus entries reproducible from their header.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+
+class GeneratorConfig:
+    """Tunables for program shape (defaults are oracle-friendly)."""
+
+    def __init__(self,
+                 max_depth: int = 3,
+                 max_statements: int = 4,
+                 max_arrays: int = 3,
+                 oob_fraction: float = 0.06,
+                 while_fraction: float = 0.15,
+                 n_range: Tuple[int, int] = (4, 9)) -> None:
+        self.max_depth = max_depth
+        self.max_statements = max_statements
+        self.max_arrays = max_arrays
+        #: probability that one array access is deliberately pushed
+        #: outside the declared bounds
+        self.oob_fraction = oob_fraction
+        self.while_fraction = while_fraction
+        self.n_range = n_range
+
+
+class _ArrayDecl:
+    """One declared array: bounds both as text and as known values."""
+
+    def __init__(self, name: str, dims: List[Tuple[str, str, int, int]]
+                 ) -> None:
+        self.name = name
+        #: per dimension: (lower text, upper text, lower value, upper
+        #: value) -- values are concrete because ``n`` only ever holds
+        #: its literal default during generation-time reasoning
+        self.dims = dims
+
+    def decl_text(self) -> str:
+        parts = []
+        for low_text, high_text, _low, _high in self.dims:
+            if low_text == "1":
+                parts.append(high_text)
+            else:
+                parts.append("%s:%s" % (low_text, high_text))
+        return "%s(%s)" % (self.name, ", ".join(parts))
+
+
+class _LoopVar:
+    """An in-scope integer variable with a known value interval."""
+
+    def __init__(self, name: str, low: int, high: int) -> None:
+        self.name = name
+        self.low = low
+        self.high = high
+
+
+class ProgramGenerator:
+    """Generates one program per :meth:`generate` call."""
+
+    def __init__(self, seed: int,
+                 config: Optional[GeneratorConfig] = None) -> None:
+        self.rng = random.Random(seed)
+        self.config = config or GeneratorConfig()
+        self.lines: List[str] = []
+        self.arrays: List[_ArrayDecl] = []
+        self.n_value = 0
+        self._var_counter = 0
+        self._loop_vars: List[str] = []
+
+    # -- entry point -------------------------------------------------
+
+    def generate(self) -> str:
+        rng = self.rng
+        cfg = self.config
+        self.lines = []
+        self.arrays = []
+        self._var_counter = 0
+        self.n_value = rng.randint(*cfg.n_range)
+
+        self._emit(0, "program fuzz")
+        self._emit(1, "input integer :: n = %d" % self.n_value)
+
+        for index in range(rng.randint(1, cfg.max_arrays)):
+            self.arrays.append(self._make_array("a%d" % index))
+
+        body: List[str] = []
+        scope: List[_LoopVar] = []
+        self._gen_block(body, 1, depth=0, scope=scope)
+        # every print gives the differential oracle output to compare
+        body.append("  print %d" % rng.randint(0, 99))
+
+        # declarations must precede statements: loop variables are only
+        # known after generating the body
+        if self._loop_vars:
+            self._emit(1, "integer :: " + ", ".join(self._loop_vars))
+        for array in self.arrays:
+            self._emit(1, "integer :: " + array.decl_text())
+        self.lines.extend(body)
+        self._emit(0, "end program")
+        self._loop_vars = []
+        return "\n".join(self.lines) + "\n"
+
+    # -- helpers ------------------------------------------------------
+
+    def _emit(self, indent: int, text: str) -> None:
+        self.lines.append("  " * indent + text)
+
+    def _fresh_var(self) -> str:
+        name = "i%d" % self._var_counter
+        self._var_counter += 1
+        self._loop_vars.append(name)
+        return name
+
+    def _make_array(self, name: str) -> _ArrayDecl:
+        rng = self.rng
+        rank = rng.choice([1, 1, 1, 2, 2, 3])
+        dims: List[Tuple[str, str, int, int]] = []
+        for _ in range(rank):
+            style = rng.randrange(4)
+            if style == 0:        # a(K): bounds 1:K
+                high = rng.randint(6, 12)
+                dims.append(("1", str(high), 1, high))
+            elif style == 1:      # a(L:K)
+                low = rng.randint(-2, 2)
+                high = low + rng.randint(4, 10)
+                dims.append((str(low), str(high), low, high))
+            elif style == 2:      # a(n): symbolic upper bound
+                dims.append(("1", "n", 1, self.n_value))
+            else:                 # a(0:n+K)
+                extra = rng.randint(0, 2)
+                high_text = "n+%d" % extra if extra else "n"
+                dims.append(("0", high_text, 0, self.n_value + extra))
+        return _ArrayDecl(name, dims)
+
+    # -- statement generation ------------------------------------------
+
+    def _gen_block(self, out: List[str], indent: int, depth: int,
+                   scope: List[_LoopVar]) -> None:
+        rng = self.rng
+        count = rng.randint(1, self.config.max_statements)
+        for _ in range(count):
+            self._gen_statement(out, indent, depth, scope)
+
+    def _gen_statement(self, out: List[str], indent: int, depth: int,
+                       scope: List[_LoopVar]) -> None:
+        rng = self.rng
+        roll = rng.random()
+        can_nest = depth < self.config.max_depth
+        if can_nest and roll < 0.45:
+            if rng.random() < self.config.while_fraction:
+                self._gen_while(out, indent, depth, scope)
+            else:
+                self._gen_do(out, indent, depth, scope)
+        elif can_nest and roll < 0.60:
+            self._gen_if(out, indent, depth, scope)
+        elif roll < 0.90 and self.arrays:
+            self._gen_access(out, indent, scope)
+        else:
+            self._gen_print(out, indent, scope)
+
+    def _gen_do(self, out: List[str], indent: int, depth: int,
+                scope: List[_LoopVar]) -> None:
+        rng = self.rng
+        var = self._fresh_var()
+        step = rng.choice([1, 1, 1, 1, 2, 3, -1, -2, -3])
+
+        # start/end are the loop header texts in execution order; the
+        # (low, high) interval is the conservative range of values the
+        # loop variable can take, used to plan subscript offsets
+        symbolic = rng.random() < 0.4
+        triangular = scope and rng.random() < 0.3
+        if triangular:
+            outer = rng.choice(scope)
+            if step > 0:
+                start, end = "1", outer.name
+            else:
+                start, end = outer.name, "1"
+            low, high = 1, max(1, outer.high)
+        elif symbolic:
+            edge = rng.randint(0, 2)
+            if step > 0:
+                start, end = str(edge), "n"
+            else:
+                start, end = "n", str(edge)
+            low, high = edge, self.n_value
+        else:
+            first = rng.randint(-2, 6)
+            if rng.random() < 0.15:
+                # zero-trip: make the range empty for this step sign
+                span = -rng.randint(1, 3)
+            else:
+                span = rng.randint(0, 7)
+            second = first + (span if step > 0 else -span)
+            start, end = str(first), str(second)
+            low, high = min(first, second), max(first, second)
+
+        if step == 1:
+            header = "do %s = %s, %s" % (var, start, end)
+        else:
+            header = "do %s = %s, %s, %d" % (var, start, end, step)
+        out.append("  " * indent + header)
+        scope.append(_LoopVar(var, low, high))
+        self._gen_block(out, indent + 1, depth + 1, scope)
+        if rng.random() < 0.15:
+            guard_var = rng.choice(scope).name
+            word = rng.choice(["exit", "cycle"])
+            out.append("  " * (indent + 1) +
+                       "if (%s == %d) then" % (guard_var, rng.randint(0, 6)))
+            out.append("  " * (indent + 2) + word)
+            out.append("  " * (indent + 1) + "end if")
+        scope.pop()
+        out.append("  " * indent + "end do")
+
+    def _gen_while(self, out: List[str], indent: int, depth: int,
+                   scope: List[_LoopVar]) -> None:
+        rng = self.rng
+        var = self._fresh_var()
+        start = rng.randint(-1, 3)
+        limit = start + rng.randint(0, 6)
+        out.append("  " * indent + "%s = %d" % (var, start))
+        out.append("  " * indent + "while (%s < %d) do" % (var, limit))
+        scope.append(_LoopVar(var, start, max(start, limit - 1)))
+        self._gen_block(out, indent + 1, depth + 1, scope)
+        scope.pop()
+        out.append("  " * (indent + 1) + "%s = %s + 1" % (var, var))
+        out.append("  " * indent + "end while")
+
+    def _gen_if(self, out: List[str], indent: int, depth: int,
+                scope: List[_LoopVar]) -> None:
+        rng = self.rng
+        if scope:
+            var = rng.choice(scope).name
+        else:
+            var = "n"
+        op = rng.choice(["<", "<=", ">", ">=", "==", "/="])
+        out.append("  " * indent +
+                   "if (%s %s %d) then" % (var, op, rng.randint(-1, 8)))
+        self._gen_block(out, indent + 1, depth + 1, scope)
+        if rng.random() < 0.4:
+            out.append("  " * indent + "else")
+            self._gen_block(out, indent + 1, depth + 1, scope)
+        out.append("  " * indent + "end if")
+
+    # -- array accesses -------------------------------------------------
+
+    def _subscript(self, dim: Tuple[str, str, int, int],
+                   scope: List[_LoopVar]) -> str:
+        """An affine subscript, mostly in bounds for this dimension."""
+        rng = self.rng
+        _low_text, _high_text, low, high = dim
+        oob = rng.random() < self.config.oob_fraction
+        if scope and rng.random() < 0.8:
+            var = rng.choice(scope)
+            coeff = rng.choice([1, 1, 1, 1, -1, 2])
+            value_low = min(coeff * var.low, coeff * var.high)
+            value_high = max(coeff * var.low, coeff * var.high)
+            if oob:
+                # push the whole reachable interval past one bound
+                if rng.random() < 0.5:
+                    offset = high - value_low + rng.randint(1, 2)
+                else:
+                    offset = low - value_high - rng.randint(1, 2)
+            else:
+                # choose an offset keeping the interval inside bounds
+                # when possible; clamp toward legality otherwise
+                min_offset = low - value_low
+                max_offset = high - value_high
+                if min_offset > max_offset:
+                    # the loop range is wider than this dimension: no
+                    # offset keeps every iteration legal, so use a
+                    # constant subscript instead
+                    return str(rng.randint(low, high))
+                offset = rng.randint(min_offset, max_offset)
+            if coeff == 1:
+                base = var.name
+            else:
+                base = "%d*%s" % (coeff, var.name)
+            if offset > 0:
+                return "%s+%d" % (base, offset)
+            if offset < 0:
+                return "%s-%d" % (base, -offset)
+            return base
+        if oob:
+            return str(high + rng.randint(1, 3)
+                       if rng.random() < 0.5 else low - rng.randint(1, 3))
+        return str(rng.randint(low, high))
+
+    def _gen_access(self, out: List[str], indent: int,
+                    scope: List[_LoopVar]) -> None:
+        rng = self.rng
+        array = rng.choice(self.arrays)
+        subscripts = ", ".join(self._subscript(dim, scope)
+                               for dim in array.dims)
+        ref = "%s(%s)" % (array.name, subscripts)
+        if rng.random() < 0.5:
+            value = self._int_expr(scope)
+            out.append("  " * indent + "%s = %s" % (ref, value))
+        else:
+            other = rng.choice(self.arrays)
+            target = "%s(%s)" % (other.name,
+                                 ", ".join(self._subscript(d, scope)
+                                           for d in other.dims))
+            out.append("  " * indent + "%s = %s + %d"
+                       % (target, ref, rng.randint(0, 3)))
+
+    def _int_expr(self, scope: List[_LoopVar]) -> str:
+        rng = self.rng
+        if scope and rng.random() < 0.6:
+            var = rng.choice(scope).name
+            form = rng.randrange(3)
+            if form == 0:
+                return "%s + %d" % (var, rng.randint(0, 5))
+            if form == 1:
+                return "%s * %d" % (var, rng.randint(1, 3))
+            return "max(%s, %d)" % (var, rng.randint(0, 3))
+        return str(rng.randint(-5, 20))
+
+    def _gen_print(self, out: List[str], indent: int,
+                   scope: List[_LoopVar]) -> None:
+        rng = self.rng
+        if scope and rng.random() < 0.7:
+            out.append("  " * indent + "print %s" % rng.choice(scope).name)
+        else:
+            out.append("  " * indent + "print %d" % rng.randint(0, 50))
+
+
+def generate_program(seed: int,
+                     config: Optional[GeneratorConfig] = None) -> str:
+    """One well-formed mini-Fortran program, deterministic per seed."""
+    return ProgramGenerator(seed, config).generate()

@@ -1,0 +1,295 @@
+"""The differential safety oracle.
+
+One generated program is compiled under *every* optimizer
+configuration and executed on both engines; the oracle asserts the
+paper's correctness contract against the naive-checking baseline:
+
+1. **Engine agreement** -- for each configuration, the interpreter and
+   the Python back-end produce identical output, identical trap
+   behavior, and identical dynamic check counts (instruction counts
+   legitimately differ: the back-end runs destructed SSA).
+2. **No extra work** -- on runs where neither version traps, the
+   optimized program's *effective* checks (executed checks whose range
+   inequality was actually evaluated; a Cond-check stopped by its
+   guard is excluded) never exceed the naive baseline's check count.
+3. **Safety** -- the interpreter re-runs every configuration with the
+   per-access bounds audit armed
+   (:class:`~repro.errors.BoundsAuditError`): any out-of-bounds access
+   that the optimized check placement fails to trap *before* the
+   access is an optimizer soundness bug, regardless of what the
+   program prints.  Together with (1) this is the paper's safety
+   claim: every access that traps under naive checking still traps --
+   at the same point or earlier -- under every configuration.
+4. **Trap equivalence** -- an optimized program traps iff the
+   baseline traps; when it traps (possibly earlier, from a hoisted
+   check), its output so far is a prefix of the baseline's output.
+
+The baseline itself also runs under the audit: a
+:class:`~repro.errors.BoundsAuditError` there means naive lowering
+failed to guard an access -- a frontend bug, reported distinctly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..checks.config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
+from ..errors import BoundsAuditError, InterpError, RangeTrap, ReproError
+from ..interp.machine import Machine
+from ..pipeline.cache import FrontendCache
+from ..pipeline.driver import compile_source
+
+DEFAULT_MAX_STEPS = 2_000_000
+
+
+def all_configurations() -> List[OptimizerOptions]:
+    """Every (Scheme x CheckKind x ImplicationMode) point, in a fixed
+    deterministic order."""
+    return [OptimizerOptions(scheme=s, kind=k, implication=m)
+            for s, k, m in itertools.product(Scheme, CheckKind,
+                                             ImplicationMode)]
+
+
+def config_by_label() -> Dict[str, OptimizerOptions]:
+    """Label -> options for every distinct configuration label.
+
+    Labels are not injective over the full matrix (``PRX-NI'`` is both
+    NONE and CROSS_FAMILY); the first configuration in matrix order
+    wins, which matches the tables' usage.
+    """
+    table: Dict[str, OptimizerOptions] = {}
+    for options in all_configurations():
+        table.setdefault(options.label(), options)
+    return table
+
+
+class FuzzFailure:
+    """One oracle violation, with everything needed to reproduce it."""
+
+    def __init__(self, kind: str, seed: Optional[int], source: str,
+                 config: str, detail: str) -> None:
+        #: one of: frontend-error, baseline-audit, baseline-engine,
+        #: compile-error, verify-ir, safety, spurious-trap,
+        #: missing-trap, output-mismatch, not-prefix, engine-mismatch,
+        #: count-regression, crash
+        self.kind = kind
+        self.seed = seed
+        self.source = source
+        self.config = config
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return "FuzzFailure(%s, seed=%s, config=%s)" % (
+            self.kind, self.seed, self.config)
+
+    def describe(self) -> str:
+        header = "[%s] config=%s seed=%s" % (self.kind, self.config,
+                                             self.seed)
+        return "%s\n%s" % (header, self.detail)
+
+
+class _RunResult:
+    """Outcome of one execution: output, trap, counters, or error."""
+
+    def __init__(self, output, trapped: bool, counters,
+                 audit_error: Optional[BoundsAuditError] = None,
+                 error: Optional[BaseException] = None) -> None:
+        self.output = output
+        self.trapped = trapped
+        self.counters = counters
+        self.audit_error = audit_error
+        self.error = error
+
+
+def _run_interp(module, inputs, max_steps: int,
+                bounds_audit: bool) -> _RunResult:
+    machine = Machine(module, inputs, max_steps, bounds_audit=bounds_audit)
+    try:
+        machine.run()
+    except RangeTrap:
+        return _RunResult(machine.output, True, machine.counters)
+    except BoundsAuditError as audit:
+        return _RunResult(machine.output, False, machine.counters,
+                          audit_error=audit)
+    except InterpError as error:
+        return _RunResult(machine.output, False, machine.counters,
+                          error=error)
+    return _RunResult(machine.output, False, machine.counters)
+
+
+def _run_compiled(program, inputs) -> _RunResult:
+    try:
+        runtime = program.run_compiled(inputs)
+    except RangeTrap as trap:
+        runtime = getattr(trap, "runtime", None)
+        if runtime is None:  # pragma: no cover - the back-end attaches it
+            return _RunResult(None, True, None)
+        return _RunResult(runtime.output, True, runtime.counters)
+    except InterpError as error:
+        # e.g. ArrayStorage faulting on an unchecked access
+        return _RunResult(None, False, None, error=error)
+    return _RunResult(runtime.output, False, runtime.counters)
+
+
+class Oracle:
+    """Checks one program (by source text) against the full matrix."""
+
+    def __init__(self, configs: Optional[List[OptimizerOptions]] = None,
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 engines: bool = True) -> None:
+        self.configs = configs if configs is not None \
+            else all_configurations()
+        self.max_steps = max_steps
+        #: also run the Python back-end and require engine agreement
+        self.engines = engines
+
+    def check(self, source: str, seed: Optional[int] = None,
+              inputs: Optional[Dict[str, float]] = None
+              ) -> Optional[FuzzFailure]:
+        """First oracle violation for ``source``, or ``None``."""
+        inputs = inputs or {}
+        cache = FrontendCache()
+
+        # -- baseline: naive checking, audit armed ---------------------
+        try:
+            baseline_prog = compile_source(source, optimize=False,
+                                           cache=cache, verify_ir=True)
+        except ReproError as error:
+            return FuzzFailure("frontend-error", seed, source, "<baseline>",
+                               "%s: %s" % (type(error).__name__, error))
+        baseline = _run_interp(baseline_prog.module, inputs,
+                               self.max_steps, bounds_audit=True)
+        if baseline.error is not None:
+            return None  # resource limits etc.: not an oracle matter
+        if baseline.audit_error is not None:
+            return FuzzFailure(
+                "baseline-audit", seed, source, "<baseline>",
+                "naive lowering let an access escape checking: %s"
+                % baseline.audit_error)
+        if self.engines:
+            compiled = _run_compiled(baseline_prog, inputs)
+            failure = self._compare_engines(baseline, compiled, seed,
+                                            source, "<baseline>",
+                                            kind="baseline-engine")
+            if failure is not None:
+                return failure
+
+        # -- every optimizer configuration ----------------------------
+        for options in self.configs:
+            label = options.label()
+            try:
+                program = compile_source(source, options, cache=cache,
+                                         verify_ir=True)
+            except ReproError as error:
+                kind = "verify-ir" if "after pass" in str(error) \
+                    else "compile-error"
+                return FuzzFailure(kind, seed, source, label,
+                                   "%s: %s" % (type(error).__name__, error))
+            optimized = _run_interp(program.module, inputs,
+                                    self.max_steps, bounds_audit=True)
+            failure = self._compare_with_baseline(baseline, optimized,
+                                                  seed, source, label)
+            if failure is not None:
+                return failure
+            if self.engines:
+                compiled = _run_compiled(program, inputs)
+                failure = self._compare_engines(optimized, compiled, seed,
+                                                source, label)
+                if failure is not None:
+                    return failure
+        return None
+
+    # -- invariants -----------------------------------------------------
+
+    def _compare_with_baseline(self, baseline: _RunResult,
+                               optimized: _RunResult, seed, source,
+                               label: str) -> Optional[FuzzFailure]:
+        if optimized.error is not None:
+            return FuzzFailure(
+                "crash", seed, source, label,
+                "optimized run raised %s: %s (baseline ran clean)"
+                % (type(optimized.error).__name__, optimized.error))
+        if optimized.audit_error is not None:
+            return FuzzFailure(
+                "safety", seed, source, label,
+                "optimized checks let an out-of-bounds access through: "
+                "%s" % optimized.audit_error)
+        if optimized.trapped and not baseline.trapped:
+            return FuzzFailure(
+                "spurious-trap", seed, source, label,
+                "optimized program traps; the naive program runs clean\n"
+                "baseline output: %r\noptimized output: %r"
+                % (baseline.output, optimized.output))
+        if baseline.trapped and not optimized.trapped:
+            return FuzzFailure(
+                "missing-trap", seed, source, label,
+                "naive program traps; optimized program runs to "
+                "completion\nbaseline output: %r\noptimized output: %r"
+                % (baseline.output, optimized.output))
+        if baseline.trapped:
+            # both trapped; the optimized one may trap earlier
+            prefix = baseline.output[:len(optimized.output)]
+            if optimized.output != prefix:
+                return FuzzFailure(
+                    "not-prefix", seed, source, label,
+                    "optimized output up to its (earlier) trap is not a "
+                    "prefix of the baseline's\nbaseline: %r\noptimized: %r"
+                    % (baseline.output, optimized.output))
+            return None
+        if optimized.output != baseline.output:
+            return FuzzFailure(
+                "output-mismatch", seed, source, label,
+                "baseline: %r\noptimized: %r"
+                % (baseline.output, optimized.output))
+        if optimized.counters.effective_checks() > baseline.counters.checks:
+            return FuzzFailure(
+                "count-regression", seed, source, label,
+                "optimized executed %d effective checks "
+                "(%d total - %d guard-skipped) vs %d naive checks"
+                % (optimized.counters.effective_checks(),
+                   optimized.counters.checks,
+                   optimized.counters.guard_skipped,
+                   baseline.counters.checks))
+        return None
+
+    def _compare_engines(self, interp: _RunResult, compiled: _RunResult,
+                         seed, source, label: str,
+                         kind: str = "engine-mismatch"
+                         ) -> Optional[FuzzFailure]:
+        if compiled.error is not None:
+            return FuzzFailure(
+                kind, seed, source, label,
+                "the back-end raised %s: %s (interpreter %s)"
+                % (type(compiled.error).__name__, compiled.error,
+                   "trapped" if interp.trapped else "ran clean"))
+        if compiled.trapped != interp.trapped:
+            return FuzzFailure(
+                kind, seed, source, label,
+                "interpreter %s but the back-end %s"
+                % ("trapped" if interp.trapped else "ran clean",
+                   "trapped" if compiled.trapped else "ran clean"))
+        if compiled.output is None or compiled.counters is None:
+            return None  # backend trap state without a runtime handle
+        if compiled.output != interp.output:
+            return FuzzFailure(
+                kind, seed, source, label,
+                "outputs differ\ninterp: %r\ncompiled: %r"
+                % (interp.output, compiled.output))
+        if interp.trapped:
+            # per-block accounting: the back-end bumps a whole block's
+            # check count on entry, so a trap mid-block legitimately
+            # leaves it ahead of the interpreter's exact count
+            return None
+        if compiled.counters.checks != interp.counters.checks or \
+                compiled.counters.guard_skipped != \
+                interp.counters.guard_skipped:
+            return FuzzFailure(
+                kind, seed, source, label,
+                "dynamic check counts differ\n"
+                "interp: checks=%d guard_skipped=%d\n"
+                "compiled: checks=%d guard_skipped=%d"
+                % (interp.counters.checks, interp.counters.guard_skipped,
+                   compiled.counters.checks,
+                   compiled.counters.guard_skipped))
+        return None

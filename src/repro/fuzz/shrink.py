@@ -1,0 +1,128 @@
+"""Greedy test-case shrinker for failing fuzz programs.
+
+Works on source lines, structure-aware: it knows where ``do``/
+``while``/``if`` blocks begin and end, so a candidate edit is either
+
+* deleting a whole block (header through matching ``end``),
+* unwrapping a block (deleting header and ``end``, keeping the body;
+  loop variables stay declared, and an unversioned read defaults to
+  zero, so the body remains legal), or
+* deleting one simple line (statement or declaration).
+
+Each edit is kept only when the caller's predicate still holds --
+"this program still fails the oracle the same way" -- so the result
+reproduces the original failure with (usually far) fewer lines.  The
+process is deterministic and terminates: every committed edit removes
+at least one line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Tuple
+
+_BLOCK_OPEN = re.compile(r"^\s*(do\b|while\b|if\b.*\bthen\b)", re.IGNORECASE)
+_BLOCK_CLOSE = re.compile(r"^\s*end\s*(do|while|if)\b", re.IGNORECASE)
+_ELSE = re.compile(r"^\s*else\b", re.IGNORECASE)
+_UNIT = re.compile(r"^\s*(program|subroutine|end\s*(program|subroutine)|"
+                   r"input\b|integer\b|real\b)", re.IGNORECASE)
+# one-line "if (c) then" never occurs (generator emits block ifs), but
+# a bare "if" guard protecting exit/cycle must not be unwrapped into an
+# unconditional exit -- treat its body as part of the span only
+
+
+def _block_spans(lines: List[str]) -> List[Tuple[int, int]]:
+    """(start, end) line-index pairs of every block, innermost last."""
+    spans: List[Tuple[int, int]] = []
+    stack: List[int] = []
+    for index, line in enumerate(lines):
+        if _BLOCK_CLOSE.match(line):
+            if stack:
+                spans.append((stack.pop(), index))
+        elif _BLOCK_OPEN.match(line):
+            stack.append(index)
+    return spans
+
+
+def _simple_lines(lines: List[str]) -> List[int]:
+    """Indices of lines that are neither structure nor unit syntax."""
+    result = []
+    for index, line in enumerate(lines):
+        text = line.strip()
+        if not text:
+            continue
+        if _BLOCK_OPEN.match(line) or _BLOCK_CLOSE.match(line) or \
+                _ELSE.match(line):
+            continue
+        if re.match(r"^\s*(program|end\s*program)\b", line, re.IGNORECASE):
+            continue
+        result.append(index)
+    return result
+
+
+def _decl_lines(lines: List[str]) -> List[int]:
+    return [i for i, line in enumerate(lines)
+            if re.match(r"^\s*(input\s+)?(integer|real)\b", line,
+                        re.IGNORECASE)]
+
+
+def _candidates(lines: List[str]):
+    """Candidate edits, biggest first; each is a list of line indices
+    to delete."""
+    spans = sorted(_block_spans(lines),
+                   key=lambda span: span[1] - span[0], reverse=True)
+    for start, end in spans:
+        yield list(range(start, end + 1))          # delete whole block
+    for start, end in spans:
+        yield [start, end]                          # unwrap block
+    decls = set(_decl_lines(lines))
+    for index in _simple_lines(lines):
+        if index not in decls:
+            yield [index]                           # delete statement
+    for index in sorted(decls):
+        yield [index]                               # delete declaration
+
+
+def shrink(source: str, predicate: Callable[[str], bool],
+           max_tests: int = 400) -> str:
+    """Smallest variant of ``source`` (greedy) still satisfying
+    ``predicate``.  At most ``max_tests`` predicate evaluations."""
+    lines = source.splitlines()
+    tests = 0
+    improved = True
+    while improved and tests < max_tests:
+        improved = False
+        for indices in _candidates(lines):
+            if tests >= max_tests:
+                break
+            doomed = set(indices)
+            candidate = [line for i, line in enumerate(lines)
+                         if i not in doomed]
+            tests += 1
+            try:
+                keep = predicate("\n".join(candidate) + "\n")
+            except Exception:
+                keep = False  # a candidate that crashes the oracle is out
+            if keep:
+                lines = candidate
+                improved = True
+                break  # structure changed: recompute candidates
+    return "\n".join(lines) + "\n"
+
+
+def make_predicate(oracle, kind: str,
+                   config: Optional[str] = None,
+                   seed: Optional[int] = None
+                   ) -> Callable[[str], bool]:
+    """Predicate: source still produces a failure of ``kind`` (and
+    ``config``, when given) under ``oracle``."""
+    def predicate(source: str) -> bool:
+        failure = oracle.check(source, seed=seed)
+        if failure is None:
+            return False
+        if failure.kind != kind:
+            return False
+        if config is not None and failure.config != config:
+            return False
+        return True
+    return predicate

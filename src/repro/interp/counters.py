@@ -24,13 +24,20 @@ class ExecutionCounters:
     """Mutable counters filled in by the interpreter."""
 
     __slots__ = ("instructions", "checks", "phis", "guarded_checks",
-                 "by_opcode", "traps")
+                 "guard_skipped", "by_opcode", "traps")
 
     def __init__(self) -> None:
         self.instructions = 0
         self.checks = 0
         self.phis = 0
         self.guarded_checks = 0
+        # Cond-checks whose guard inequality failed: they still count as
+        # executed ``checks`` work, but the range inequality itself was
+        # never evaluated.  ``effective_checks`` subtracts them, which
+        # is the count the fuzz oracle compares against the naive
+        # baseline (a hoisted check above a zero-trip loop does run-time
+        # work but performs no range comparison).
+        self.guard_skipped = 0
         self.traps = 0
         self.by_opcode: Counter = Counter()
 
@@ -40,6 +47,10 @@ class ExecutionCounters:
             return 0.0
         return self.checks / self.instructions
 
+    def effective_checks(self) -> int:
+        """Checks whose range inequality was actually evaluated."""
+        return self.checks - self.guard_skipped
+
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy, for reports and tests."""
         return {
@@ -47,6 +58,7 @@ class ExecutionCounters:
             "checks": self.checks,
             "phis": self.phis,
             "guarded_checks": self.guarded_checks,
+            "guard_skipped": self.guard_skipped,
             "traps": self.traps,
         }
 

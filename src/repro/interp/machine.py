@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping, Optional, Union
 
-from ..errors import InterpError, RangeTrap
+from ..errors import BoundsAuditError, InterpError, RangeTrap
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Module
 from ..ir.instructions import (Assign, BinOp, Call, Check, CondJump, Jump,
@@ -46,7 +46,8 @@ class Machine:
     def __init__(self, module: Module,
                  inputs: Optional[Mapping[str, Number]] = None,
                  max_steps: int = 50_000_000,
-                 profile: bool = False) -> None:
+                 profile: bool = False,
+                 bounds_audit: bool = False) -> None:
         if module.main is None:
             raise InterpError("module has no main program")
         self.module = module
@@ -57,6 +58,11 @@ class Machine:
         self._steps = 0
         self._depth = 0
         self.profile = profile
+        # the fuzz oracle's safety net: audit every array access against
+        # the declared bounds, independently of emitted Check
+        # instructions, and raise BoundsAuditError the moment an access
+        # escapes range checking
+        self.bounds_audit = bounds_audit
 
     # -- public API --------------------------------------------------------
 
@@ -164,12 +170,16 @@ class Machine:
                 counters.instructions += 1 + len(inst.indices)
                 array = self._array(frame, inst.array)
                 indices = [int(self._eval(frame, i)) for i in inst.indices]
+                if self.bounds_audit:
+                    self._audit_access(array, indices)
                 frame.scalars[inst.dest.name] = array.load(indices)
                 continue
             if isinstance(inst, Store):
                 counters.instructions += 1 + len(inst.indices)
                 array = self._array(frame, inst.array)
                 indices = [int(self._eval(frame, i)) for i in inst.indices]
+                if self.bounds_audit:
+                    self._audit_access(array, indices)
                 array.store(indices, self._eval(frame, inst.src))
                 continue
             if isinstance(inst, UnOp):
@@ -207,7 +217,9 @@ class Machine:
             self.counters.guarded_checks += 1
             for guard in check.guards:
                 if self._eval_linear(frame, guard.linexpr) > guard.bound:
-                    return  # a guard inequality fails: check not required
+                    # a guard inequality fails: check not required
+                    self.counters.guard_skipped += 1
+                    return
         value = self._eval_linear(frame, check.linexpr)
         if value > check.bound:
             self.counters.traps += 1
@@ -215,6 +227,19 @@ class Machine:
                 "range check failed: %s = %d > %d (array %s, %s bound)"
                 % (check.linexpr, value, check.bound, check.array or "?",
                    check.kind), str(check))
+
+    def _audit_access(self, array: ArrayStorage,
+                      indices: List[int]) -> None:
+        """The per-access bounds audit (independent of Check traps)."""
+        if len(indices) != len(array.bounds):
+            raise InterpError(
+                "array %s: rank %d accessed with %d indices"
+                % (array.name, len(array.bounds), len(indices)))
+        for dim, index in enumerate(indices):
+            low, high = array.bounds[dim]
+            if index < low or index > high:
+                raise BoundsAuditError(array.name, indices, dim + 1,
+                                       low, high)
 
     def _array(self, frame: _Frame, name: str) -> ArrayStorage:
         array = frame.arrays.get(name)

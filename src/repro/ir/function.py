@@ -32,6 +32,10 @@ class Function:
         self.scalar_types: Dict[str, ScalarType] = {}
         self.blocks: List[BasicBlock] = []
         self.entry: Optional[BasicBlock] = None
+        # set by SSA construction, cleared by destruction; gates the
+        # verifier's def-dominates-use check (pre-SSA IR legally reads
+        # variables before any definition)
+        self.ssa_form = False
         self._name_counter = 0
 
     # -- construction -------------------------------------------------

@@ -41,15 +41,29 @@ def module_size(module: Optional[Module]) -> int:
     return sum(1 for function in module for _ in function.instructions())
 
 
+def _verify_after(module: Module, pass_name: str) -> None:
+    """Run the IR verifier, attributing failures to ``pass_name``."""
+    from ..errors import IRError
+    from ..ir.verify import verify_module
+
+    try:
+        verify_module(module)
+    except IRError as exc:
+        raise IRError("after pass %r: %s" % (pass_name, exc)) from exc
+
+
 def run_frontend(source: str, insert_checks: bool = True,
                  rotate_loops: bool = False, ssa: bool = True,
-                 trace: Optional[PipelineTrace] = None) -> Module:
+                 trace: Optional[PipelineTrace] = None,
+                 verify_ir: bool = False) -> Module:
     """The configuration-independent frontend prefix of the pipeline.
 
     Runs parse -> lower -> [rotate] -> [SSA] and records one trace
     event per pass.  The returned module has naive checks (when
     ``insert_checks``) and no optimization applied; it is the artifact
-    :class:`~repro.pipeline.cache.FrontendCache` memoizes.
+    :class:`~repro.pipeline.cache.FrontendCache` memoizes.  With
+    ``verify_ir`` the verifier runs after every pass, attributing any
+    malformed IR to the pass that produced it.
     """
     trace = trace if trace is not None else PipelineTrace()
 
@@ -61,6 +75,8 @@ def run_frontend(source: str, insert_checks: bool = True,
     module = lower_source_file(tree, LoweringOptions(insert_checks))
     trace.record("lower", time.perf_counter() - start,
                  size_after=module_size(module))
+    if verify_ir:
+        _verify_after(module, "lower")
 
     if rotate_loops:
         from ..ir.rotate import rotate_module
@@ -68,12 +84,16 @@ def run_frontend(source: str, insert_checks: bool = True,
         with trace.timed("rotate", module_size(module)) as event:
             rotate_module(module)
             event.size_after = module_size(module)
+        if verify_ir:
+            _verify_after(module, "rotate")
 
     if ssa:
         with trace.timed("ssa", module_size(module)) as event:
             for function in module:
                 construct_ssa(function)
             event.size_after = module_size(module)
+        if verify_ir:
+            _verify_after(module, "ssa")
     return module
 
 
@@ -165,7 +185,8 @@ def compile_source(source: str,
                    rotate_loops: bool = False,
                    value_number: bool = False,
                    trace: Optional[PipelineTrace] = None,
-                   cache: Optional["FrontendCache"] = None
+                   cache: Optional["FrontendCache"] = None,
+                   verify_ir: bool = False
                    ) -> CompiledProgram:
     """Compile mini-Fortran source text.
 
@@ -186,22 +207,30 @@ def compile_source(source: str,
       :class:`~repro.pipeline.cache.FrontendCache`; when given (and
       ``ssa`` is on) the frontend prefix is fetched from it — a deep
       copy per call — instead of re-running parse/lower/SSA;
+    * ``verify_ir=True`` runs the IR verifier after every pass and
+      raises :class:`~repro.errors.IRError` naming the offending pass;
     * otherwise the checks are optimized under ``options``.
     """
     trace = trace if trace is not None else PipelineTrace()
     if cache is not None and ssa:
         module = cache.frontend(source, insert_checks=insert_checks,
                                 rotate_loops=rotate_loops, trace=trace)
+        if verify_ir:
+            _verify_after(module, "frontend(cached)")
     else:
         module = run_frontend(source, insert_checks=insert_checks,
                               rotate_loops=rotate_loops, ssa=ssa,
-                              trace=trace)
+                              trace=trace, verify_ir=verify_ir)
     if not ssa:
         return CompiledProgram(module, trace=trace)
     if value_number:
         _run_gvn(module, trace)
+        if verify_ir:
+            _verify_after(module, "gvn")
     if not (insert_checks and optimize):
         return CompiledProgram(module, trace=trace)
     stats = _run_check_optimizer(module, options or OptimizerOptions(),
                                  trace)
+    if verify_ir:
+        _verify_after(module, "check-optimize")
     return CompiledProgram(module, stats, trace=trace)

@@ -33,6 +33,7 @@ def construct_ssa(function: Function,
     domtree = domtree or DominatorTree(function)
     builder = _SSABuilder(function, domtree)
     builder.run()
+    function.ssa_form = True
     verify_function(function)
     return domtree
 

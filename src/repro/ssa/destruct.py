@@ -62,6 +62,7 @@ def destruct_ssa(function: Function) -> None:
                 pred.insert_before_terminator(Assign(dest, temp))
         for phi in phis:
             block.remove(phi)
+    function.ssa_form = False
     verify_function(function)
 
 

@@ -176,3 +176,26 @@ class TestClosures:
         other = universe.add(c({"j": 1}, 1))
         cig = CheckImplicationGraph(universe)
         assert cig.strongest_implying(weak, frozenset([other])) is None
+
+    def test_strongest_implying_cross_family(self):
+        universe = CheckUniverse()
+        weak = universe.add(c({"i": 1}, 9))
+        samefam = universe.add(c({"i": 1}, 7))
+        other = universe.add(c({"j": 1}, 4))
+        store = ImplicationStore()
+        # (j <= b) implies (i <= b + 2): `other` effectively imposes
+        # i <= 6, beating the same-family candidate's i <= 7
+        store.add_edge(LinearExpr({"j": 1}, 0), LinearExpr({"i": 1}, 0), 2)
+        cig = CheckImplicationGraph(universe, store)
+        candidates = frozenset([samefam, other])
+        assert cig.strongest_implying(weak, candidates) == samefam
+        assert cig.strongest_implying(
+            weak, candidates, cross_family=True) == other
+
+    def test_strongest_implying_cross_family_needs_path(self):
+        universe = CheckUniverse()
+        weak = universe.add(c({"i": 1}, 9))
+        other = universe.add(c({"j": 1}, 1))
+        cig = CheckImplicationGraph(universe)
+        assert cig.strongest_implying(
+            weak, frozenset([other]), cross_family=True) is None

@@ -1,0 +1,39 @@
+"""Replay every persisted fuzz-corpus entry through the oracle.
+
+``tests/fuzz_corpus/`` holds minimized programs that once violated the
+safety oracle (``! kind:``/``! config:`` headers record how).  Each
+entry must now pass the oracle -- baseline invariants always, plus the
+originally-failing optimizer configuration when one is recorded.
+Campaigns append to the corpus via ``repro fuzz --corpus``.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import Oracle, config_by_label, read_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "fuzz_corpus")
+ENTRIES = read_corpus(CORPUS_DIR)
+
+
+def _configs_for(entry):
+    table = config_by_label()
+    if entry["config"] in table:
+        return [table[entry["config"]]]
+    return []  # a baseline failure: the baseline always runs
+
+
+def test_corpus_exists():
+    assert ENTRIES, "the regression corpus should never be empty"
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES,
+    ids=[os.path.basename(e["path"]) for e in ENTRIES])
+def test_corpus_entry_passes(entry):
+    oracle = Oracle(configs=_configs_for(entry))
+    seed = int(entry["seed"]) if entry["seed"].isdigit() else None
+    failure = oracle.check(entry["source"], seed=seed)
+    assert failure is None, failure.describe()

@@ -246,3 +246,57 @@ end program
         machine = compile_and_run(source, OptimizerOptions(scheme=Scheme.LLS))
         assert machine.output == baseline.output
         assert machine.counters.checks < baseline.counters.checks
+
+
+class TestNoImplicationProfitability:
+    """Under the NONE ablation a substituted preheader check can never
+    imply the body check it covers, so LLS must not insert it -- the
+    fuzzer's count-regression finding (a zero-`guard_skipped` loop ran
+    more effective checks than naive NI)."""
+
+    SOURCE = """
+program p
+  input integer :: n = 6
+  integer :: i
+  real :: a(9)
+  do i = 2, n
+    a(i) = 1.0
+  end do
+  print a(2)
+end program
+"""
+
+    def test_none_mode_skips_substituted_insertion(self):
+        from repro.checks import ImplicationMode
+        module = optimized_with_mode(self.SOURCE, ImplicationMode.NONE)
+        assert cond_checks(module.main) == []
+        # LI-style identity hoisting is still allowed: invariant checks
+        # imply themselves even under NONE
+        module = lower_ssa(TestInvariantHoisting.SOURCE)
+        optimize_module(module, OptimizerOptions(
+            scheme=Scheme.LI, implication=ImplicationMode.NONE))
+        assert cond_checks(module.main)
+        assert body_checks(module.main) == []
+
+    def test_none_mode_never_exceeds_naive_counts(self):
+        from repro.checks import ImplicationMode
+        baseline = run_baseline(self.SOURCE)
+        for scheme in (Scheme.LLS, Scheme.LI, Scheme.MCM):
+            machine = compile_and_run(self.SOURCE, OptimizerOptions(
+                scheme=scheme, implication=ImplicationMode.NONE))
+            assert machine.counters.effective_checks() <= \
+                baseline.counters.checks, scheme
+
+    def test_cross_family_mode_still_substitutes(self):
+        from repro.checks import ImplicationMode
+        module = optimized_with_mode(self.SOURCE,
+                                     ImplicationMode.CROSS_FAMILY)
+        assert cond_checks(module.main)
+        assert body_checks(module.main) == []
+
+
+def optimized_with_mode(source, mode, scheme=Scheme.LLS):
+    module = lower_ssa(source)
+    optimize_module(module, OptimizerOptions(scheme=scheme,
+                                             implication=mode))
+    return module

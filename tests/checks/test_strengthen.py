@@ -1,10 +1,11 @@
 """Tests for check strengthening (CS)."""
 
 from repro.checks import (CanonicalCheck, CheckAnalysis,
-                          CheckImplicationGraph, OptimizerOptions, Scheme,
-                          optimize_module, strengthen_checks,
-                          universe_from_function)
+                          CheckImplicationGraph, ImplicationStore,
+                          OptimizerOptions, Scheme, optimize_module,
+                          strengthen_checks, universe_from_function)
 from repro.ir import Check
+from repro.ir.verify import verify_function
 
 from ..conftest import compile_and_run, lower_ssa, run_baseline
 
@@ -115,3 +116,54 @@ end program
             from repro.interp import Machine
             with pytest.raises(RangeTrap):
                 Machine(module, {"n": 1}).run()
+
+
+CROSS_FAMILY = """
+program p
+  input integer :: n = 3, m = 5
+  real :: a(10), b(10)
+  a(n) = 1.0
+  b(m) = 2.0
+end program
+"""
+
+
+class TestCrossFamilyOperands:
+    """Strengthening across families must rebuild the replacement's
+    operand map for the *stronger* check's symbols -- reusing the
+    replaced check's operands used to raise "missing operands" (or,
+    worse, would silently test the wrong variables)."""
+
+    def strengthen_with_edge(self, weight):
+        module = lower_ssa(CROSS_FAMILY)
+        main = module.main
+        universe = universe_from_function(main)
+        uppers = [CanonicalCheck.of(inst) for inst in main.instructions()
+                  if isinstance(inst, Check) and inst.kind == "upper"]
+        n_expr, m_expr = uppers[0].linexpr, uppers[1].linexpr
+        assert n_expr.symbols() != m_expr.symbols()
+        store = ImplicationStore()
+        # (m <= b) implies (n <= b + weight): externally-known relation
+        store.add_edge(m_expr, n_expr, weight)
+        cig = CheckImplicationGraph(universe, store)
+        analysis = CheckAnalysis(main, universe, cig)
+        replaced = strengthen_checks(analysis)
+        return main, replaced, m_expr
+
+    def test_replacement_operands_match_its_linexpr(self):
+        main, replaced, m_expr = self.strengthen_with_edge(-2)
+        assert replaced == 1
+        uppers = [inst for inst in main.instructions()
+                  if isinstance(inst, Check) and inst.kind == "upper"]
+        # the n-check became the (stronger, cross-family) m-check
+        assert uppers[0].linexpr == m_expr
+        assert set(uppers[0].operands) == set(m_expr.symbols())
+        for sym, var in uppers[0].operands.items():
+            assert var.name == sym
+        verify_function(main)
+
+    def test_no_replacement_without_implication(self):
+        # weight +2: (m <= 10) only implies (n <= 12), weaker than the
+        # n-check's own bound -- nothing to strengthen with
+        _, replaced, _ = self.strengthen_with_edge(2)
+        assert replaced == 0

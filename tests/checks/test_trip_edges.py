@@ -1,0 +1,121 @@
+"""Zero- and single-trip loops across every scheme.
+
+A hoisted check is only sound when it is guarded by the loop's
+"executes at least once" condition: for a loop that never runs, no
+hoisted check may fire -- even when the body contains an access that
+would be wildly out of bounds.  These tests pin that down for every
+(Scheme x CheckKind) point, for both compile-time and symbolic
+zero-trip counts, and check the single-trip boundary behaves like the
+naive program.
+"""
+
+import pytest
+
+from repro.checks import OptimizerOptions
+from repro.errors import RangeTrap
+
+from ..conftest import ALL_KINDS, ALL_SCHEMES, compile_and_run, run_baseline
+
+POINTS = [(scheme, kind) for scheme in ALL_SCHEMES for kind in ALL_KINDS]
+IDS = ["%s-%s" % (kind.value, scheme.value) for scheme, kind in POINTS]
+
+
+ZERO_TRIP_CONST = """
+program p
+  integer :: i, s
+  real :: a(5)
+  s = 0
+  do i = 5, 1
+    a(i + 100) = 1.0
+    s = s + 1
+  end do
+  print s
+end program
+"""
+
+ZERO_TRIP_SYMBOLIC = """
+program p
+  input integer :: n = 0
+  integer :: i, s
+  real :: a(5)
+  s = 0
+  do i = 1, n
+    a(i + 100) = 1.0
+    s = s + 1
+  end do
+  print s
+end program
+"""
+
+ZERO_TRIP_NEGATIVE_STEP = """
+program p
+  input integer :: n = 0
+  integer :: i, s
+  real :: a(5)
+  s = 0
+  do i = n, 1, -1
+    a(i - 100) = 1.0
+    s = s + 1
+  end do
+  print s
+end program
+"""
+
+SINGLE_TRIP = """
+program p
+  input integer :: n = 1
+  integer :: i
+  real :: a(5)
+  do i = 1, n
+    a(i) = 2.0
+  end do
+  print a(1)
+end program
+"""
+
+SINGLE_TRIP_TRAPPING = """
+program p
+  input integer :: n = 1
+  integer :: i
+  real :: a(5)
+  do i = 1, n
+    a(i + 7) = 2.0
+  end do
+  print 1
+end program
+"""
+
+
+class TestZeroTrip:
+    @pytest.mark.parametrize("scheme,kind", POINTS, ids=IDS)
+    @pytest.mark.parametrize("source", [ZERO_TRIP_CONST, ZERO_TRIP_SYMBOLIC,
+                                        ZERO_TRIP_NEGATIVE_STEP],
+                             ids=["const", "symbolic", "negstep"])
+    def test_no_hoisted_check_fires(self, source, scheme, kind):
+        options = OptimizerOptions(scheme=scheme, kind=kind)
+        baseline = run_baseline(source)
+        optimized = compile_and_run(source, options)
+        assert optimized.output == baseline.output == [0]
+        # the body never ran: the naive program performs zero checks,
+        # so any hoisted check must have been stopped by its guard
+        assert baseline.counters.checks == 0
+        assert optimized.counters.effective_checks() == 0
+
+
+class TestSingleTrip:
+    @pytest.mark.parametrize("scheme,kind", POINTS, ids=IDS)
+    def test_single_trip_runs_clean(self, scheme, kind):
+        options = OptimizerOptions(scheme=scheme, kind=kind)
+        baseline = run_baseline(SINGLE_TRIP)
+        optimized = compile_and_run(SINGLE_TRIP, options)
+        assert optimized.output == baseline.output
+        assert optimized.counters.effective_checks() <= \
+            baseline.counters.checks
+
+    @pytest.mark.parametrize("scheme,kind", POINTS, ids=IDS)
+    def test_single_trip_oob_still_traps(self, scheme, kind):
+        options = OptimizerOptions(scheme=scheme, kind=kind)
+        with pytest.raises(RangeTrap):
+            run_baseline(SINGLE_TRIP_TRAPPING)
+        with pytest.raises(RangeTrap):
+            compile_and_run(SINGLE_TRIP_TRAPPING, options)

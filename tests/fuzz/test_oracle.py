@@ -1,0 +1,77 @@
+"""Tests for the differential safety oracle."""
+
+from repro.checks.config import (CheckKind, ImplicationMode, OptimizerOptions,
+                                 Scheme)
+from repro.fuzz import (Oracle, all_configurations, config_by_label,
+                        generate_program)
+
+CLEAN = """
+program p
+  input integer :: n = 8
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+  print a(3)
+end program
+"""
+
+TRAPPING = """
+program p
+  input integer :: n = 20
+  integer :: i
+  real :: a(10)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+  print a(3)
+end program
+"""
+
+# configs covering every scheme once: cheap enough for unit tests
+FAST = [OptimizerOptions(scheme=s) for s in Scheme]
+
+
+class TestConfigurationMatrix:
+    def test_full_matrix_size(self):
+        assert len(all_configurations()) == \
+            len(Scheme) * len(CheckKind) * len(ImplicationMode)
+
+    def test_labels_resolve_first_in_matrix_order(self):
+        table = config_by_label()
+        for label, options in table.items():
+            assert options.label() == label
+        # the primed NI label is ambiguous (NONE and CROSS_FAMILY
+        # produce it); matrix order says NONE wins
+        primed = [o for o in all_configurations()
+                  if o.label() == "PRX-NI'"]
+        assert len(primed) > 1
+        assert table["PRX-NI'"].implication is primed[0].implication
+
+
+class TestOracleVerdicts:
+    def test_clean_program_passes(self):
+        assert Oracle(configs=FAST).check(CLEAN, seed=0) is None
+
+    def test_trapping_program_passes(self):
+        # trap parity across configurations is a pass, not a failure
+        assert Oracle(configs=FAST).check(TRAPPING, seed=0) is None
+
+    def test_frontend_error_classified(self):
+        failure = Oracle(configs=FAST).check("program p\nwat\nend program")
+        assert failure is not None
+        assert failure.kind == "frontend-error"
+        assert failure.config == "<baseline>"
+
+    def test_generated_programs_pass(self):
+        oracle = Oracle(configs=FAST)
+        for seed in range(5):
+            failure = oracle.check(generate_program(seed), seed=seed)
+            assert failure is None, failure.describe()
+
+    def test_describe_mentions_config_and_seed(self):
+        failure = Oracle(configs=FAST).check("program p\nwat\nend program",
+                                             seed=42)
+        text = failure.describe()
+        assert "frontend-error" in text and "42" in text

@@ -1,0 +1,78 @@
+"""Tests for the test-case shrinker and campaign runner plumbing."""
+
+from repro.fuzz import (FuzzFailure, Oracle, make_predicate, read_corpus,
+                        shrink, write_corpus_entry)
+from repro.fuzz.runner import corpus_filename
+
+BLOATED = """
+program p
+  input integer :: n = 5
+  integer :: i, j, s
+  real :: a(10), b(10)
+  s = 0
+  do i = 1, n
+    a(i) = 1.0
+    s = s + 1
+  end do
+  do j = 1, n
+    b(j) = 2.0
+  end do
+  a(99) = 1.0
+  print s
+end program
+"""
+
+
+class TestShrink:
+    def test_greedy_removal_keeps_poison_line(self):
+        poison = "a(99) = 1.0"
+        small = shrink(BLOATED, lambda source: poison in source)
+        assert poison in small
+        # both loops and the bookkeeping statements are irrelevant
+        assert "do j" not in small
+        assert "do i" not in small
+        assert len(small.splitlines()) < len(BLOATED.splitlines()) // 2
+
+    def test_predicate_exceptions_reject_candidate(self):
+        # a predicate that dies on everything shrinks nothing
+        def explosive(source):
+            if source != BLOATED:
+                raise RuntimeError("boom")
+            return True
+        assert shrink(BLOATED, explosive) == BLOATED
+
+    def test_make_predicate_shrinks_real_failure(self):
+        source = BLOATED.replace("a(99) = 1.0", "wat")
+        oracle = Oracle(configs=[])
+        failure = oracle.check(source, seed=7)
+        assert failure is not None and failure.kind == "frontend-error"
+        predicate = make_predicate(oracle, failure.kind, failure.config,
+                                   failure.seed)
+        small = shrink(source, predicate)
+        assert "wat" in small
+        assert len(small) < len(source)
+        # the shrunken program still reproduces the same failure
+        assert oracle.check(small).kind == "frontend-error"
+
+
+class TestCorpus:
+    def test_roundtrip(self, tmp_path):
+        failure = FuzzFailure("safety", 17, BLOATED, "PRX-LLS",
+                              "first line\nsecond line")
+        path = write_corpus_entry(str(tmp_path), failure)
+        assert path.endswith(corpus_filename(failure))
+        entries = read_corpus(str(tmp_path))
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["seed"] == "17"
+        assert entry["kind"] == "safety"
+        assert entry["config"] == "PRX-LLS"
+        assert "program p" in entry["source"]
+
+    def test_filename_flattens_label(self):
+        failure = FuzzFailure("count-regression", 3, "x", "INX-NI'", "d")
+        assert corpus_filename(failure) == \
+            "count-regression_inx-nip_seed3.f"
+
+    def test_read_missing_dir(self, tmp_path):
+        assert read_corpus(str(tmp_path / "nope")) == []

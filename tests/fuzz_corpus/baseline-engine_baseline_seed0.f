@@ -1,0 +1,14 @@
+! fuzz-corpus entry
+! seed: 0
+! kind: baseline-engine
+! config: <baseline>
+! detail: interp vs back-end check counters diverged on a trapping run (per-block accounting)
+program fuzz
+  input integer :: n = 6
+  integer :: i
+  integer :: a0(5)
+  do i = 1, n
+    a0(i) = i
+  end do
+  print a0(1)
+end program

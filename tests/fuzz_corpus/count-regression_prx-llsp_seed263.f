@@ -1,0 +1,12 @@
+! fuzz-corpus entry
+! seed: 263
+! kind: count-regression
+! config: PRX-LLS'
+! detail: optimized executed 14 effective checks (14 total - 0 guard-skipped) vs 12 naive checks
+program fuzz
+  integer :: i0
+  integer :: a1(8)
+  do i0 = 3, -3, -3
+    a1(i0+4) = max(i0, 0)
+  end do
+end program

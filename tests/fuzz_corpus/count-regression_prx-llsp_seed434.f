@@ -1,0 +1,13 @@
+! fuzz-corpus entry
+! seed: 434
+! kind: count-regression
+! config: PRX-LLS'
+! detail: optimized executed 10 effective checks (10 total - 0 guard-skipped) vs 8 naive checks
+program fuzz
+  input integer :: n = 6
+  integer :: i0
+  integer :: a0(9, n)
+  do i0 = 2, n, 3
+    a0(i0, -1*i0+8) = i0 * 2
+  end do
+end program

@@ -1,0 +1,13 @@
+! fuzz-corpus entry
+! seed: 474
+! kind: count-regression
+! config: PRX-LLS'
+! detail: optimized executed 27 effective checks (27 total - 0 guard-skipped) vs 24 naive checks
+program fuzz
+  input integer :: n = 4
+  integer :: i0
+  integer :: a0(0:6, n)
+  do i0 = 2, n
+    a0(2*i0-3, -1*i0+5) = i0 + 1
+  end do
+end program

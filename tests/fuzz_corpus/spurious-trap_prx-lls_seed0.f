@@ -1,0 +1,14 @@
+! fuzz-corpus entry
+! seed: 0
+! kind: spurious-trap
+! config: PRX-LLS
+! detail: hoisted check must stay behind the loop's at-least-once guard for a zero-trip loop
+program fuzz
+  input integer :: n = 0
+  integer :: i
+  integer :: a0(5)
+  do i = 1, n
+    a0(i + 100) = 1
+  end do
+  print 0
+end program

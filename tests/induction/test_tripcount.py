@@ -208,3 +208,81 @@ end program
         lhs, rhs = iv.guard_lhs_rhs()
         assert lhs == LinearExpr.constant(1)
         assert rhs == LinearExpr.symbol("n")
+
+
+WHILE_MATRIX = """
+program p
+  integer :: i, s
+  s = 0
+  i = %(init)d
+  while (i %(op)s %(limit)d) do
+    s = s + 1
+    i = i %(incr)s
+  end while
+  print s
+end program
+"""
+
+_OPS = {"<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b, ">=": lambda a, b: a >= b}
+
+
+def _simulate(init, op, limit, step):
+    """Reference semantics: how many times does the body run?"""
+    i, trips = init, 0
+    while _OPS[op](i, limit):
+        trips += 1
+        i += step
+    return trips
+
+
+def _matrix_iv(init, op, limit, step):
+    incr = "+ %d" % step if step > 0 else "- %d" % -step
+    source = WHILE_MATRIX % {"init": init, "op": op, "limit": limit,
+                             "incr": incr}
+    return iv_for(source), source
+
+
+class TestStepComparisonMatrix:
+    """step in {-3, -1, 1, 3} x comparison in {lt, le, gt, ge}: the
+    recognizer must accept exactly the direction-consistent half, and
+    the derived trip count / at-least-once guard must agree with actual
+    execution."""
+
+    import itertools as _it
+    VALID = [(op, step, init, limit)
+             for op, step in _it.product(("<", "<="), (1, 3))
+             for init, limit in ((1, 10), (1, 1), (11, 10))] + \
+            [(op, step, init, limit)
+             for op, step in _it.product((">", ">="), (-1, -3))
+             for init, limit in ((10, 1), (1, 1), (0, 1))]
+
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("op,step,init,limit", VALID)
+    def test_trip_count_matches_execution(self, op, step, init, limit):
+        iv, source = _matrix_iv(init, op, limit, step)
+        assert iv is not None, "direction-consistent loop not recognized"
+        assert iv.step == step
+        expected = _simulate(init, op, limit, step)
+        assert iv.trip_count_const() == expected
+        from ..conftest import run_baseline
+        machine = run_baseline(source)
+        assert machine.output == [expected]
+
+    @_pytest.mark.parametrize("op,step,init,limit", VALID)
+    def test_guard_agrees_with_execution(self, op, step, init, limit):
+        iv, _ = _matrix_iv(init, op, limit, step)
+        lhs, rhs = iv.guard_lhs_rhs()
+        assert lhs.is_constant() and rhs.is_constant()
+        guard_holds = lhs.const <= rhs.const
+        assert guard_holds == (_simulate(init, op, limit, step) >= 1)
+
+    MISMATCHED = [("<", -1), ("<", -3), ("<=", -1), ("<=", -3),
+                  (">", 1), (">", 3), (">=", 1), (">=", 3)]
+
+    @_pytest.mark.parametrize("op,step", MISMATCHED)
+    def test_direction_mismatch_rejected(self, op, step):
+        init, limit = (10, 1) if step > 0 else (1, 10)
+        iv, _ = _matrix_iv(init, op, limit, step)
+        assert iv is None

@@ -119,3 +119,124 @@ class TestVerifyModule:
         module.add(caller)
         with pytest.raises(IRError):
             verify_module(module)
+
+
+class TestPhiConsistency:
+    def test_phi_in_entry_block(self):
+        f, block = terminated_function()
+        block.insert(0, Phi(Var("x", INT)))
+        with pytest.raises(IRError):
+            verify_function(f)
+
+    def test_phi_incoming_block_not_in_function(self):
+        other = Function("other")
+        foreign = other.new_block("foreign")
+        foreign.append(Return())
+        f = Function("f")
+        entry = f.new_block("entry")
+        join = f.new_block("join")
+        entry.append(Jump(join))
+        join.insert(0, Phi(Var("x", INT), [(foreign, Const(1))]))
+        join.append(Return())
+        with pytest.raises(IRError):
+            verify_function(f)
+
+    def test_phi_arity_mismatch(self):
+        from repro.ir.instructions import CondJump
+        f = Function("f")
+        entry = f.new_block("entry")
+        left = f.new_block("left")
+        right = f.new_block("right")
+        join = f.new_block("join")
+        entry.append(CondJump(Const(1), left, right))
+        left.append(Jump(join))
+        right.append(Jump(join))
+        # only one incoming value for two predecessors
+        join.insert(0, Phi(Var("x", INT), [(left, Const(1))]))
+        join.append(Return())
+        with pytest.raises(IRError):
+            verify_function(f)
+
+
+def diamond():
+    """entry -> (left | right) -> join, all terminated, no phis yet."""
+    from repro.ir.instructions import CondJump
+    f = Function("f")
+    entry = f.new_block("entry")
+    left = f.new_block("left")
+    right = f.new_block("right")
+    join = f.new_block("join")
+    entry.append(CondJump(Const(1), left, right))
+    left.append(Jump(join))
+    right.append(Jump(join))
+    join.append(Return())
+    f.ssa_form = True
+    return f, entry, left, right, join
+
+
+class TestDefDominatesUse:
+    def test_valid_diamond_with_phi_passes(self):
+        f, entry, left, right, join = diamond()
+        left.insert(0, Assign(Var("x.1", INT), Const(1)))
+        right.insert(0, Assign(Var("x.2", INT), Const(2)))
+        join.insert(0, Phi(Var("x.3", INT),
+                           [(left, Var("x.1", INT)),
+                            (right, Var("x.2", INT))]))
+        verify_function(f)
+
+    def test_sibling_def_does_not_dominate_use(self):
+        f, entry, left, right, join = diamond()
+        left.insert(0, Assign(Var("x.1", INT), Const(1)))
+        # 'right' uses a definition made only on the sibling path
+        right.insert(0, Assign(Var("y.1", INT), Var("x.1", INT)))
+        with pytest.raises(IRError, match="does not dominate"):
+            verify_function(f)
+
+    def test_branch_def_used_in_join_without_phi(self):
+        f, entry, left, right, join = diamond()
+        left.insert(0, Assign(Var("x.1", INT), Const(1)))
+        join.insert(0, Assign(Var("y.1", INT), Var("x.1", INT)))
+        with pytest.raises(IRError, match="does not dominate"):
+            verify_function(f)
+
+    def test_use_before_def_in_same_block(self):
+        f, block = terminated_function()
+        f.ssa_form = True
+        block.insert(0, Assign(Var("y.1", INT), Var("x.1", INT)))
+        block.insert(1, Assign(Var("x.1", INT), Const(1)))
+        with pytest.raises(IRError, match="precedes its definition"):
+            verify_function(f)
+
+    def test_phi_use_must_dominate_incoming_edge(self):
+        f, entry, left, right, join = diamond()
+        left.insert(0, Assign(Var("x.1", INT), Const(1)))
+        # the value flowing in from 'right' is only defined on 'left'
+        join.insert(0, Phi(Var("x.2", INT),
+                           [(left, Var("x.1", INT)),
+                            (right, Var("x.1", INT))]))
+        with pytest.raises(IRError, match="does not dominate"):
+            verify_function(f)
+
+    def test_undefined_read_is_legal(self):
+        # reads before any write default to zero; no def to dominate
+        f, block = terminated_function()
+        f.ssa_form = True
+        block.insert(0, Assign(Var("y.1", INT), Var("x", INT)))
+        verify_function(f)
+
+    def test_non_ssa_function_is_exempt(self):
+        # two defs of the same name with ssa_form off: dominance rule
+        # (and the single-def rule) are not in force
+        f, entry, left, right, join = diamond()
+        f.ssa_form = False
+        left.insert(0, Assign(Var("x", INT), Const(1)))
+        right.insert(0, Assign(Var("x", INT), Const(2)))
+        join.insert(0, Assign(Var("y", INT), Var("x", INT)))
+        verify_function(f)
+
+    def test_ssa_function_rejects_double_def(self):
+        f, entry, left, right, join = diamond()
+        left.insert(0, Assign(Var("x", INT), Const(1)))
+        right.insert(0, Assign(Var("x", INT), Const(2)))
+        with pytest.raises(IRError, match="more than once"):
+            verify_function(f)
