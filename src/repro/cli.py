@@ -5,12 +5,26 @@
     python -m repro compare PROGRAM.f [--input n=100]
     python -m repro tables [--small]
     python -m repro figures
+    python -m repro serve [--port P] [--workers N]
+    python -m repro loadgen --url URL [--requests N] [--concurrency C]
 
 ``run`` executes a mini-Fortran file and reports outputs and dynamic
 counts; ``dump`` prints the (optimized) IR; ``compare`` runs every
 placement scheme and prints one Table 2 column for the file; ``tables``
 regenerates the paper's Tables 1-3 on the benchmark suite; ``figures``
-prints the figure reproductions.
+prints the figure reproductions; ``serve`` runs the long-lived compile
+service and ``loadgen`` drives traffic at it.
+
+Exit codes (the contract ``docs/API.md`` documents and
+``tests/pipeline/test_cli.py`` locks in):
+
+* 0 -- success;
+* 1 -- the program trapped a range check at run time (or a fuzz
+  campaign found failures);
+* 2 -- usage or compile-time errors: bad flags, unreadable files,
+  lex/parse/semantic diagnostics;
+* 3 -- internal errors (unexpected exceptions, compiler resource
+  exhaustion).
 """
 
 from __future__ import annotations
@@ -19,11 +33,22 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from . import __version__
 from .checks.config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
 from .errors import RangeTrap, ReproError
 from .ir.printer import format_module
 from .pipeline.driver import compile_source
 from .pipeline.stats import measure_baseline, measure_scheme
+
+EXIT_OK = 0
+EXIT_TRAP = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
+
+
+def _usage_exit(message: str) -> "SystemExit":
+    print("error: %s" % message, file=sys.stderr)
+    return SystemExit(EXIT_USAGE)
 
 
 def _parse_inputs(pairs: List[str]) -> Dict[str, float]:
@@ -33,12 +58,12 @@ def _parse_inputs(pairs: List[str]) -> Dict[str, float]:
         name = name.strip()
         text = text.strip()
         if not name or not text:
-            raise SystemExit("--input expects NAME=VALUE, got %r" % pair)
+            raise _usage_exit("--input expects NAME=VALUE, got %r" % pair)
         try:
             value = float(text) if "." in text or "e" in text.lower() \
                 else int(text)
         except ValueError:
-            raise SystemExit(
+            raise _usage_exit(
                 "--input %s: %r is not a decimal number" % (name, text))
         inputs[name] = value
     return inputs
@@ -73,20 +98,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              optimize=not args.no_optimize,
                              rotate_loops=args.rotate_loops,
                              verify_ir=args.verify_ir)
+    trap = None
+    result = None
     try:
         if args.engine == "compiled":
             result = program.run_compiled(inputs)
         else:
             result = program.run(inputs)
-    except RangeTrap as trap:
+    except RangeTrap as error:
+        trap = error
+    if args.json:
+        import json
+
+        from .reporting import run_to_dict
+
+        stats = program.total_stats() if not args.no_optimize else None
+        print(json.dumps(run_to_dict(
+            _options(args).label(),
+            result.counters if result is not None else None,
+            list(result.output) if result is not None else [],
+            trap=trap, optimize_stats=stats, trace=program.trace,
+            frontend_cached=program.trace.frontend_was_cached(),
+            engine=args.engine), indent=2, sort_keys=True))
+        return EXIT_TRAP if trap is not None else EXIT_OK
+    if trap is not None:
         print("TRAP: %s" % trap, file=sys.stderr)
-        return 2
+        return EXIT_TRAP
     for value in result.output:
         print(value)
     counters = result.counters
     print("-- %d instructions, %d range checks executed"
           % (counters.instructions, counters.checks), file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_dump(args: argparse.Namespace) -> int:
@@ -138,52 +181,36 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
-TABLE3_LABELS = ["PRX-NI", "PRX-NI'", "PRX-SE", "PRX-SE'", "PRX-LLS",
-                 "PRX-LLS'", "INX-NI", "INX-NI'", "INX-SE", "INX-SE'",
-                 "INX-LLS", "INX-LLS'"]
-
-
-def _table2_labels() -> List[str]:
-    from .benchsuite import TABLE2_SCHEMES
-
-    return ["%s-%s" % (kind.value, scheme.value)
-            for kind in (CheckKind.PRX, CheckKind.INX)
-            for scheme in TABLE2_SCHEMES]
-
-
 def _cmd_tables(args: argparse.Namespace) -> int:
     from .benchsuite import run_suite
-    from .reporting import (format_scheme_table, format_table1,
-                            overhead_estimate)
+    from .reporting import (TABLE3_LABELS, render_tables_text,
+                            table2_labels, tables_summary_line)
 
     suite = run_suite(small=args.small, jobs=args.jobs)
-    labels = _table2_labels()
     if args.json:
         import json
 
         from .reporting import tables_to_dict
 
-        print(json.dumps(tables_to_dict(suite, args.small, labels,
-                                        TABLE3_LABELS),
+        print(json.dumps(tables_to_dict(suite, args.small,
+                                        table2_labels(), TABLE3_LABELS),
                          indent=2, sort_keys=True))
-        return 0
+        return EXIT_OK
     # The Range(s) wall-clock column is opt-in so the default table
-    # text is byte-identical across runs and --jobs values.
-    print(format_table1(suite.rows))
-    print("overhead estimate: %.0f%% - %.0f%%\n"
-          % overhead_estimate(suite.rows))
-    print(format_scheme_table(suite.table2, labels, suite.names, "Table 2",
-                              timings=args.timings))
-    print()
-    print(format_scheme_table(suite.table3, TABLE3_LABELS, suite.names,
-                              "Table 3", timings=args.timings))
-    optimize_total = sum(c.optimize_seconds for c in suite.table2.values())
-    optimize_total += sum(c.optimize_seconds for c in suite.table3.values())
-    print("-- %d programs, %d cells, %.3fs in the check optimizer "
-          "(frontend compiled %d times)"
-          % (len(suite.names), len(suite.table2) + len(suite.table3),
-             optimize_total, suite.frontend_compiles()), file=sys.stderr)
-    return 0
+    # text is byte-identical across runs and --jobs values (and to the
+    # compile service's tables responses, which share this renderer).
+    sys.stdout.write(render_tables_text(suite, timings=args.timings))
+    print(tables_summary_line(suite), file=sys.stderr)
+    if args.timings:
+        for name in suite.names:
+            stats = suite.cache_stats.get(name, {})
+            print("-- cache[%s]: %d compiles, %d hits, %d misses, "
+                  "%d disk hits, %d evictions"
+                  % (name, stats.get("frontend_compiles", 0),
+                     stats.get("hits", 0), stats.get("misses", 0),
+                     stats.get("disk_hits", 0),
+                     stats.get("evictions", 0)), file=sys.stderr)
+    return EXIT_OK
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -202,7 +229,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             max_failures=args.max_failures,
             log=lambda message: print(message, file=sys.stderr))
     except ValueError as error:
-        raise SystemExit("fuzz: %s" % error)
+        raise _usage_exit("fuzz: %s" % error)
     print("fuzzed %d programs (seeds %d..%d): %d failure(s)"
           % (result.programs, args.seed, args.seed + args.count - 1,
              len(result.failures)))
@@ -211,7 +238,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(failure.describe())
         print("program:")
         print(failure.source)
-    return 0 if result.ok else 3
+    return EXIT_OK if result.ok else EXIT_TRAP
 
 
 def _cmd_figures(_args: argparse.Namespace) -> int:
@@ -220,13 +247,69 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
     for name, report in all_figures().items():
         print(report)
         print()
-    return 0
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import CompileService
+
+    service = CompileService(host=args.host, port=args.port,
+                             workers=args.workers,
+                             worker_mode=args.worker_mode,
+                             queue_limit=args.queue_limit,
+                             request_timeout=args.request_timeout,
+                             drain_timeout=args.drain_timeout)
+
+    def _graceful(_signum, _frame):
+        # drain from a helper thread: shutdown() must not run on the
+        # accept-loop thread (and signal handlers run on the main one).
+        import threading
+
+        threading.Thread(target=service.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _graceful)
+    print("repro-serve %s listening on %s (%d %s workers, "
+          "queue limit %d, %.0fs timeout)"
+          % (__version__, service.url, service.pool.workers,
+             service.pool.mode, service.queue_limit,
+             service.request_timeout), file=sys.stderr)
+    service.serve_forever()
+    service.wait_stopped(timeout=service.drain_timeout + 5.0)
+    print("repro-serve: drained and stopped", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import run_loadgen
+
+    report = run_loadgen(args.url, requests_total=args.requests,
+                         concurrency=args.concurrency,
+                         small=not args.large,
+                         corpus_dir=args.corpus,
+                         include_trap=not args.no_trap,
+                         include_malformed=not args.no_malformed,
+                         timeout=args.request_timeout,
+                         out_path=args.out)
+    print(report.summary(), file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    elif args.out:
+        print(args.out)
+    transport_errors = report.by_status().get("transport-error", 0)
+    return EXIT_OK if transport_errors == 0 else EXIT_TRAP
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Range-check optimization (Kolte & Wolfe, PLDI 1995)")
+    parser.add_argument("--version", action="version",
+                        version="repro %s" % __version__)
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_parser = commands.add_parser("run", help="compile and execute")
@@ -238,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["interp", "compiled"],
                             help="tree-walking interpreter or the "
                                  "Python back-end")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the machine-readable run document "
+                                 "(same schema as the compile service)")
     run_parser.set_defaults(handler=_cmd_run)
 
     dump_parser = commands.add_parser("dump", help="print optimized IR")
@@ -311,6 +397,64 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser = commands.add_parser(
         "figures", help="print figure reproductions")
     figures_parser.set_defaults(handler=_cmd_figures)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the long-lived compile service")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8377,
+                              help="listen port (0 picks a free one)")
+    serve_parser.add_argument("--workers", type=int, default=2, metavar="N",
+                              help="worker pool size (default 2)")
+    serve_parser.add_argument("--worker-mode", default="process",
+                              choices=["process", "thread", "inline"],
+                              help="process pool (default), in-process "
+                                   "threads, or inline execution")
+    serve_parser.add_argument("--queue-limit", type=int, default=32,
+                              metavar="N",
+                              help="max admitted requests before 429 "
+                                   "(default 32)")
+    serve_parser.add_argument("--request-timeout", type=float, default=60.0,
+                              metavar="SECONDS",
+                              help="per-request deadline before 504 "
+                                   "(default 60)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="max wait for in-flight work on "
+                                   "shutdown (default 30)")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    loadgen_parser = commands.add_parser(
+        "loadgen", help="drive benchmark traffic at a compile service")
+    loadgen_parser.add_argument("--url", required=True,
+                                help="service base URL, e.g. "
+                                     "http://127.0.0.1:8377")
+    loadgen_parser.add_argument("--requests", type=int, default=50,
+                                metavar="N",
+                                help="total requests to send (default 50)")
+    loadgen_parser.add_argument("--concurrency", type=int, default=8,
+                                metavar="C",
+                                help="concurrent client threads "
+                                     "(default 8)")
+    loadgen_parser.add_argument("--corpus", metavar="DIR",
+                                help="also replay fuzz-corpus programs "
+                                     "from DIR")
+    loadgen_parser.add_argument("--large", action="store_true",
+                                help="use full-sized benchmark inputs")
+    loadgen_parser.add_argument("--no-trap", action="store_true",
+                                help="omit the deliberately trapping "
+                                     "program from the mix")
+    loadgen_parser.add_argument("--no-malformed", action="store_true",
+                                help="omit the malformed source from "
+                                     "the mix")
+    loadgen_parser.add_argument("--request-timeout", type=float,
+                                default=120.0, metavar="SECONDS")
+    loadgen_parser.add_argument("--out", metavar="PATH",
+                                default="benchmarks/results/loadgen.json",
+                                help="JSON artifact path (default "
+                                     "benchmarks/results/loadgen.json)")
+    loadgen_parser.add_argument("--json", action="store_true",
+                                help="also print the report to stdout")
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)
     return parser
 
 
@@ -321,21 +465,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.handler(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     except OSError as error:
         print("error: %s" % error, file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     except RecursionError:
         print("error: nesting too deep for the compiler "
               "(simplify the expression or raise the recursion limit)",
               file=sys.stderr)
-        return 1
+        return EXIT_INTERNAL
     except Exception as error:  # last resort: bounded, no traceback
         message = "%s: %s" % (type(error).__name__, error)
         if len(message) > 300:
             message = message[:300] + "..."
         print("internal error: %s" % message, file=sys.stderr)
-        return 1
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover

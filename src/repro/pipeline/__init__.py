@@ -1,10 +1,12 @@
 """End-to-end compile-and-measure pipeline."""
 
-from .cache import FrontendCache, reset_shared_cache, shared_cache
+from .cache import (CacheStats, FrontendCache, reset_shared_cache,
+                    shared_cache)
 from .driver import (CompiledProgram, compile_source, module_size,
                      run_frontend)
 from .trace import FRONTEND_PASSES, PassEvent, PipelineTrace
 
-__all__ = ["CompiledProgram", "FRONTEND_PASSES", "FrontendCache",
-           "PassEvent", "PipelineTrace", "compile_source", "module_size",
-           "reset_shared_cache", "run_frontend", "shared_cache"]
+__all__ = ["CacheStats", "CompiledProgram", "FRONTEND_PASSES",
+           "FrontendCache", "PassEvent", "PipelineTrace", "compile_source",
+           "module_size", "reset_shared_cache", "run_frontend",
+           "shared_cache"]

@@ -1,4 +1,4 @@
-"""Compilation caching for the measurement harness.
+"""Compilation caching for the measurement harness and the service.
 
 The frontend prefix of the pipeline (parse -> lower -> [rotate] -> SSA)
 does not depend on the optimizer configuration, yet the table runs
@@ -7,15 +7,25 @@ memoizes the post-SSA module per ``(source hash, frontend options)``
 key and hands out a deep copy per request, so one table run pays the
 frontend exactly once per program.
 
-The cache keeps counters (``frontend_compiles``, ``hits``, ``misses``)
-that the benchmark tests assert on, and every request records either
+The cache keeps counters (``frontend_compiles``, ``hits``, ``misses``,
+``evictions``) that the benchmark tests assert on — snapshot them via
+:meth:`FrontendCache.stats_object` — and every request records either
 the fresh pass events or a ``frontend``/``clone`` pair (with
 ``cached=True``) into the caller's :class:`PipelineTrace`.
 
 An optional on-disk layer (``disk_dir`` or the ``REPRO_CACHE_DIR``
 environment variable) pickles compiled frontends keyed by the same
-hash, surviving across processes; corrupt or unreadable entries fall
-back to recompilation.
+hash, surviving across processes.  The layer is safe under concurrent
+writers — the compile service runs many workers against one cache
+directory — because entries are written to a temp file *in the same
+directory* and atomically renamed into place (readers never observe a
+partial entry), and any corrupt, truncated, or otherwise unreadable
+entry is treated as a miss and recompiled.
+
+The in-memory layer is LRU-bounded when ``max_entries`` is given
+(long-lived servers; unbounded by default for one-shot table runs) and
+guarded by a lock so the service's thread-mode workers can share one
+cache.
 """
 
 from __future__ import annotations
@@ -24,7 +34,9 @@ import copy
 import hashlib
 import os
 import pickle
+import threading
 import time
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..ir.function import Module
@@ -34,7 +46,69 @@ from .trace import PipelineTrace
 #: Environment variable enabling the on-disk layer for the default cache.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the in-memory layer of the default
+#: cache (unset or non-positive = unbounded).
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Everything a disk-cache read can legitimately die of: I/O errors,
+#: truncated or garbage pickles, entries written by an incompatible
+#: version.  All of them mean "miss", never a failed compile.
+_DISK_READ_ERRORS = (OSError, pickle.PickleError, EOFError, ValueError,
+                     AttributeError, ImportError, IndexError, KeyError,
+                     MemoryError, UnicodeDecodeError)
+
+
+class CacheStats:
+    """An immutable counter snapshot of one :class:`FrontendCache`.
+
+    Consumed by the service metrics registry and printed by
+    ``repro tables --timings``; ``as_dict()`` feeds the ``--json``
+    document (field set locked by the golden-file test).
+    """
+
+    __slots__ = ("frontend_compiles", "hits", "misses", "disk_hits",
+                 "evictions", "entries")
+
+    def __init__(self, frontend_compiles: int = 0, hits: int = 0,
+                 misses: int = 0, disk_hits: int = 0, evictions: int = 0,
+                 entries: int = 0) -> None:
+        self.frontend_compiles = frontend_compiles
+        self.hits = hits
+        self.misses = misses
+        self.disk_hits = disk_hits
+        self.evictions = evictions
+        self.entries = entries
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "frontend_compiles": self.frontend_compiles,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "entries": self.entries,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return ("CacheStats(compiles=%d, hits=%d, misses=%d, "
+                "disk_hits=%d, evictions=%d, entries=%d)"
+                % (self.frontend_compiles, self.hits, self.misses,
+                   self.disk_hits, self.evictions, self.entries))
 
 
 class _CacheEntry:
@@ -72,16 +146,22 @@ class FrontendCache:
     callers may mutate (optimize, destruct) their module freely.
     """
 
-    def __init__(self, disk_dir: Optional[str] = None) -> None:
+    def __init__(self, disk_dir: Optional[str] = None,
+                 max_entries: Optional[int] = None) -> None:
         self.disk_dir = disk_dir
+        self.max_entries = max_entries if max_entries and max_entries > 0 \
+            else None
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.evictions = 0
         #: Number of times the frontend passes actually executed — the
         #: counter the "at most once per program per table run"
         #: acceptance test asserts on.
         self.frontend_compiles = 0
-        self._memory: Dict[Tuple[str, bool, bool], _CacheEntry] = {}
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[Tuple[str, bool, bool], _CacheEntry]" \
+            = OrderedDict()
 
     # -- keys ----------------------------------------------------------
 
@@ -106,9 +186,8 @@ class FrontendCache:
         try:
             with open(self._disk_path(key), "rb") as handle:
                 module = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, IndexError):
-            return None
+        except _DISK_READ_ERRORS:
+            return None  # corrupt/truncated/unreadable entry == miss
         if not isinstance(module, Module):
             return None
         self.disk_hits += 1
@@ -116,17 +195,52 @@ class FrontendCache:
 
     def _store_disk(self, key: Tuple[str, bool, bool],
                     blob: Optional[bytes]) -> None:
+        """Publish one entry atomically.
+
+        The temp file lives in the cache directory itself so the final
+        ``os.replace`` is a same-filesystem rename — concurrent
+        readers see either the old entry or the new one, never a
+        partial write; concurrent writers of the same key each rename
+        their own temp file (pid + thread id disambiguated) and the
+        last one wins with identical content.
+        """
         if not self.disk_dir or blob is None:
             return
         path = self._disk_path(key)
+        tmp = "%s.tmp.%d.%d" % (path, os.getpid(),
+                                threading.get_ident())
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
-            tmp = path + ".tmp.%d" % os.getpid()
             with open(tmp, "wb") as handle:
                 handle.write(blob)
             os.replace(tmp, path)
         except OSError:
-            pass  # caching is best-effort; never fail a compile
+            # caching is best-effort; never fail a compile.  Don't
+            # leave the temp file behind if the rename failed.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- the in-memory layer -------------------------------------------
+
+    def _memory_get(self, key: Tuple[str, bool, bool]
+                    ) -> Optional[_CacheEntry]:
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)  # LRU refresh
+            return entry
+
+    def _memory_put(self, key: Tuple[str, bool, bool],
+                    entry: _CacheEntry) -> None:
+        with self._lock:
+            self._memory[key] = entry
+            self._memory.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._memory) > self.max_entries:
+                    self._memory.popitem(last=False)
+                    self.evictions += 1
 
     # -- the public API ------------------------------------------------
 
@@ -136,18 +250,18 @@ class FrontendCache:
         """A fresh deep copy of the cached frontend module for
         ``source``, compiling (and caching) it on first request."""
         key = self.key(source, insert_checks, rotate_loops)
-        entry = self._memory.get(key)
+        entry = self._memory_get(key)
         if entry is None:
             entry = self._load_disk(key)
             if entry is not None:
-                self._memory[key] = entry
+                self._memory_put(key, entry)
         if entry is None:
             compile_trace = PipelineTrace()
             module = run_frontend(source, insert_checks=insert_checks,
                                   rotate_loops=rotate_loops, ssa=True,
                                   trace=compile_trace)
             entry = _CacheEntry(module, compile_trace)
-            self._memory[key] = entry
+            self._memory_put(key, entry)
             self.misses += 1
             self.frontend_compiles += 1
             self._store_disk(key, entry.blob)
@@ -167,38 +281,55 @@ class FrontendCache:
 
     def clear(self) -> None:
         """Drop the in-memory layer (the disk layer is left alone)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+
+    def stats_object(self) -> CacheStats:
+        """The queryable counter snapshot (metrics registry, tests)."""
+        with self._lock:
+            entries = len(self._memory)
+        return CacheStats(self.frontend_compiles, self.hits, self.misses,
+                          self.disk_hits, self.evictions, entries)
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot for reporting and tests."""
-        return {
-            "frontend_compiles": self.frontend_compiles,
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-            "entries": len(self._memory),
-        }
+        """Counter snapshot as a plain dict (JSON reporting)."""
+        return self.stats_object().as_dict()
 
     def __repr__(self) -> str:
+        with self._lock:
+            entries = len(self._memory)
         return "FrontendCache(%d entries, %d hits, %d compiles)" % (
-            len(self._memory), self.hits, self.frontend_compiles)
+            entries, self.hits, self.frontend_compiles)
 
 
 _shared: Optional[FrontendCache] = None
+_shared_lock = threading.Lock()
 
 
 def shared_cache() -> FrontendCache:
-    """The process-wide cache the table runners default to.
+    """The process-wide cache the table runners and service workers
+    default to.
 
-    Honors ``REPRO_CACHE_DIR`` for the optional on-disk layer.
+    Honors ``REPRO_CACHE_DIR`` for the optional on-disk layer and
+    ``REPRO_CACHE_MAX_ENTRIES`` for an LRU bound on the in-memory
+    layer.
     """
     global _shared
-    if _shared is None:
-        _shared = FrontendCache(os.environ.get(CACHE_DIR_ENV) or None)
-    return _shared
+    with _shared_lock:
+        if _shared is None:
+            try:
+                max_entries: Optional[int] = int(
+                    os.environ.get(CACHE_MAX_ENTRIES_ENV, "0"))
+            except ValueError:
+                max_entries = None
+            _shared = FrontendCache(
+                os.environ.get(CACHE_DIR_ENV) or None,
+                max_entries=max_entries)
+        return _shared
 
 
 def reset_shared_cache() -> None:
     """Forget the process-wide cache (tests, long-lived servers)."""
     global _shared
-    _shared = None
+    with _shared_lock:
+        _shared = None

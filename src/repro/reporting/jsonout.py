@@ -20,6 +20,10 @@ from ..pipeline.stats import BaselineMeasurement, SchemeMeasurement
 #: Bumped whenever the JSON layout changes incompatibly.
 TABLES_SCHEMA = "repro.tables.v1"
 COMPARE_SCHEMA = "repro.compare.v1"
+RUN_SCHEMA = "repro.run.v1"
+LOADGEN_SCHEMA = "repro.loadgen.v1"
+SERVICE_TABLES_SCHEMA = "repro.service.tables.v1"
+SERVICE_ERROR_SCHEMA = "repro.service.error.v1"
 
 
 def baseline_to_dict(row: BaselineMeasurement) -> Dict[str, Any]:
@@ -85,6 +89,56 @@ def tables_to_dict(suite: "SuiteResult", small: bool,
         "cache": {name: dict(stats)
                   for name, stats in suite.cache_stats.items()},
     }
+
+
+def run_to_dict(config_label: str, counters, output: List[Any],
+                trap: Any = None,
+                optimize_stats: Any = None,
+                trace: Any = None,
+                frontend_cached: bool = False,
+                engine: str = "interp") -> Dict[str, Any]:
+    """One program execution (``repro run --json`` and the service's
+    ``run`` responses share this layout — the golden-file test locks
+    the field set in).
+
+    ``counters`` is an execution-counters object with ``snapshot()``;
+    ``optimize_stats`` a module-total
+    :class:`~repro.checks.optimizer.OptimizeStats` or ``None``;
+    ``trap`` the :class:`~repro.errors.RangeTrap` when the program
+    trapped (``ok`` is False and ``output`` holds the pre-trap
+    prints).
+    """
+    doc: Dict[str, Any] = {
+        "schema": RUN_SCHEMA,
+        "ok": trap is None,
+        "config": config_label,
+        "engine": engine,
+        "output": list(output),
+        "counters": counters.snapshot() if counters is not None else {},
+        "trap": str(trap) if trap is not None else None,
+        "frontend_cached": bool(frontend_cached),
+    }
+    if optimize_stats is not None:
+        doc["optimizer"] = {
+            "checks_before": optimize_stats.checks_before,
+            "checks_after": optimize_stats.checks_after,
+            "inserted": optimize_stats.inserted,
+            "eliminated": optimize_stats.eliminated,
+            "strengthened": optimize_stats.strengthened,
+        }
+    else:
+        doc["optimizer"] = None
+    if trace is not None:
+        doc["phases"] = {
+            "parse": sum(trace.seconds(name)
+                         for name in ("parse", "lower", "rotate", "ssa",
+                                      "frontend", "clone")),
+            "optimize": trace.seconds("check-optimize"),
+            "execute": trace.seconds("execute"),
+        }
+    else:
+        doc["phases"] = None
+    return doc
 
 
 def compare_to_dict(path: str, baseline: BaselineMeasurement,

@@ -66,6 +66,51 @@ def format_scheme_table(
     return "\n".join(lines)
 
 
+#: Table 3 row labels, in the paper's order (primed = GVN ablation).
+TABLE3_LABELS = ["PRX-NI", "PRX-NI'", "PRX-SE", "PRX-SE'", "PRX-LLS",
+                 "PRX-LLS'", "INX-NI", "INX-NI'", "INX-SE", "INX-SE'",
+                 "INX-LLS", "INX-LLS'"]
+
+
+def table2_labels() -> list:
+    """Table 2 row labels: kind x scheme in evaluation order."""
+    from ..benchsuite import TABLE2_SCHEMES
+    from ..checks.config import CheckKind
+
+    return ["%s-%s" % (kind.value, scheme.value)
+            for kind in (CheckKind.PRX, CheckKind.INX)
+            for scheme in TABLE2_SCHEMES]
+
+
+def render_tables_text(suite, timings: bool = False) -> str:
+    """Exactly the stdout of ``repro tables`` (text mode).
+
+    One renderer shared by the CLI and the compile service so a
+    service ``tables`` response is byte-identical to the CLI output
+    (the per-run summary line goes to stderr and is not part of it).
+    """
+    return (format_table1(suite.rows) + "\n"
+            + "overhead estimate: %.0f%% - %.0f%%\n"
+            % overhead_estimate(suite.rows) + "\n"
+            + format_scheme_table(suite.table2, table2_labels(),
+                                  suite.names, "Table 2",
+                                  timings=timings) + "\n"
+            + "\n"
+            + format_scheme_table(suite.table3, TABLE3_LABELS,
+                                  suite.names, "Table 3",
+                                  timings=timings) + "\n")
+
+
+def tables_summary_line(suite) -> str:
+    """The stderr summary line of ``repro tables``."""
+    optimize_total = sum(c.optimize_seconds for c in suite.table2.values())
+    optimize_total += sum(c.optimize_seconds for c in suite.table3.values())
+    return ("-- %d programs, %d cells, %.3fs in the check optimizer "
+            "(frontend compiled %d times)"
+            % (len(suite.names), len(suite.table2) + len(suite.table3),
+               optimize_total, suite.frontend_compiles()))
+
+
 def rows_as_dict(cells: Mapping[Tuple[str, str], SchemeMeasurement]
                  ) -> Dict[str, Dict[str, float]]:
     """{row label: {program: percent eliminated}} for programmatic use."""

@@ -1,0 +1,38 @@
+"""Compile-as-a-service: a long-lived range-check optimization server.
+
+The one-shot CLI entry points (``repro run``/``dump``/``tables``) pay
+process startup and a cold frontend cache for every program; serving
+heavy traffic needs a resident process.  This package provides:
+
+* :mod:`~repro.service.metrics` -- a stdlib, thread-safe metrics
+  registry (counters, gauges, latency histograms) rendered in
+  Prometheus text format;
+* :mod:`~repro.service.jobs` -- the request model and the worker-side
+  task that turns one validated request into a JSON-ready response;
+* :mod:`~repro.service.workers` -- a persistent worker pool (process
+  pool with thread/inline fallback) whose workers keep a warm
+  :func:`~repro.pipeline.cache.shared_cache` across requests, plus
+  single-flight deduplication of identical in-flight requests;
+* :mod:`~repro.service.server` -- the threaded HTTP frontend with a
+  bounded admission queue (429 on overflow), per-request timeouts,
+  ``/metrics`` + ``/healthz`` endpoints, and graceful drain-then-exit
+  shutdown;
+* :mod:`~repro.service.client` -- a stdlib HTTP client and the load
+  generator behind ``repro loadgen``, which replays benchmark and
+  fuzz-corpus programs at a target concurrency and reports latency
+  percentiles and throughput as a JSON artifact.
+
+Everything is standard library only -- no third-party dependencies.
+"""
+
+from .client import LoadgenReport, ServiceClient, run_loadgen
+from .jobs import (CompileRequest, ServiceError, execute_request,
+                   request_key)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
+from .server import CompileService
+from .workers import WorkerPool
+
+__all__ = ["CompileRequest", "CompileService", "Counter", "Gauge",
+           "Histogram", "LoadgenReport", "MetricsRegistry",
+           "ServiceClient", "ServiceError", "WorkerPool",
+           "execute_request", "percentile", "request_key", "run_loadgen"]

@@ -1,0 +1,358 @@
+"""Service client and the ``repro loadgen`` traffic generator.
+
+:class:`ServiceClient` is a minimal stdlib (``urllib``) HTTP client
+for the compile service.  :func:`run_loadgen` replays real workload —
+every benchsuite registry program plus the persisted fuzz corpus — at
+a target concurrency, optionally salted with a deliberately trapping
+program and a malformed source, and reports:
+
+* client-side latency percentiles (p50/p95/p99, same nearest-rank
+  method as the server's histograms), throughput, and a per-status
+  breakdown where **every submitted request is accounted for** (a
+  transport error is a counted outcome, never a silent drop);
+* the server-side cache hit rate, taken as the delta of the
+  ``repro_cache_requests_total`` counters between the start and end of
+  the run.
+
+The report is written as a ``repro.loadgen.v1`` JSON artifact
+(default: ``benchmarks/results/loadgen.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..reporting.jsonout import LOADGEN_SCHEMA
+from .metrics import percentile
+
+#: A two-line program whose single access is always out of bounds —
+#: the canonical "traffic includes traps" request.
+TRAP_SOURCE = """\
+program trapdemo
+  input integer :: n = 9
+  integer :: i
+  real :: a(8)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  print a(1)
+end program
+"""
+
+#: Deliberately unparsable source (the 422 path).
+MALFORMED_SOURCE = "program broken\n  if then else while\nend program\n"
+
+
+class ServiceClient:
+    """Tiny blocking JSON-over-HTTP client for the compile service."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None
+                 ) -> Tuple[int, bytes]:
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    def get(self, path: str) -> Tuple[int, bytes]:
+        return self._request("GET", path)
+
+    def post(self, path: str,
+             payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        return self._request("POST", path, payload)
+
+    def get_json(self, path: str) -> Tuple[int, Any]:
+        status, body = self.get(path)
+        return status, json.loads(body.decode("utf-8"))
+
+    def post_json(self, path: str,
+                  payload: Dict[str, Any]) -> Tuple[int, Any]:
+        status, body = self.post(path, payload)
+        return status, json.loads(body.decode("utf-8"))
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.get_json("/healthz")[1]
+
+    def wait_ready(self, attempts: int = 50,
+                   delay: float = 0.1) -> bool:
+        """Poll ``/healthz`` until the server answers."""
+        for _ in range(attempts):
+            try:
+                self.healthz()
+                return True
+            except (OSError, ValueError):
+                time.sleep(delay)
+        return False
+
+    def metrics_values(self) -> Dict[str, float]:
+        """Parse ``/metrics`` into ``{"name{labels}": value}``."""
+        _, body = self.get("/metrics")
+        values: Dict[str, float] = {}
+        for line in body.decode("utf-8").splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            try:
+                values[name] = float(value)
+            except ValueError:
+                continue
+        return values
+
+    def shutdown(self) -> int:
+        return self.post("/shutdown", {})[0]
+
+
+# -- workload construction --------------------------------------------
+
+
+def _benchmark_requests(small: bool = True) -> List[Dict[str, Any]]:
+    """One ``run`` request per registry program (test-sized inputs)."""
+    from ..benchsuite.registry import all_programs
+
+    requests = []
+    for program in all_programs():
+        inputs = program.test_inputs if small else program.inputs
+        requests.append({
+            "action": "run",
+            "source": program.source,
+            "scheme": "LLS",
+            "kind": "PRX",
+            "inputs": {k: v for k, v in inputs.items()},
+            "tag": "bench:%s" % program.name,
+        })
+    return requests
+
+
+def _corpus_requests(corpus_dir: Optional[str]) -> List[Dict[str, Any]]:
+    """One ``run`` request per fuzz-corpus entry (inputs defaulted)."""
+    from ..fuzz.runner import read_corpus
+
+    if not corpus_dir:
+        return []
+    requests = []
+    for entry in read_corpus(corpus_dir):
+        requests.append({
+            "action": "run",
+            "source": entry["source"],
+            "scheme": "LLS",
+            "kind": "PRX",
+            "tag": "corpus:%s" % os.path.basename(entry["path"]),
+        })
+    return requests
+
+
+def build_workload(requests_total: int, small: bool = True,
+                   corpus_dir: Optional[str] = None,
+                   include_trap: bool = True,
+                   include_malformed: bool = True) -> List[Dict[str, Any]]:
+    """A deterministic mixed workload of ``requests_total`` requests.
+
+    The base mix (registry programs + fuzz corpus + optional trap and
+    malformed entries) is tiled round-robin up to the requested count,
+    so every program appears at a near-equal rate and repeated sources
+    exercise the server-side cache and single-flight paths.
+    """
+    base = _benchmark_requests(small)
+    base.extend(_corpus_requests(corpus_dir))
+    if include_trap:
+        base.append({"action": "run", "source": TRAP_SOURCE,
+                     "scheme": "LLS", "kind": "PRX", "tag": "trap"})
+    if include_malformed:
+        base.append({"action": "run", "source": MALFORMED_SOURCE,
+                     "tag": "malformed"})
+    if not base:
+        raise ValueError("empty workload")
+    return [dict(base[i % len(base)], sequence=i)
+            for i in range(requests_total)]
+
+
+# -- the load generator -----------------------------------------------
+
+
+class LoadgenReport:
+    """Aggregated outcome of one load-generation run."""
+
+    def __init__(self, url: str, concurrency: int) -> None:
+        self.url = url
+        self.concurrency = concurrency
+        self.results: List[Dict[str, Any]] = []
+        self.wall_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            key = str(result["status"])
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def latencies(self) -> List[float]:
+        return [r["seconds"] for r in self.results]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        latencies = self.latencies()
+        by_status = self.by_status()
+        completed = sum(count for status, count in by_status.items()
+                        if status != "transport-error")
+        return {
+            "schema": LOADGEN_SCHEMA,
+            "url": self.url,
+            "concurrency": self.concurrency,
+            "requests": self.total,
+            "completed": completed,
+            "unaccounted": self.total - len(self.results),  # always 0
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": (self.total / self.wall_seconds
+                               if self.wall_seconds else 0.0),
+            "by_status": by_status,
+            "by_tag": self._by_tag(),
+            "latency_seconds": {
+                "p50": percentile(latencies, 50),
+                "p95": percentile(latencies, 95),
+                "p99": percentile(latencies, 99),
+                "max": max(latencies) if latencies else 0.0,
+                "mean": (sum(latencies) / len(latencies)
+                         if latencies else 0.0),
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+        }
+
+    def _by_tag(self) -> Dict[str, Dict[str, int]]:
+        tags: Dict[str, Dict[str, int]] = {}
+        for result in self.results:
+            tag = str(result.get("tag", "")).split(":", 1)[0] or "untagged"
+            bucket = tags.setdefault(tag, {})
+            key = str(result["status"])
+            bucket[key] = bucket.get(key, 0) + 1
+        return tags
+
+    def summary(self) -> str:
+        doc = self.as_dict()
+        lat = doc["latency_seconds"]
+        return ("loadgen: %d requests @ %d clients in %.2fs "
+                "(%.1f req/s)\n"
+                "  status: %s\n"
+                "  latency p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n"
+                "  cache: %d hits / %d misses (%.0f%% hit rate)"
+                % (doc["requests"], doc["concurrency"],
+                   doc["wall_seconds"], doc["throughput_rps"],
+                   " ".join("%s=%d" % kv
+                            for kv in sorted(doc["by_status"].items())),
+                   lat["p50"], lat["p95"], lat["p99"], lat["max"],
+                   self.cache_hits, self.cache_misses,
+                   100.0 * self.cache_hit_rate))
+
+
+def _fire(client: ServiceClient,
+          request: Dict[str, Any]) -> Dict[str, Any]:
+    """One request -> one fully-accounted result row."""
+    payload = {k: v for k, v in request.items()
+               if k not in ("tag", "sequence")}
+    started = time.perf_counter()
+    try:
+        status, body = client.post("/compile", payload)
+        outcome: Any = status
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            trapped = bool(doc.get("trap")) if isinstance(doc, dict) \
+                else False
+        except ValueError:
+            trapped = False
+    except OSError as error:
+        outcome = "transport-error"
+        trapped = False
+    seconds = time.perf_counter() - started
+    return {"sequence": request.get("sequence", -1),
+            "tag": request.get("tag", ""),
+            "status": outcome,
+            "trapped": trapped,
+            "seconds": seconds}
+
+
+def _cache_counters(values: Dict[str, float]) -> Tuple[float, float]:
+    hits = values.get('repro_cache_requests_total{result="hit"}', 0.0)
+    misses = values.get('repro_cache_requests_total{result="miss"}', 0.0)
+    return hits, misses
+
+
+def run_loadgen(url: str, requests_total: int = 50, concurrency: int = 8,
+                small: bool = True, corpus_dir: Optional[str] = None,
+                include_trap: bool = True, include_malformed: bool = True,
+                timeout: float = 120.0,
+                out_path: Optional[str] = None) -> LoadgenReport:
+    """Drive ``requests_total`` mixed requests at ``concurrency``.
+
+    Every request produces exactly one result row (HTTP status, or
+    ``transport-error``); the report's ``unaccounted`` field is the
+    proof of zero silent drops.  With ``out_path`` the JSON artifact
+    is written there (parent directories created).
+    """
+    client = ServiceClient(url, timeout=timeout)
+    workload = build_workload(requests_total, small=small,
+                              corpus_dir=corpus_dir,
+                              include_trap=include_trap,
+                              include_malformed=include_malformed)
+    report = LoadgenReport(url, concurrency)
+    try:
+        hits_before, misses_before = _cache_counters(
+            client.metrics_values())
+    except OSError:
+        hits_before = misses_before = 0.0
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=max(1, concurrency)) as pool:
+        futures = [pool.submit(_fire, client, request)
+                   for request in workload]
+        for future in futures:
+            report.results.append(future.result())
+    report.wall_seconds = time.perf_counter() - started
+
+    try:
+        hits_after, misses_after = _cache_counters(client.metrics_values())
+        report.cache_hits = int(hits_after - hits_before)
+        report.cache_misses = int(misses_after - misses_before)
+    except OSError:
+        pass
+    if out_path:
+        parent = os.path.dirname(out_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(out_path, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report

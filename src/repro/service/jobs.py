@@ -1,0 +1,280 @@
+"""The service request model and the worker-side execution task.
+
+A request is a plain JSON object (so it crosses the process boundary
+as-is).  Validation happens **in the server process** — cheap field
+checks, no source parsing — so malformed requests are rejected with
+400 before consuming a worker slot.  :func:`execute_request` then runs
+in a worker (process or thread) and returns a ``(status, body)``
+envelope: compile failures become 422 bodies, traps are *successful*
+compilations whose ``run`` body carries the trap, and anything
+unexpected becomes a bounded 500 body — workers never raise across
+the pool boundary.
+
+Workers reuse the process-wide
+:func:`~repro.pipeline.cache.shared_cache`, so a resident worker pays
+the frontend once per distinct source (the PR 1 pipeline cache,
+including its optional ``REPRO_CACHE_DIR`` disk layer shared between
+workers).  :func:`request_key` is the single-flight key: the sha256 of
+the canonicalized request, a superset of the frontend cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..checks.config import (CheckKind, ImplicationMode, OptimizerOptions,
+                             Scheme)
+from ..errors import RangeTrap, ReproError
+from ..reporting.jsonout import (SERVICE_ERROR_SCHEMA,
+                                 SERVICE_TABLES_SCHEMA, run_to_dict)
+
+#: Actions the ``/compile`` endpoint accepts.
+ACTIONS = ("run", "dump", "tables")
+
+#: Bound on request source size (1 MiB) — backpressure for payloads,
+#: not just queue depth.
+MAX_SOURCE_BYTES = 1 << 20
+
+#: Interpreter step budget per service request; a guard so one
+#: pathological program cannot pin a worker forever even without the
+#: server-side timeout.
+MAX_STEPS = 50_000_000
+
+
+class ServiceError(Exception):
+    """A request rejection with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+    def body(self) -> Dict[str, Any]:
+        return {"schema": SERVICE_ERROR_SCHEMA, "error": self.message}
+
+
+class CompileRequest:
+    """One validated ``/compile`` (or ``/tables``) request."""
+
+    __slots__ = ("action", "source", "scheme", "kind", "implication",
+                 "inputs", "engine", "optimize", "rotate_loops",
+                 "verify_ir", "small", "timings")
+
+    def __init__(self, action: str, source: str = "",
+                 scheme: str = "LLS", kind: str = "PRX",
+                 implication: str = "ALL",
+                 inputs: Optional[Dict[str, float]] = None,
+                 engine: str = "interp", optimize: bool = True,
+                 rotate_loops: bool = False, verify_ir: bool = False,
+                 small: bool = True, timings: bool = False) -> None:
+        self.action = action
+        self.source = source
+        self.scheme = scheme
+        self.kind = kind
+        self.implication = implication
+        self.inputs = dict(inputs or {})
+        self.engine = engine
+        self.optimize = optimize
+        self.rotate_loops = rotate_loops
+        self.verify_ir = verify_ir
+        self.small = small
+        self.timings = timings
+
+    # -- validation ----------------------------------------------------
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "CompileRequest":
+        """Validate a decoded JSON body; raises :class:`ServiceError`
+        (status 400) on anything malformed."""
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        action = payload.get("action")
+        if action not in ACTIONS:
+            raise ServiceError(400, "unknown action %r (expected one of %s)"
+                               % (action, ", ".join(ACTIONS)))
+        source = payload.get("source", "")
+        if action != "tables":
+            if not isinstance(source, str) or not source.strip():
+                raise ServiceError(400, "missing or empty 'source'")
+            if len(source.encode("utf-8", "replace")) > MAX_SOURCE_BYTES:
+                raise ServiceError(413, "source larger than %d bytes"
+                                   % MAX_SOURCE_BYTES)
+        scheme = payload.get("scheme", "LLS")
+        if scheme not in Scheme.__members__:
+            raise ServiceError(400, "unknown scheme %r" % (scheme,))
+        kind = payload.get("kind", "PRX")
+        if kind not in CheckKind.__members__:
+            raise ServiceError(400, "unknown kind %r" % (kind,))
+        implication = payload.get("implication", "ALL")
+        if implication not in ImplicationMode.__members__:
+            raise ServiceError(400, "unknown implication %r"
+                               % (implication,))
+        engine = payload.get("engine", "interp")
+        if engine not in ("interp", "compiled"):
+            raise ServiceError(400, "unknown engine %r" % (engine,))
+        inputs = payload.get("inputs", {})
+        if not isinstance(inputs, dict):
+            raise ServiceError(400, "'inputs' must be an object")
+        clean_inputs: Dict[str, float] = {}
+        for name, value in inputs.items():
+            if not isinstance(name, str) \
+                    or not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise ServiceError(400, "'inputs' must map names to "
+                                        "numbers")
+            clean_inputs[name] = value
+        flags = {}
+        for flag, default in (("optimize", True), ("rotate_loops", False),
+                              ("verify_ir", False), ("small", True),
+                              ("timings", False)):
+            value = payload.get(flag, default)
+            if not isinstance(value, bool):
+                raise ServiceError(400, "'%s' must be a boolean" % flag)
+            flags[flag] = value
+        return cls(action, source, scheme, kind, implication, clean_inputs,
+                   engine, flags["optimize"], flags["rotate_loops"],
+                   flags["verify_ir"], flags["small"], flags["timings"])
+
+    def options(self) -> OptimizerOptions:
+        return OptimizerOptions(scheme=Scheme[self.scheme],
+                                kind=CheckKind[self.kind],
+                                implication=ImplicationMode[self.implication])
+
+    def payload(self) -> Dict[str, Any]:
+        """The canonical JSON-ready form (the single-flight identity)."""
+        return {
+            "action": self.action,
+            "source": self.source,
+            "scheme": self.scheme,
+            "kind": self.kind,
+            "implication": self.implication,
+            "inputs": self.inputs,
+            "engine": self.engine,
+            "optimize": self.optimize,
+            "rotate_loops": self.rotate_loops,
+            "verify_ir": self.verify_ir,
+            "small": self.small,
+            "timings": self.timings,
+        }
+
+
+def request_key(request: CompileRequest) -> str:
+    """Single-flight/dedup key: sha256 over the canonical payload."""
+    blob = json.dumps(request.payload(), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+Envelope = Tuple[int, Dict[str, Any]]
+
+
+def _error_body(message: str) -> Dict[str, Any]:
+    if len(message) > 300:
+        message = message[:300] + "..."
+    return {"schema": SERVICE_ERROR_SCHEMA, "error": message}
+
+
+def _execute_program(request: CompileRequest) -> Envelope:
+    """``run``/``dump``: one source through the cached pipeline."""
+    from ..pipeline.cache import shared_cache
+    from ..pipeline.driver import compile_source
+    from ..pipeline.trace import PipelineTrace
+
+    trace = PipelineTrace()
+    program = compile_source(request.source, request.options(),
+                             optimize=request.optimize,
+                             rotate_loops=request.rotate_loops,
+                             verify_ir=request.verify_ir,
+                             trace=trace, cache=shared_cache())
+    cached = trace.frontend_was_cached()
+    if request.action == "dump":
+        from ..ir.printer import format_module
+
+        return 200, {
+            "schema": "repro.service.dump.v1",
+            "ok": True,
+            "config": request.options().label(),
+            "ir": format_module(program.module),
+            "frontend_cached": cached,
+            "phases": {
+                "parse": sum(trace.seconds(name)
+                             for name in ("parse", "lower", "rotate",
+                                          "ssa", "frontend", "clone")),
+                "optimize": trace.seconds("check-optimize"),
+                "execute": 0.0,
+            },
+        }
+    trap: Optional[RangeTrap] = None
+    counters = None
+    output: List[Any] = []
+    with trace.timed("execute") as event:
+        try:
+            if request.engine == "compiled":
+                result = program.run_compiled(request.inputs)
+            else:
+                result = program.run(request.inputs,
+                                     max_steps=MAX_STEPS)
+            counters, output = result.counters, result.output
+        except RangeTrap as error:
+            trap = error
+            runtime = getattr(error, "runtime", None)
+            if runtime is not None:
+                counters = getattr(runtime, "counters", None)
+                output = list(getattr(runtime, "output", []) or [])
+        event.counters = {"engine": request.engine}
+    stats = program.total_stats() if request.optimize else None
+    body = run_to_dict(request.options().label(), counters, output,
+                       trap=trap, optimize_stats=stats, trace=trace,
+                       frontend_cached=cached, engine=request.engine)
+    return 200, body
+
+
+def _execute_tables(request: CompileRequest) -> Envelope:
+    """``tables``: the full suite, rendered byte-identically to the
+    ``repro tables`` CLI stdout (plus the machine-readable document)."""
+    from ..benchsuite import run_suite
+    from ..reporting import (TABLE3_LABELS, render_tables_text,
+                             table2_labels, tables_to_dict)
+
+    suite = run_suite(small=request.small, jobs=1)
+    return 200, {
+        "schema": SERVICE_TABLES_SCHEMA,
+        "ok": True,
+        "small": request.small,
+        "text": render_tables_text(suite, timings=request.timings),
+        "tables": tables_to_dict(suite, request.small, table2_labels(),
+                                 TABLE3_LABELS),
+        "frontend_cached": False,
+        "phases": None,
+    }
+
+
+def execute_request(payload: Dict[str, Any]) -> Envelope:
+    """The worker-pool task: payload dict in, ``(status, body)`` out.
+
+    Never raises: compile-time diagnostics map to 422, resource
+    exhaustion and unexpected exceptions to bounded 500 bodies (so a
+    bad program cannot poison the pool or leak a traceback to a
+    client).
+    """
+    try:
+        request = CompileRequest.from_payload(payload)
+        if request.action == "tables":
+            return _execute_tables(request)
+        return _execute_program(request)
+    except ServiceError as error:
+        return error.status, error.body()
+    except ReproError as error:
+        return 422, {"schema": SERVICE_ERROR_SCHEMA,
+                     "error": str(error),
+                     "error_type": type(error).__name__}
+    except RecursionError:
+        return 422, {"schema": SERVICE_ERROR_SCHEMA,
+                     "error": "nesting too deep for the compiler",
+                     "error_type": "RecursionError"}
+    except MemoryError:
+        return 500, _error_body("out of memory")
+    except Exception as error:  # pragma: no cover - last resort
+        return 500, _error_body("%s: %s" % (type(error).__name__, error))

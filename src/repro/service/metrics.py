@@ -1,0 +1,339 @@
+"""A small, thread-safe metrics registry (stdlib only).
+
+The compile server exports three instrument kinds in Prometheus text
+exposition format:
+
+* :class:`Counter` -- monotonically increasing totals (requests,
+  cache hits, rejections), optionally split by label values;
+* :class:`Gauge` -- point-in-time levels (queue depth, in-flight
+  requests);
+* :class:`Histogram` -- latency distributions with cumulative buckets
+  (Prometheus style) plus a bounded sample reservoir so the process
+  itself can answer p50/p95/p99 queries without a scrape pipeline.
+
+All instruments are safe for concurrent use from the server's handler
+threads; one lock per instrument keeps the hot path cheap.  Label
+values are positional (declared once as ``labelnames``) and
+``labels(...)`` returns a child sharing the parent's lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency buckets, in seconds (log-spaced; compile requests on
+#: this workload land between ~1ms and a few seconds).
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+#: Samples retained per histogram child for percentile queries.
+RESERVOIR_SIZE = 4096
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile of ``samples`` (nearest-rank on the
+    sorted data; 0.0 for an empty sequence).
+
+    Used both by histogram reservoirs and by the load generator's
+    client-side latency report so the two agree on method.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    index = int(round(rank))
+    index = max(0, min(index, len(ordered) - 1))
+    return ordered[index]
+
+
+def _format_value(value: float) -> str:
+    """Integers without a trailing ``.0``; floats via repr."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_suffix(labelnames: Sequence[str],
+                  labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join('%s="%s"' % (name, value)
+                     for name, value in zip(labelnames, labelvalues))
+    return "{%s}" % pairs
+
+
+class _Instrument:
+    """Shared naming/label plumbing for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _child(self, labelvalues: Tuple[str, ...]):
+        raise NotImplementedError
+
+    def labels(self, *labelvalues: object):
+        """The child for one label-value combination (created lazily)."""
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                "%s expects %d label value(s), got %d"
+                % (self.name, len(self.labelnames), len(labelvalues)))
+        key = tuple(str(v) for v in labelvalues)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._child(key)
+                self._children[key] = child
+            return child
+
+    def _default(self):
+        """The unlabeled child (instruments declared without labels)."""
+        if self.labelnames:
+            raise ValueError("%s requires labels %r"
+                             % (self.name, self.labelnames))
+        return self.labels()
+
+    def _sorted_children(self):
+        with self._lock:
+            return sorted(self._children.items())
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help_text:
+            lines.append("# HELP %s %s" % (self.name, self.help_text))
+        lines.append("# TYPE %s %s" % (self.name, self.kind))
+        for key, child in self._sorted_children():
+            lines.extend(child.render_lines(self.name, self.labelnames,
+                                            key))
+        return lines
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def render_lines(self, name, labelnames, labelvalues):
+        return ["%s%s %s" % (name, _label_suffix(labelnames, labelvalues),
+                             _format_value(self.value))]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _child(self, labelvalues):
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Unlabeled value, or the sum across all label combinations."""
+        with self._lock:
+            return sum(child.value for child in self._children.values())
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def render_lines(self, name, labelnames, labelvalues):
+        return ["%s%s %s" % (name, _label_suffix(labelnames, labelvalues),
+                             _format_value(self.value))]
+
+
+class Gauge(_Instrument):
+    """A level that can go up and down."""
+
+    kind = "gauge"
+
+    def _child(self, labelvalues):
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return sum(child.value for child in self._children.values())
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "buckets", "counts", "total", "count",
+                 "reservoir", "_reservoir_next")
+
+    def __init__(self, lock: threading.Lock,
+                 buckets: Tuple[float, ...]) -> None:
+        self._lock = lock
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self.total = 0.0
+        self.count = 0
+        self.reservoir: List[float] = []
+        self._reservoir_next = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    break
+            else:
+                self.counts[-1] += 1
+            if len(self.reservoir) < RESERVOIR_SIZE:
+                self.reservoir.append(value)
+            else:  # bounded memory: overwrite round-robin
+                self.reservoir[self._reservoir_next] = value
+                self._reservoir_next = (self._reservoir_next + 1) \
+                    % RESERVOIR_SIZE
+
+    def percentile(self, pct: float) -> float:
+        with self._lock:
+            samples = list(self.reservoir)
+        return percentile(samples, pct)
+
+    def render_lines(self, name, labelnames, labelvalues):
+        lines = []
+        cumulative = 0
+        with self._lock:
+            counts = list(self.counts)
+            total = self.total
+            count = self.count
+        for bound, bucket_count in zip(self.buckets, counts):
+            cumulative += bucket_count
+            labels = _label_suffix(labelnames + ("le",),
+                                   tuple(labelvalues)
+                                   + (_format_value(bound),))
+            lines.append("%s_bucket%s %d" % (name, labels, cumulative))
+        labels = _label_suffix(labelnames + ("le",),
+                               tuple(labelvalues) + ("+Inf",))
+        lines.append("%s_bucket%s %d" % (name, labels, count))
+        suffix = _label_suffix(labelnames, labelvalues)
+        lines.append("%s_sum%s %s" % (name, suffix, _format_value(total)))
+        lines.append("%s_count%s %d" % (name, suffix, count))
+        return lines
+
+
+class Histogram(_Instrument):
+    """A latency distribution: cumulative buckets + sample reservoir."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(buckets))
+
+    def _child(self, labelvalues):
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def percentile(self, pct: float) -> float:
+        return self._default().percentile(pct)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(child.count for child in self._children.values())
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return sum(child.total for child in self._children.values())
+
+
+class MetricsRegistry:
+    """Creates, owns, and renders a set of named instruments.
+
+    ``counter``/``gauge``/``histogram`` are idempotent per name, so
+    modules can declare their instruments independently and share one
+    registry; re-declaring a name with a different kind is an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labelnames: Sequence[str], **kwargs):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help_text, labelnames, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    "metric %r already registered as %s"
+                    % (name, instrument.kind))
+            return instrument
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        lines: List[str] = []
+        for _, instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,194 @@
+"""The service's persistent worker pool with single-flight dedup.
+
+Three execution modes, all behind the same ``submit`` interface:
+
+* ``process`` (default) -- a ``concurrent.futures``
+  ``ProcessPoolExecutor``.  Workers are resident, so each worker's
+  :func:`~repro.pipeline.cache.shared_cache` stays warm across
+  requests; with ``REPRO_CACHE_DIR`` set all workers additionally
+  share the on-disk cache layer (safe under concurrent writers —
+  entries are written to a same-directory temp file and atomically
+  renamed).  A broken pool (fork failure, killed worker) is rebuilt
+  once per incident and the affected request retried; if rebuilding
+  fails the pool degrades to ``thread`` mode, mirroring the serial
+  fallback of the benchmark runner.
+* ``thread`` -- a ``ThreadPoolExecutor`` in the server process
+  (cheap startup; used by tests and as the degraded mode).
+* ``inline`` -- execute on the calling thread (``submit`` returns an
+  already-completed future).  Deterministic and dependency-free, for
+  unit tests.
+
+Single-flight: :meth:`WorkerPool.submit` takes the request's dedup
+key; while a request with the same key is in flight, later submissions
+attach to the same future instead of occupying another worker.  The
+key covers the full request payload (a superset of the frontend cache
+key), so coalesced requests are guaranteed identical responses.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .jobs import execute_request
+
+Envelope = Tuple[int, Dict[str, Any]]
+
+
+class WorkerPool:
+    """Persistent execution backend for the compile service."""
+
+    def __init__(self, workers: int = 2, mode: str = "process",
+                 task: Callable[[Dict[str, Any]], Envelope] = None) -> None:
+        if mode not in ("process", "thread", "inline"):
+            raise ValueError("unknown worker mode %r" % (mode,))
+        self.workers = max(1, workers)
+        self.mode = mode
+        #: injectable for tests; module-level so it pickles for the
+        #: process mode
+        self.task = task or execute_request
+        self.restarts = 0
+        self.coalesced = 0
+        #: invoked (without the pool lock) each time a submit coalesces
+        #: onto an in-flight future; the server wires its metrics here
+        self.on_coalesce: Optional[Callable[[], None]] = None
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._executor = None
+        self._closed = False
+        if mode != "inline":
+            self._executor = self._make_executor(mode)
+
+    # -- executor lifecycle --------------------------------------------
+
+    def _make_executor(self, mode: str):
+        if mode == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _rebuild(self, error: BaseException) -> None:
+        """Replace a broken executor; degrade to threads if that fails."""
+        with self._lock:
+            if self._closed:
+                raise error
+            self.restarts += 1
+            try:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False)
+            except Exception:
+                pass
+            try:
+                self._executor = self._make_executor(self.mode)
+            except Exception:
+                print("warning: worker pool rebuild failed (%s: %s); "
+                      "degrading to threads"
+                      % (type(error).__name__, error), file=sys.stderr)
+                self.mode = "thread"
+                self._executor = self._make_executor("thread")
+
+    # -- submission ----------------------------------------------------
+
+    def _run_inline(self, payload: Dict[str, Any]) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(self.task(payload))
+        except BaseException as error:  # task() normally never raises
+            future.set_exception(error)
+        return future
+
+    def _submit_raw(self, payload: Dict[str, Any]) -> Future:
+        if self.mode == "inline":
+            return self._run_inline(payload)
+        try:
+            return self._executor.submit(self.task, payload)
+        except BaseException as error:
+            self._rebuild(error)
+            return self._executor.submit(self.task, payload)
+
+    def submit(self, payload: Dict[str, Any],
+               key: Optional[str] = None) -> Future:
+        """Run ``payload`` on a worker; coalesce on ``key``.
+
+        With a ``key``, a second submit while the first is still in
+        flight returns the *same* future (counted in ``coalesced``).
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        if key is None:
+            return self._submit_raw(payload)
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.coalesced += 1
+            else:
+                # reserve the flight BEFORE submitting, so a racing
+                # identical request can never slip past and occupy a
+                # second worker
+                shared: Future = Future()
+                self._inflight[key] = shared
+        if existing is not None:
+            if self.on_coalesce is not None:
+                self.on_coalesce()
+            return existing
+
+        def _relay(raw_future: Future) -> None:
+            with self._lock:
+                if self._inflight.get(key) is shared:
+                    del self._inflight[key]
+            if raw_future.cancelled():
+                shared.cancel()
+                return
+            error = raw_future.exception()
+            if error is not None:
+                shared.set_exception(error)
+            else:
+                shared.set_result(raw_future.result())
+
+        try:
+            self._submit_raw(payload).add_done_callback(_relay)
+        except BaseException as error:
+            with self._lock:
+                if self._inflight.get(key) is shared:
+                    del self._inflight[key]
+            shared.set_exception(error)
+        return shared
+
+    def result(self, payload: Dict[str, Any], key: Optional[str] = None,
+               timeout: Optional[float] = None) -> Envelope:
+        """``submit`` + ``result`` with one broken-pool retry.
+
+        A worker that dies mid-request (``BrokenProcessPool``)
+        triggers one pool rebuild and one retry; the retry's failure
+        propagates.
+        """
+        future = self.submit(payload, key)
+        try:
+            return future.result(timeout=timeout)
+        except (TimeoutError, FutureTimeout):
+            raise
+        except Exception as error:
+            if type(error).__name__ not in ("BrokenProcessPool",
+                                            "BrokenExecutor"):
+                raise
+            self._rebuild(error)
+            return self._submit_raw(payload).result(timeout=timeout)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for running tasks."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=wait)

@@ -155,3 +155,143 @@ class TestSharedCache:
             assert shared_cache().disk_dir == str(tmp_path)
         finally:
             reset_shared_cache()
+
+
+class TestLRUBound:
+    SOURCES = [
+        "program p%d\n  integer :: x\n  x = %d\n  print x\nend program\n"
+        % (i, i) for i in range(3)
+    ]
+
+    def test_unbounded_by_default(self, loop_program):
+        cache = FrontendCache()
+        assert cache.max_entries is None
+
+    def test_evicts_least_recently_used(self):
+        a, b, c = self.SOURCES
+        cache = FrontendCache(max_entries=2)
+        cache.frontend(a)
+        cache.frontend(b)
+        cache.frontend(a)  # refresh a: b is now the LRU entry
+        cache.frontend(c)  # evicts b
+        assert cache.evictions == 1
+        assert cache.stats_object().entries == 2
+        compiles = cache.frontend_compiles
+        cache.frontend(a)  # still resident
+        assert cache.frontend_compiles == compiles
+        cache.frontend(b)  # evicted -> recompiles
+        assert cache.frontend_compiles == compiles + 1
+
+    def test_nonpositive_bound_means_unbounded(self):
+        assert FrontendCache(max_entries=0).max_entries is None
+        assert FrontendCache(max_entries=-3).max_entries is None
+
+    def test_env_var_bounds_shared_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "7")
+        reset_shared_cache()
+        try:
+            assert shared_cache().max_entries == 7
+        finally:
+            reset_shared_cache()
+
+
+class TestCacheStats:
+    def test_stats_object_fields(self, loop_program):
+        cache = FrontendCache()
+        cache.frontend(loop_program)
+        cache.frontend(loop_program)
+        stats = cache.stats_object()
+        assert stats.frontend_compiles == 1
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.requests == 2
+        assert stats.hit_rate == 0.5
+        assert stats.entries == 1
+        assert stats.evictions == 0
+
+    def test_stats_dict_matches_object(self, loop_program):
+        cache = FrontendCache()
+        cache.frontend(loop_program)
+        assert cache.stats() == cache.stats_object().as_dict()
+        assert set(cache.stats()) == {"frontend_compiles", "hits",
+                                      "misses", "disk_hits", "evictions",
+                                      "entries"}
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        from repro.pipeline import CacheStats
+
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats().requests == 0
+
+    def test_equality(self):
+        from repro.pipeline import CacheStats
+
+        assert CacheStats(hits=1) == CacheStats(hits=1)
+        assert CacheStats(hits=1) != CacheStats(hits=2)
+
+
+class TestConcurrentDiskWriters:
+    def test_racing_writers_never_corrupt(self, loop_program, tmp_path):
+        """Many caches hammering one disk directory: every reader gets
+        a working module, and no temp files are left behind."""
+        import threading
+
+        disk = str(tmp_path)
+        errors = []
+
+        def worker():
+            try:
+                cache = FrontendCache(disk_dir=disk)
+                for _ in range(5):
+                    module = cache.frontend(loop_program)
+                    assert run_checks(module, {"n": 5}) > 0
+                    cache.clear()  # force the disk path on every lap
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+        entries = [p for p in tmp_path.iterdir()]
+        assert len(entries) == 1  # one key -> one published entry
+
+    def test_truncated_entry_is_a_miss(self, loop_program, tmp_path):
+        disk = str(tmp_path)
+        one = FrontendCache(disk_dir=disk)
+        one.frontend(loop_program)
+        (entry,) = list(tmp_path.iterdir())
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[:len(blob) // 2])
+        two = FrontendCache(disk_dir=disk)
+        module = two.frontend(loop_program)
+        assert two.disk_hits == 0
+        assert two.frontend_compiles == 1
+        assert run_checks(module, {"n": 10}) > 0
+
+    def test_empty_entry_is_a_miss(self, loop_program, tmp_path):
+        disk = str(tmp_path)
+        one = FrontendCache(disk_dir=disk)
+        one.frontend(loop_program)
+        (entry,) = list(tmp_path.iterdir())
+        entry.write_bytes(b"")
+        two = FrontendCache(disk_dir=disk)
+        two.frontend(loop_program)
+        assert two.frontend_compiles == 1
+
+    def test_wrong_object_type_is_a_miss(self, loop_program, tmp_path):
+        import pickle
+
+        disk = str(tmp_path)
+        one = FrontendCache(disk_dir=disk)
+        one.frontend(loop_program)
+        (entry,) = list(tmp_path.iterdir())
+        entry.write_bytes(pickle.dumps({"not": "a module"}))
+        two = FrontendCache(disk_dir=disk)
+        two.frontend(loop_program)
+        assert two.disk_hits == 0
+        assert two.frontend_compiles == 1

@@ -44,7 +44,7 @@ class TestRun:
 
     def test_trap_exit_code(self, source_file, capsys):
         code = main(["run", source_file, "--input", "n=60"])
-        assert code == 2
+        assert code == 1
         assert "TRAP" in capsys.readouterr().err
 
     def test_scheme_selection(self, source_file, capsys):
@@ -60,33 +60,37 @@ class TestRun:
         assert code == 0
 
     def test_bad_input_format(self, source_file):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as info:
             main(["run", source_file, "--input", "n"])
+        assert info.value.code == 2
 
-    def test_non_numeric_input_is_clean_exit(self, source_file):
+    def test_non_numeric_input_is_clean_exit(self, source_file, capsys):
         with pytest.raises(SystemExit) as info:
             main(["run", source_file, "--input", "n=abc"])
-        assert "not a decimal number" in str(info.value)
+        assert info.value.code == 2
+        assert "not a decimal number" in capsys.readouterr().err
 
-    def test_hex_input_is_clean_exit(self, source_file):
+    def test_hex_input_is_clean_exit(self, source_file, capsys):
         with pytest.raises(SystemExit) as info:
             main(["run", source_file, "--input", "n=0x10"])
-        assert "0x10" in str(info.value)
+        assert info.value.code == 2
+        assert "0x10" in capsys.readouterr().err
 
     def test_missing_name_is_clean_exit(self, source_file):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as info:
             main(["run", source_file, "--input", "=5"])
+        assert info.value.code == 2
 
     def test_missing_file(self, capsys):
         code = main(["run", "/nonexistent/path.f"])
-        assert code == 1
+        assert code == 2
         assert "error" in capsys.readouterr().err
 
     def test_parse_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.f"
         bad.write_text("program p\nif then\nend program")
         code = main(["run", str(bad)])
-        assert code == 1
+        assert code == 2
 
 
 class TestDumpAndCompare:
@@ -123,7 +127,7 @@ class TestErrorPaths:
         monkeypatch.setattr(cli, "_cmd_figures", explode)
         code = cli.main(["figures"])
         err = capsys.readouterr().err
-        assert code == 1
+        assert code == 3
         assert "internal error: KeyError" in err
         assert len(err) < 400
         assert "Traceback" not in err
@@ -138,7 +142,7 @@ class TestErrorPaths:
         monkeypatch.setattr(cli, "_cmd_figures", explode)
         code = cli.main(["figures"])
         err = capsys.readouterr().err
-        assert code == 1
+        assert code == 3
         assert "nesting too deep" in err
 
     def test_deeply_nested_expression_does_not_traceback(self, tmp_path,
@@ -151,8 +155,75 @@ class TestErrorPaths:
         path.write_text(source)
         code = main(["dump", str(path)])
         err = capsys.readouterr().err
-        assert code == 1
+        assert code == 3
         assert "Traceback" not in err
+
+
+class TestExitCodeContract:
+    """The documented contract (docs/API.md): 0 ok, 1 trap,
+    2 usage/parse, 3 internal.  Locked in here; the service maps the
+    same classes to 200/200+trap/400-422/500."""
+
+    def test_ok_is_zero(self, source_file):
+        assert main(["run", source_file, "--input", "n=10"]) == 0
+
+    def test_trap_is_one(self, source_file):
+        assert main(["run", source_file, "--input", "n=60"]) == 1
+
+    def test_usage_is_two(self):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "--not-a-flag"])
+        assert info.value.code == 2
+
+    def test_parse_error_is_two(self, tmp_path):
+        bad = tmp_path / "bad.f"
+        bad.write_text("program p\nif then\nend program")
+        assert main(["run", str(bad)]) == 2
+
+    def test_missing_file_is_two(self):
+        assert main(["run", "/nonexistent/path.f"]) == 2
+
+    def test_internal_is_three(self, monkeypatch):
+        import repro.cli as cli
+
+        def explode(args):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(cli, "_cmd_figures", explode)
+        assert cli.main(["figures"]) == 3
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestRunJson:
+    def test_run_json_document(self, source_file, capsys):
+        import json
+
+        code = main(["run", source_file, "--input", "n=10", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.run.v1"
+        assert doc["ok"] is True
+        assert doc["trap"] is None
+        assert doc["output"] == [10.0]
+        assert doc["counters"]["checks"] >= 0
+        assert doc["optimizer"]["eliminated"] >= 0
+        assert set(doc["phases"]) == {"parse", "optimize", "execute"}
+
+    def test_run_json_trap(self, source_file, capsys):
+        import json
+
+        code = main(["run", source_file, "--input", "n=60", "--json"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert "range check failed" in doc["trap"]
 
 
 class TestTablesAndCompareFlags:

@@ -1,0 +1,122 @@
+"""Tests for workload construction and the load generator."""
+
+import json
+
+import pytest
+
+from repro.service import CompileService, run_loadgen
+from repro.service.client import (MALFORMED_SOURCE, TRAP_SOURCE,
+                                  build_workload)
+
+GOOD = """\
+program corpusdemo
+  integer :: i
+  real :: a(10)
+  do i = 1, 10
+    a(i) = real(i)
+  end do
+  print a(10)
+end program
+"""
+
+
+class TestBuildWorkload:
+    def test_exact_count_and_sequence(self):
+        workload = build_workload(17)
+        assert len(workload) == 17
+        assert [r["sequence"] for r in workload] == list(range(17))
+
+    def test_deterministic(self):
+        assert build_workload(10) == build_workload(10)
+
+    def test_includes_trap_and_malformed(self):
+        base = build_workload(200)
+        sources = {r["source"] for r in base}
+        assert TRAP_SOURCE in sources
+        assert MALFORMED_SOURCE in sources
+
+    def test_opt_out_of_failure_salt(self):
+        base = build_workload(200, include_trap=False,
+                              include_malformed=False)
+        sources = {r["source"] for r in base}
+        assert TRAP_SOURCE not in sources
+        assert MALFORMED_SOURCE not in sources
+
+    def test_corpus_entries_included(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "entry.f").write_text("! fuzz-corpus entry\n" + GOOD)
+        workload = build_workload(200, corpus_dir=str(corpus))
+        tags = {r["tag"] for r in workload}
+        assert "corpus:entry.f" in tags
+
+    def test_tiles_round_robin(self):
+        from repro.benchsuite.registry import all_programs
+
+        period = len(all_programs()) + 2  # + trap + malformed
+        workload = build_workload(2 * period)
+        for i in range(period):
+            lhs = {k: v for k, v in workload[i].items()
+                   if k != "sequence"}
+            rhs = {k: v for k, v in workload[i + period].items()
+                   if k != "sequence"}
+            assert lhs == rhs
+
+
+class TestRunLoadgen:
+    @pytest.fixture
+    def service(self):
+        svc = CompileService(port=0, workers=2, worker_mode="thread")
+        svc.start()
+        yield svc
+        if not svc._stopped.is_set():
+            svc.shutdown()
+
+    def test_every_request_accounted(self, service, tmp_path):
+        out = tmp_path / "results" / "loadgen.json"
+        report = run_loadgen(service.url, requests_total=24,
+                             concurrency=6, out_path=str(out))
+        doc = report.as_dict()
+        assert doc["schema"] == "repro.loadgen.v1"
+        assert doc["requests"] == 24
+        assert doc["unaccounted"] == 0
+        assert sum(doc["by_status"].values()) == 24
+        # the salted failures actually flow through
+        assert doc["by_status"].get("422", 0) >= 1  # malformed source
+        assert any(r["trapped"] for r in report.results)
+        # no transport errors against a live server
+        assert "transport-error" not in doc["by_status"]
+
+    def test_artifact_written_and_valid(self, service, tmp_path):
+        out = tmp_path / "loadgen.json"
+        report = run_loadgen(service.url, requests_total=8,
+                             concurrency=4, out_path=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == report.as_dict()
+        lat = on_disk["latency_seconds"]
+        assert 0.0 <= lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        assert on_disk["throughput_rps"] > 0
+
+    def test_cache_counters_from_repeats(self, service):
+        # tiling 3x the base mix repeats every source -> cache hits
+        report = run_loadgen(service.url, requests_total=30,
+                             concurrency=4, include_malformed=False)
+        assert report.cache_hits + report.cache_misses > 0
+        assert report.cache_hits >= 1
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+
+    def test_transport_errors_are_counted_not_raised(self, tmp_path):
+        # nothing listens on this port: every request must still come
+        # back as an accounted transport-error row
+        report = run_loadgen("http://127.0.0.1:9", requests_total=4,
+                             concurrency=2, timeout=0.5)
+        doc = report.as_dict()
+        assert doc["by_status"] == {"transport-error": 4}
+        assert doc["unaccounted"] == 0
+
+    def test_summary_mentions_key_numbers(self, service):
+        report = run_loadgen(service.url, requests_total=6, concurrency=3)
+        text = report.summary()
+        assert "6 requests @ 3 clients" in text
+        assert "p95" in text
+        assert "hit rate" in text

@@ -1,0 +1,142 @@
+"""Tests for the stdlib metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (Counter, Gauge, Histogram,
+                                   MetricsRegistry, percentile)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([3.5], 50) == 3.5
+
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 50) == 51
+        assert percentile(samples, 0) == 1
+        assert percentile(samples, 100) == 100
+        assert percentile(samples, 99) == 99
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 9, 3], 100) == 9
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_labeled_children(self):
+        counter = Counter("req_total", labelnames=("endpoint", "status"))
+        counter.labels("/compile", 200).inc()
+        counter.labels("/compile", 200).inc()
+        counter.labels("/compile", 429).inc()
+        assert counter.labels("/compile", "200").value == 2
+        assert counter.value == 3
+
+    def test_unlabeled_use_of_labeled_counter_rejected(self):
+        counter = Counter("req_total", labelnames=("endpoint",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_wrong_arity_rejected(self):
+        counter = Counter("req_total", labelnames=("endpoint",))
+        with pytest.raises(ValueError):
+            counter.labels("a", "b")
+
+    def test_render(self):
+        counter = Counter("req_total", "requests", ("status",))
+        counter.labels(200).inc(3)
+        text = "\n".join(counter.render())
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{status="200"} 3' in text
+
+    def test_thread_safety(self):
+        counter = Counter("c_total")
+
+        def spin():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+
+
+class TestHistogram:
+    def test_observe_and_count(self):
+        histogram = Histogram("lat_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(5.55)
+
+    def test_render_buckets_are_cumulative(self):
+        histogram = Histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = "\n".join(histogram.render())
+        assert 'lat_bucket{le="0.1"} 2' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+
+    def test_percentiles_from_reservoir(self):
+        histogram = Histogram("lat")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == 51.0
+        assert histogram.percentile(99) == 99.0
+
+    def test_labeled_histogram(self):
+        histogram = Histogram("phase_seconds", labelnames=("phase",))
+        histogram.labels("parse").observe(0.1)
+        histogram.labels("execute").observe(0.2)
+        text = "\n".join(histogram.render())
+        assert 'phase_seconds_bucket{phase="parse",le="+Inf"} 1' in text
+        assert 'phase_seconds_count{phase="execute"} 1' in text
+
+
+class TestRegistry:
+    def test_idempotent_creation(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total")
+        second = registry.counter("a_total")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ValueError):
+            registry.gauge("a_total")
+
+    def test_render_everything_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.gauge("a_depth").set(2)
+        text = registry.render()
+        assert text.index("a_depth") < text.index("b_total")
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""

@@ -1,0 +1,356 @@
+"""Integration tests for the HTTP compile service.
+
+Servers bind port 0 (ephemeral) and use thread/inline worker modes so
+the suite stays fast; the CI smoke job exercises the process mode
+end-to-end.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import CompileService, ServiceClient, WorkerPool
+
+GOOD = """
+program demo
+  input integer :: n = 20
+  integer :: i
+  real :: a(50)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  print a(n)
+end program
+"""
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("worker_mode", "thread")
+    service = CompileService(**kwargs)
+    service.start()
+    return service
+
+
+@pytest.fixture
+def service():
+    svc = make_service()
+    yield svc
+    if not svc._stopped.is_set():
+        svc.shutdown()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url, timeout=30.0)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["in_flight"] == 0
+        assert health["worker_mode"] == "thread"
+
+    def test_version(self, client):
+        import repro
+
+        status, doc = client.get_json("/version")
+        assert status == 200
+        assert doc["version"] == repro.__version__
+
+    def test_unknown_endpoint_404(self, client):
+        status, doc = client.get_json("/nope")
+        assert status == 404
+        status, doc = client.post_json("/nope", {})
+        assert status == 404
+
+    def test_compile_run(self, client):
+        status, doc = client.post_json("/compile", {
+            "action": "run", "source": GOOD, "inputs": {"n": 10}})
+        assert status == 200
+        assert doc["ok"] is True
+        assert doc["output"] == [10.0]
+
+    def test_compile_trap(self, client):
+        status, doc = client.post_json("/compile", {
+            "action": "run", "source": GOOD, "inputs": {"n": 60}})
+        assert status == 200
+        assert doc["ok"] is False
+        assert "range check failed" in doc["trap"]
+
+    def test_malformed_json_400(self, client):
+        status, body = client._request("POST", "/compile")
+        assert status == 400
+
+    def test_malformed_source_422(self, client):
+        status, doc = client.post_json("/compile", {
+            "action": "run",
+            "source": "program broken\n  if then\nend program"})
+        assert status == 422
+        assert doc["schema"] == "repro.service.error.v1"
+
+    def test_bad_request_400(self, client):
+        status, doc = client.post_json("/compile", {"action": "pwn"})
+        assert status == 400
+
+    def test_metrics_exposition(self, client):
+        client.post_json("/compile", {
+            "action": "run", "source": GOOD, "inputs": {"n": 5}})
+        values = client.metrics_values()
+        key = 'repro_requests_total{endpoint="/compile",status="200"}'
+        assert values.get(key, 0) >= 1
+        assert 'repro_queue_depth' in values
+        hits = values.get('repro_cache_requests_total{result="hit"}', 0)
+        misses = values.get('repro_cache_requests_total{result="miss"}', 0)
+        assert hits + misses >= 1
+
+    def test_cache_hit_on_repeat(self, client):
+        payload = {"action": "run", "source": GOOD, "inputs": {"n": 7}}
+        client.post_json("/compile", payload)
+        # different inputs -> different request, same source -> cache hit
+        client.post_json("/compile", dict(payload, inputs={"n": 8}))
+        values = client.metrics_values()
+        assert values.get(
+            'repro_cache_requests_total{result="hit"}', 0) >= 1
+
+
+class TestTablesEndpoint:
+    def test_tables_matches_cli_bytes(self, tmp_path):
+        """The acceptance criterion: a service tables response is
+        byte-identical to `repro tables` CLI stdout."""
+        import contextlib
+        import io
+
+        from repro.benchsuite import all_programs
+        import repro.benchsuite.parallel as parallel
+
+        # restrict the suite to two programs to keep the test quick;
+        # both sides go through the same run_suite + renderer
+        subset = all_programs()[:2]
+        service = make_service(worker_mode="inline")
+        try:
+            client = ServiceClient(service.url, timeout=120.0)
+            original = parallel.run_suite
+
+            def small_suite(programs=None, small=False, jobs=1):
+                return original(subset, small=small, jobs=1)
+
+            import unittest.mock as mock
+
+            with mock.patch.object(parallel, "run_suite", small_suite), \
+                    mock.patch("repro.benchsuite.run_suite", small_suite):
+                status, doc = client.post_json("/tables", {"small": True})
+                assert status == 200
+
+                from repro.cli import main
+
+                buffer = io.StringIO()
+                with contextlib.redirect_stdout(buffer), \
+                        contextlib.redirect_stderr(io.StringIO()):
+                    assert main(["tables", "--small"]) == 0
+                assert doc["text"] == buffer.getvalue()
+                assert doc["tables"]["schema"] == "repro.tables.v1"
+        finally:
+            service.shutdown()
+
+
+class TestBackpressure:
+    def test_queue_full_returns_429(self):
+        release = threading.Event()
+
+        def slow_task(payload):
+            release.wait(timeout=10.0)
+            return 200, {"ok": True}
+
+        pool = WorkerPool(workers=1, mode="thread", task=slow_task)
+        service = make_service(pool=pool, queue_limit=1,
+                               request_timeout=10.0)
+        try:
+            client = ServiceClient(service.url, timeout=30.0)
+            results = []
+
+            def fire(n):
+                status, _ = client.post_json("/compile", {
+                    "action": "run", "source": GOOD,
+                    "inputs": {"n": n}})
+                results.append(status)
+
+            first = threading.Thread(target=fire, args=(1,))
+            first.start()
+            deadline = time.time() + 5.0
+            while service.health()["in_flight"] == 0 \
+                    and time.time() < deadline:
+                time.sleep(0.01)
+            status, doc = client.post_json("/compile", {
+                "action": "run", "source": GOOD, "inputs": {"n": 2}})
+            assert status == 429
+            assert "queue full" in doc["error"]
+            release.set()
+            first.join(timeout=10.0)
+            assert results == [200]
+            values = client.metrics_values()
+            key = 'repro_requests_rejected_total{reason="queue_full"}'
+            assert values.get(key) == 1
+        finally:
+            release.set()
+            service.shutdown()
+
+    def test_timeout_returns_504(self):
+        def sleepy_task(payload):
+            time.sleep(1.0)
+            return 200, {"ok": True}
+
+        pool = WorkerPool(workers=1, mode="thread", task=sleepy_task)
+        service = make_service(pool=pool, request_timeout=0.05)
+        try:
+            client = ServiceClient(service.url, timeout=30.0)
+            status, doc = client.post_json("/compile", {
+                "action": "run", "source": GOOD})
+            assert status == 504
+            assert "deadline" in doc["error"]
+            values = client.metrics_values()
+            assert values.get("repro_request_timeouts_total") == 1
+        finally:
+            service.shutdown()
+
+
+class TestSingleFlight:
+    def test_identical_requests_coalesce(self):
+        calls = []
+        gate = threading.Event()
+
+        def slow_task(payload):
+            calls.append(1)
+            gate.wait(timeout=10.0)
+            return 200, {"ok": True, "frontend_cached": False,
+                         "phases": None}
+
+        pool = WorkerPool(workers=4, mode="thread", task=slow_task)
+        service = make_service(pool=pool, queue_limit=8)
+        try:
+            client = ServiceClient(service.url, timeout=30.0)
+            payload = {"action": "run", "source": GOOD,
+                       "inputs": {"n": 9}}
+            statuses = []
+
+            def fire():
+                status, _ = client.post_json("/compile", payload)
+                statuses.append(status)
+
+            threads = [threading.Thread(target=fire) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 5.0
+            while service.health()["in_flight"] < 3 \
+                    and time.time() < deadline:
+                time.sleep(0.01)
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert statuses == [200, 200, 200]
+            assert sum(calls) == 1  # one worker execution for three
+            values = client.metrics_values()
+            assert values.get(
+                "repro_singleflight_coalesced_total", 0) == 2
+        finally:
+            gate.set()
+            service.shutdown()
+
+
+class TestGracefulShutdown:
+    def test_shutdown_endpoint_drains(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_task(payload):
+            started.set()
+            release.wait(timeout=10.0)
+            return 200, {"ok": True}
+
+        pool = WorkerPool(workers=1, mode="thread", task=slow_task)
+        service = make_service(pool=pool, drain_timeout=10.0)
+        client = ServiceClient(service.url, timeout=30.0)
+        results = []
+
+        def fire():
+            status, _ = client.post_json("/compile", {
+                "action": "run", "source": GOOD})
+            results.append(status)
+
+        inflight = threading.Thread(target=fire)
+        inflight.start()
+        assert started.wait(timeout=5.0)
+        assert client.shutdown() == 202
+        # draining: new work refused with 503
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            try:
+                status, _ = client.post_json("/compile", {
+                    "action": "run", "source": GOOD})
+            except OSError:
+                break  # already fully stopped
+            if status == 503:
+                break
+            time.sleep(0.05)
+        release.set()
+        inflight.join(timeout=10.0)
+        assert results == [200]  # in-flight work completed, not dropped
+        assert service.wait_stopped(timeout=10.0)
+
+    def test_programmatic_shutdown_idempotent(self):
+        service = make_service(worker_mode="inline")
+        service.shutdown()
+        service.shutdown()
+        assert service.wait_stopped(timeout=1.0)
+
+
+class TestRealWorkerPoolModes:
+    def test_inline_mode_round_trip(self):
+        service = make_service(worker_mode="inline")
+        try:
+            client = ServiceClient(service.url, timeout=30.0)
+            status, doc = client.post_json("/compile", {
+                "action": "run", "source": GOOD, "inputs": {"n": 3}})
+            assert status == 200
+            assert doc["output"] == [3.0]
+        finally:
+            service.shutdown()
+
+    def test_worker_pool_submit_coalesces_by_key(self):
+        gate = threading.Event()
+        calls = []
+
+        def task(payload):
+            calls.append(1)
+            gate.wait(timeout=5.0)
+            return 200, {}
+
+        pool = WorkerPool(workers=2, mode="thread", task=task)
+        try:
+            first = pool.submit({"a": 1}, key="k")
+            second = pool.submit({"a": 1}, key="k")
+            assert first is second
+            assert pool.coalesced == 1
+            gate.set()
+            assert first.result(timeout=5.0) == (200, {})
+            deadline = time.time() + 5.0
+            while pool.inflight and time.time() < deadline:
+                time.sleep(0.01)
+            third = pool.submit({"a": 1}, key="k")
+            assert third is not first  # finished -> new flight
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_worker_pool_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            WorkerPool(mode="quantum")
+
+    def test_worker_pool_shutdown_rejects_submit(self):
+        pool = WorkerPool(workers=1, mode="inline")
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit({})
