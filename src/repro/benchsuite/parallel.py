@@ -37,7 +37,8 @@ class SuiteResult:
     def __init__(self, names: List[str], rows: List[BaselineMeasurement],
                  table2: Cells, table3: Cells,
                  cache_stats: Dict[str, Dict[str, int]],
-                 jobs: int = 1, parallel: bool = False) -> None:
+                 jobs: int = 1, parallel: bool = False,
+                 engine: str = "interp") -> None:
         self.names = names
         self.rows = rows
         self.table2 = table2
@@ -48,6 +49,8 @@ class SuiteResult:
         #: whether the process pool was actually used (False after a
         #: serial fallback)
         self.parallel = parallel
+        #: execution engine every measurement ran under
+        self.engine = engine
 
     def frontend_compiles(self) -> int:
         """Total frontend runs across the suite — equals the number of
@@ -59,13 +62,17 @@ class SuiteResult:
 ProgramResult = Tuple[BaselineMeasurement, Cells, Cells, Dict[str, int]]
 
 
-def run_program(name: str, small: bool = False) -> ProgramResult:
+def run_program(name: str, small: bool = False,
+                engine: str = "interp") -> ProgramResult:
     """Measure one program under every table configuration.
 
     This is the process-pool task: module-level so it pickles, keyed
     by program name so only small strings cross the process boundary.
     A task-private :class:`FrontendCache` guarantees the frontend runs
     exactly once regardless of which process executes the task.
+    ``engine`` selects the interpreter or the threaded Python back-end;
+    the dynamic counts (and thus the rendered tables) are identical
+    either way.
     """
     program = get_program(name)
     inputs = program.test_inputs if small else program.inputs
@@ -73,14 +80,14 @@ def run_program(name: str, small: bool = False) -> ProgramResult:
     # but still honoring the REPRO_CACHE_DIR on-disk layer
     cache = FrontendCache(os.environ.get(CACHE_DIR_ENV) or None)
     baseline = measure_baseline(program.name, program.source, inputs,
-                                cache=cache)
+                                engine=engine, cache=cache)
     table2: Cells = {}
     for kind in (CheckKind.PRX, CheckKind.INX):
         for scheme in TABLE2_SCHEMES:
             options = OptimizerOptions(scheme=scheme, kind=kind)
             table2[(options.label(), name)] = measure_scheme(
                 name, program.source, options, baseline.dynamic_checks,
-                inputs, cache=cache)
+                inputs, engine=engine, cache=cache)
     table3: Cells = {}
     for kind in (CheckKind.PRX, CheckKind.INX):
         for scheme, mode in TABLE3_ROWS:
@@ -88,37 +95,39 @@ def run_program(name: str, small: bool = False) -> ProgramResult:
                                        implication=mode)
             table3[(options.label(), name)] = measure_scheme(
                 name, program.source, options, baseline.dynamic_checks,
-                inputs, cache=cache)
+                inputs, engine=engine, cache=cache)
     return baseline, table2, table3, cache.stats()
 
 
-def _run_pool(names: List[str], small: bool,
-              jobs: int) -> List[Optional[ProgramResult]]:
+def _run_pool(names: List[str], small: bool, jobs: int,
+              engine: str) -> List[Optional[ProgramResult]]:
     """One result per name, in order; ``None`` where a task failed."""
     from concurrent.futures import ProcessPoolExecutor
 
     results: List[Optional[ProgramResult]] = [None] * len(names)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(run_program, name, small) for name in names]
+        futures = [pool.submit(run_program, name, small, engine)
+                   for name in names]
         for index, future in enumerate(futures):
             results[index] = future.result()
     return results
 
 
 def run_suite(programs: Optional[Iterable[BenchmarkProgram]] = None,
-              small: bool = False, jobs: int = 1) -> SuiteResult:
+              small: bool = False, jobs: int = 1,
+              engine: str = "interp") -> SuiteResult:
     """Run Tables 1-3 for the suite, ``jobs`` programs at a time.
 
     ``jobs <= 1`` runs serially in-process.  Pool failures degrade to
     serial execution with a note on stderr; results are identical
-    either way.
+    either way — and identical for either ``engine``.
     """
     names = [p.name for p in (programs or all_programs())]
     results: List[Optional[ProgramResult]] = [None] * len(names)
     used_pool = False
     if jobs > 1 and len(names) > 1:
         try:
-            results = _run_pool(names, small, jobs)
+            results = _run_pool(names, small, jobs, engine)
             used_pool = True
         except Exception as error:  # pool machinery, not measurement
             print("warning: process pool failed (%s: %s); "
@@ -127,7 +136,7 @@ def run_suite(programs: Optional[Iterable[BenchmarkProgram]] = None,
             results = [None] * len(names)
     for index, name in enumerate(names):
         if results[index] is None:
-            results[index] = run_program(name, small)
+            results[index] = run_program(name, small, engine)
 
     rows: List[BaselineMeasurement] = []
     table2: Cells = {}
@@ -140,7 +149,7 @@ def run_suite(programs: Optional[Iterable[BenchmarkProgram]] = None,
         table3.update(cells3)
         cache_stats[name] = stats
     return SuiteResult(names, rows, table2, table3, cache_stats,
-                       jobs=jobs, parallel=used_pool)
+                       jobs=jobs, parallel=used_pool, engine=engine)
 
 
 # -- per-scheme fan-out for ``repro compare`` -------------------------

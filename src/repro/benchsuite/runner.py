@@ -48,24 +48,25 @@ def _resolve_cache(cache: Optional[FrontendCache]) -> FrontendCache:
 def _baseline_for(program: BenchmarkProgram,
                   inputs: Mapping[str, int],
                   baselines: Optional[Mapping[str, BaselineMeasurement]],
-                  cache: FrontendCache) -> BaselineMeasurement:
+                  cache: FrontendCache,
+                  engine: str = "interp") -> BaselineMeasurement:
     if baselines is not None and program.name in baselines:
         return baselines[program.name]
     return measure_baseline(program.name, program.source, inputs,
-                            cache=cache)
+                            engine=engine, cache=cache)
 
 
 def run_table1(programs: Optional[Iterable[BenchmarkProgram]] = None,
                small: bool = False,
-               cache: Optional[FrontendCache] = None
-               ) -> List[BaselineMeasurement]:
+               cache: Optional[FrontendCache] = None,
+               engine: str = "interp") -> List[BaselineMeasurement]:
     """Program characteristics (Table 1) for the whole suite."""
     cache = _resolve_cache(cache)
     rows = []
     for program in programs or all_programs():
         inputs = program.test_inputs if small else program.inputs
         rows.append(measure_baseline(program.name, program.source, inputs,
-                                     cache=cache))
+                                     engine=engine, cache=cache))
     return rows
 
 
@@ -74,22 +75,175 @@ def run_table2(programs: Optional[Iterable[BenchmarkProgram]] = None,
                schemes: Tuple[Scheme, ...] = TABLE2_SCHEMES,
                small: bool = False,
                cache: Optional[FrontendCache] = None,
-               baselines: Optional[Mapping[str, BaselineMeasurement]] = None
+               baselines: Optional[Mapping[str, BaselineMeasurement]] = None,
+               engine: str = "interp"
                ) -> Dict[Tuple[str, str], SchemeMeasurement]:
     """Percent of checks eliminated per (kind-scheme, program)."""
     cache = _resolve_cache(cache)
     results: Dict[Tuple[str, str], SchemeMeasurement] = {}
     for program in programs or all_programs():
         inputs = program.test_inputs if small else program.inputs
-        baseline = _baseline_for(program, inputs, baselines, cache)
+        baseline = _baseline_for(program, inputs, baselines, cache, engine)
         for kind in kinds:
             for scheme in schemes:
                 options = OptimizerOptions(scheme=scheme, kind=kind)
                 cell = measure_scheme(program.name, program.source, options,
                                       baseline.dynamic_checks, inputs,
-                                      cache=cache)
+                                      engine=engine, cache=cache)
                 results[(options.label(), program.name)] = cell
     return results
+
+
+BENCH_ENGINES: Tuple[str, ...] = ("interp", "compiled")
+
+#: counter fields that must agree between engines.  ``phis`` is
+#: deliberately excluded: the interpreter charges one phi move per phi
+#: on block entry while the back-end charges the two copies SSA
+#: destruction inserts per phi, so the field legitimately differs
+#: (ratio 1:2) without affecting instruction or check parity.
+BENCH_PARITY_FIELDS: Tuple[str, ...] = (
+    "instructions", "checks", "guarded_checks", "guard_skipped", "traps")
+
+
+class EngineRun:
+    """Wall-clock and dynamic counts for one engine on one program."""
+
+    def __init__(self, engine: str) -> None:
+        self.engine = engine
+        #: best-of-``repeats`` execution wall clock (seconds); excludes
+        #: back-end translation, reported in ``translate_seconds``
+        self.seconds = 0.0
+        #: every repeat's wall clock, in run order
+        self.runs: List[float] = []
+        #: one-time IR -> Python translation cost (0.0 for interp)
+        self.translate_seconds = 0.0
+        self.counters: Dict[str, int] = {}
+        self.output: List[float] = []
+
+
+class BenchProgramResult:
+    """Engine comparison for one benchmark program."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.engines: Dict[str, EngineRun] = {}
+        self.counts_match = True
+        self.output_match = True
+        #: parity fields whose values diverged between engines
+        self.mismatches: List[str] = []
+
+    @property
+    def speedup(self) -> float:
+        """Interpreter seconds / compiled seconds (0 when undefined)."""
+        interp = self.engines.get("interp")
+        compiled = self.engines.get("compiled")
+        if interp is None or compiled is None or compiled.seconds <= 0.0:
+            return 0.0
+        return interp.seconds / compiled.seconds
+
+
+class BenchResult:
+    """Everything one ``repro bench`` run produced."""
+
+    def __init__(self, config_label: str, small: bool,
+                 repeats: int, engines: Tuple[str, ...]) -> None:
+        self.config_label = config_label
+        self.small = small
+        self.repeats = repeats
+        self.engines = engines
+        self.programs: List[BenchProgramResult] = []
+
+    def counts_ok(self) -> bool:
+        """True when every program's dynamic counts (and output) agree
+        across engines."""
+        return all(p.counts_match and p.output_match for p in self.programs)
+
+    def total_seconds(self, engine: str) -> float:
+        return sum(p.engines[engine].seconds
+                   for p in self.programs if engine in p.engines)
+
+    @property
+    def speedup(self) -> float:
+        interp = self.total_seconds("interp")
+        compiled = self.total_seconds("compiled")
+        if compiled <= 0.0:
+            return 0.0
+        return interp / compiled
+
+
+def _time_engine(program, engine: str, inputs, max_steps: int,
+                 repeats: int, backend_cache) -> EngineRun:
+    """Run one engine ``repeats`` times; counters come from the last
+    run (they are deterministic, so any run would do)."""
+    import time
+
+    run = EngineRun(engine)
+    if engine == "compiled":
+        # translate once, outside the timed repeats — the cache makes
+        # repeated executions reuse the compiled module, mirroring how
+        # a compiled binary is built once and run many times
+        start = time.perf_counter()
+        program.run_compiled(inputs, max_steps=max_steps,
+                             backend_cache=backend_cache)
+        run.translate_seconds = time.perf_counter() - start
+    for _ in range(repeats):
+        start = time.perf_counter()
+        if engine == "interp":
+            machine = program.run(inputs, max_steps=max_steps)
+        else:
+            machine = program.run_compiled(inputs, max_steps=max_steps,
+                                           backend_cache=backend_cache)
+        run.runs.append(time.perf_counter() - start)
+        run.counters = machine.counters.snapshot()
+        run.output = list(machine.output)
+    run.seconds = min(run.runs) if run.runs else 0.0
+    return run
+
+
+def run_bench(programs: Optional[Iterable[BenchmarkProgram]] = None,
+              engines: Tuple[str, ...] = BENCH_ENGINES,
+              small: bool = False,
+              repeats: int = 3,
+              options: Optional[OptimizerOptions] = None,
+              max_steps: int = 50_000_000,
+              cache: Optional[FrontendCache] = None,
+              backend_cache=None) -> BenchResult:
+    """Engine comparison mode: wall-clock per program per engine.
+
+    Each program is compiled once (under ``options``, default LLS/PRX)
+    and then executed ``repeats`` times per engine; the best repeat is
+    the reported wall clock.  When both engines run, every
+    :data:`BENCH_PARITY_FIELDS` counter and the printed output are
+    asserted identical — a divergence marks the program's
+    ``counts_match``/``output_match`` flags and the overall
+    :meth:`BenchResult.counts_ok` false.
+    """
+    from ..pipeline.driver import compile_source
+
+    if backend_cache is None:
+        from ..pipeline.cache import shared_backend_cache
+
+        backend_cache = shared_backend_cache()
+    cache = _resolve_cache(cache)
+    options = options or OptimizerOptions()
+    result = BenchResult(options.label(), small, repeats, tuple(engines))
+    for program in programs or all_programs():
+        inputs = program.test_inputs if small else program.inputs
+        compiled = compile_source(program.source, options, cache=cache)
+        row = BenchProgramResult(program.name)
+        for engine in engines:
+            row.engines[engine] = _time_engine(
+                compiled, engine, inputs, max_steps, repeats, backend_cache)
+        if "interp" in row.engines and "compiled" in row.engines:
+            interp = row.engines["interp"]
+            comp = row.engines["compiled"]
+            row.mismatches = [
+                field for field in BENCH_PARITY_FIELDS
+                if interp.counters.get(field) != comp.counters.get(field)]
+            row.counts_match = not row.mismatches
+            row.output_match = interp.output == comp.output
+        result.programs.append(row)
+    return result
 
 
 def run_table3(programs: Optional[Iterable[BenchmarkProgram]] = None,
@@ -97,20 +251,21 @@ def run_table3(programs: Optional[Iterable[BenchmarkProgram]] = None,
                rows: Tuple[Tuple[Scheme, ImplicationMode], ...] = TABLE3_ROWS,
                small: bool = False,
                cache: Optional[FrontendCache] = None,
-               baselines: Optional[Mapping[str, BaselineMeasurement]] = None
+               baselines: Optional[Mapping[str, BaselineMeasurement]] = None,
+               engine: str = "interp"
                ) -> Dict[Tuple[str, str], SchemeMeasurement]:
     """The implication-mode ablation (Table 3)."""
     cache = _resolve_cache(cache)
     results: Dict[Tuple[str, str], SchemeMeasurement] = {}
     for program in programs or all_programs():
         inputs = program.test_inputs if small else program.inputs
-        baseline = _baseline_for(program, inputs, baselines, cache)
+        baseline = _baseline_for(program, inputs, baselines, cache, engine)
         for kind in kinds:
             for scheme, mode in rows:
                 options = OptimizerOptions(scheme=scheme, kind=kind,
                                            implication=mode)
                 cell = measure_scheme(program.name, program.source, options,
                                       baseline.dynamic_checks, inputs,
-                                      cache=cache)
+                                      engine=engine, cache=cache)
                 results[(options.label(), program.name)] = cell
     return results

@@ -186,7 +186,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     from .reporting import (TABLE3_LABELS, render_tables_text,
                             table2_labels, tables_summary_line)
 
-    suite = run_suite(small=args.small, jobs=args.jobs)
+    suite = run_suite(small=args.small, jobs=args.jobs, engine=args.engine)
     if args.json:
         import json
 
@@ -211,6 +211,60 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                      stats.get("disk_hits", 0),
                      stats.get("evictions", 0)), file=sys.stderr)
     return EXIT_OK
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .benchsuite import all_programs, get_program, run_bench
+    from .reporting import bench_to_dict
+
+    if args.programs:
+        try:
+            programs = [get_program(name) for name in args.programs]
+        except KeyError as error:
+            raise _usage_exit("bench: %s" % error.args[0])
+    else:
+        programs = all_programs()
+    # a compiled-only request still runs the interpreter as the parity
+    # reference: the whole point of the artifact is counts asserted
+    # identical across engines
+    engines = (("interp",) if args.engine == "interp"
+               else ("interp", "compiled"))
+    result = run_bench(programs, engines=engines, small=args.small,
+                       repeats=args.repeats)
+    doc = bench_to_dict(result)
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out, file=sys.stderr)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        compared = "interp" in result.engines and "compiled" in result.engines
+        for row in result.programs:
+            parts = ["%-10s" % row.name]
+            for engine in result.engines:
+                run = row.engines[engine]
+                parts.append("%s %9.4fs" % (engine, run.seconds))
+            if compared:
+                parity = ("ok" if row.counts_match and row.output_match
+                          else "MISMATCH(%s)"
+                          % ",".join(row.mismatches or ["output"]))
+                parts.append("%7.2fx" % row.speedup)
+                parts.append("counts %s" % parity)
+            print("  ".join(parts))
+        if compared:
+            print("%-10s  interp %9.4fs  compiled %9.4fs  %7.2fx  counts %s"
+                  % ("total", result.total_seconds("interp"),
+                     result.total_seconds("compiled"), result.speedup,
+                     "ok" if result.counts_ok() else "MISMATCH"))
+    return EXIT_OK if result.counts_ok() else EXIT_TRAP
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -365,7 +419,34 @@ def build_parser() -> argparse.ArgumentParser:
     tables_parser.add_argument("--timings", action="store_true",
                                help="include the wall-clock Range(s) "
                                     "column (nondeterministic output)")
+    tables_parser.add_argument("--engine", default="interp",
+                               choices=["interp", "compiled"],
+                               help="execution engine for every "
+                                    "measurement; the rendered tables "
+                                    "are identical either way")
     tables_parser.set_defaults(handler=_cmd_tables)
+
+    bench_parser = commands.add_parser(
+        "bench", help="wall-clock comparison of the execution engines")
+    bench_parser.add_argument("--engine", default="both",
+                              choices=["interp", "compiled", "both"],
+                              help="engine under test; 'compiled' still "
+                                   "runs the interpreter as the parity "
+                                   "reference (default: both)")
+    bench_parser.add_argument("--small", action="store_true",
+                              help="use test-sized inputs")
+    bench_parser.add_argument("--programs", nargs="+", metavar="NAME",
+                              help="benchmark subset (default: all ten)")
+    bench_parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                              help="timed executions per engine; the best "
+                                   "is reported (default 3)")
+    bench_parser.add_argument("--json", action="store_true",
+                              help="print the bench document to stdout")
+    bench_parser.add_argument("--out", metavar="PATH",
+                              default="benchmarks/results/BENCH_4.json",
+                              help="write the bench document here "
+                                   "(default %(default)s; '' disables)")
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     fuzz_parser = commands.add_parser(
         "fuzz", help="differential fuzzing of the check optimizer")

@@ -53,6 +53,28 @@ class InterpError(ReproError):
     """Run-time error raised while interpreting IR."""
 
 
+class StepLimitError(InterpError):
+    """Execution exceeded its step budget (``max_steps`` fuel).
+
+    Raised by *both* execution engines — the interpreter and the
+    threaded-code Python back-end — so a non-terminating program fails
+    the same way regardless of engine.  Note the step counts themselves
+    are engine-specific: the back-end runs destructed SSA, whose
+    parallel-copy sequences cost at least as many steps as the phis
+    they replace, so the back-end can only hit the limit at the same
+    program point or earlier.
+    """
+
+
+class CallDepthError(InterpError):
+    """Call depth exceeded ``MAX_CALL_DEPTH`` (runaway recursion).
+
+    Calls are 1:1 between engines, so this error is strictly
+    engine-independent: either both engines raise it at the same call
+    site, or neither does.  The fuzz oracle asserts exactly that.
+    """
+
+
 class RangeTrap(InterpError):
     """A range check failed at run time (the paper's TRAP)."""
 

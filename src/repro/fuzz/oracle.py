@@ -35,7 +35,8 @@ import itertools
 from typing import Dict, List, Optional
 
 from ..checks.config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
-from ..errors import BoundsAuditError, InterpError, RangeTrap, ReproError
+from ..errors import (BoundsAuditError, CallDepthError, InterpError,
+                      RangeTrap, ReproError, StepLimitError)
 from ..interp.machine import Machine
 from ..pipeline.cache import FrontendCache
 from ..pipeline.driver import compile_source
@@ -72,7 +73,7 @@ class FuzzFailure:
         #: one of: frontend-error, baseline-audit, baseline-engine,
         #: compile-error, verify-ir, safety, spurious-trap,
         #: missing-trap, output-mismatch, not-prefix, engine-mismatch,
-        #: count-regression, crash
+        #: limit-parity, count-regression, crash
         self.kind = kind
         self.seed = seed
         self.source = source
@@ -118,9 +119,10 @@ def _run_interp(module, inputs, max_steps: int,
     return _RunResult(machine.output, False, machine.counters)
 
 
-def _run_compiled(program, inputs) -> _RunResult:
+def _run_compiled(program, inputs,
+                  max_steps: int = DEFAULT_MAX_STEPS) -> _RunResult:
     try:
-        runtime = program.run_compiled(inputs)
+        runtime = program.run_compiled(inputs, max_steps=max_steps)
     except RangeTrap as trap:
         runtime = getattr(trap, "runtime", None)
         if runtime is None:  # pragma: no cover - the back-end attaches it
@@ -168,7 +170,7 @@ class Oracle:
                 "naive lowering let an access escape checking: %s"
                 % baseline.audit_error)
         if self.engines:
-            compiled = _run_compiled(baseline_prog, inputs)
+            compiled = _run_compiled(baseline_prog, inputs, self.max_steps)
             failure = self._compare_engines(baseline, compiled, seed,
                                             source, "<baseline>",
                                             kind="baseline-engine")
@@ -193,7 +195,7 @@ class Oracle:
             if failure is not None:
                 return failure
             if self.engines:
-                compiled = _run_compiled(program, inputs)
+                compiled = _run_compiled(program, inputs, self.max_steps)
                 failure = self._compare_engines(optimized, compiled, seed,
                                                 source, label)
                 if failure is not None:
@@ -258,6 +260,24 @@ class Oracle:
                          kind: str = "engine-mismatch"
                          ) -> Optional[FuzzFailure]:
         if compiled.error is not None:
+            # limit parity: the interpreter side of this comparison ran
+            # within both limits (an interpreter limit error bails out
+            # earlier), so the back-end must agree -- with one carve-out.
+            # Destructed SSA charges the phi copies and split-edge
+            # landing blocks as extra fuel, so the back-end may exhaust
+            # ``max_steps`` on runs the interpreter finished; that
+            # one-sided StepLimitError is tolerated.  Call depth is 1:1
+            # between engines, so a one-sided CallDepthError is a real
+            # parity bug.
+            if isinstance(compiled.error, StepLimitError):
+                return None
+            if isinstance(compiled.error, CallDepthError):
+                return FuzzFailure(
+                    "limit-parity", seed, source, label,
+                    "the back-end hit the call-depth limit (%s) on a "
+                    "program the interpreter %s"
+                    % (compiled.error,
+                       "trapped" if interp.trapped else "ran clean"))
             return FuzzFailure(
                 kind, seed, source, label,
                 "the back-end raised %s: %s (interpreter %s)"

@@ -15,7 +15,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping, Optional, Union
 
-from ..errors import BoundsAuditError, InterpError, RangeTrap
+from ..errors import (BoundsAuditError, CallDepthError, InterpError,
+                      RangeTrap, StepLimitError)
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Module
 from ..ir.instructions import (Assign, BinOp, Call, Check, CondJump, Jump,
@@ -129,7 +130,8 @@ class Machine:
                    prev: Optional[BasicBlock]):
         self._steps += len(block.instructions)
         if self._steps > self.max_steps:
-            raise InterpError("execution exceeded %d steps" % self.max_steps)
+            raise StepLimitError("execution exceeded %d steps"
+                                 % self.max_steps)
         counters = self.counters
         if self.profile:
             for inst in block.instructions:
@@ -162,7 +164,13 @@ class Machine:
                     self._eval(frame, inst.rhs))
                 continue
             if isinstance(inst, Assign):
-                counters.instructions += 1
+                # phi copies (SSA destruction) count as phis, exactly
+                # like the phi moves they lower; getattr tolerates
+                # instructions unpickled from pre-flag cache entries
+                if getattr(inst, "is_phi_copy", False):
+                    counters.phis += 1
+                else:
+                    counters.instructions += 1
                 frame.scalars[inst.dest.name] = self._eval(frame, inst.src)
                 continue
             if isinstance(inst, Load):
@@ -188,7 +196,10 @@ class Machine:
                     inst.op, self._eval(frame, inst.operand))
                 continue
             if isinstance(inst, Jump):
-                counters.instructions += 1
+                if getattr(inst, "is_synthetic", False):
+                    counters.phis += 1  # landing block of a split edge
+                else:
+                    counters.instructions += 1
                 return inst.target, block
             if isinstance(inst, CondJump):
                 counters.instructions += 1
@@ -249,8 +260,9 @@ class Machine:
 
     def _run_call(self, frame: _Frame, call: Call) -> None:
         if self._depth >= self.MAX_CALL_DEPTH:
-            raise InterpError("call depth exceeded %d (runaway recursion?)"
-                              % self.MAX_CALL_DEPTH)
+            raise CallDepthError("call depth exceeded %d "
+                                 "(runaway recursion?)"
+                                 % self.MAX_CALL_DEPTH)
         callee = self.module.lookup(call.callee)
         sub = _Frame(callee)
         for param, arg in zip(callee.params, call.args):

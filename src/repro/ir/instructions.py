@@ -70,14 +70,24 @@ def _subst(value: Value, mapping: Mapping[Var, Value]) -> Value:
 
 
 class Assign(Instruction):
-    """``dest = src`` (a scalar copy)."""
+    """``dest = src`` (a scalar copy).
 
-    __slots__ = ("dest", "src")
+    ``is_phi_copy`` marks copies that SSA destruction synthesized from
+    phi nodes.  Both execution engines count such copies as ``phis``
+    (not ``instructions``), so the dynamic instruction counts of a
+    destructed module match the SSA module it came from exactly —
+    that's what makes ``tables --engine compiled`` byte-identical to
+    the interpreter's output.
+    """
 
-    def __init__(self, dest: Var, src: Value) -> None:
+    __slots__ = ("dest", "src", "is_phi_copy")
+
+    def __init__(self, dest: Var, src: Value,
+                 is_phi_copy: bool = False) -> None:
         super().__init__()
         self.dest = dest
         self.src = src
+        self.is_phi_copy = is_phi_copy
 
     def uses(self) -> List[Value]:
         return [self.src]
@@ -412,14 +422,22 @@ class Print(Instruction):
 
 
 class Jump(Instruction):
-    """Unconditional branch."""
+    """Unconditional branch.
 
-    __slots__ = ("target",)
+    ``is_synthetic`` marks jumps of blocks that SSA destruction created
+    by splitting critical edges; like phi copies, they are free in the
+    dynamic instruction count (the SSA module being measured has no
+    such block, so charging for it would skew engine parity).
+    """
+
+    __slots__ = ("target", "is_synthetic")
     is_terminator = True
 
-    def __init__(self, target: "BasicBlock") -> None:
+    def __init__(self, target: "BasicBlock",
+                 is_synthetic: bool = False) -> None:
         super().__init__()
         self.target = target
+        self.is_synthetic = is_synthetic
 
     def successors(self) -> List["BasicBlock"]:
         return [self.target]

@@ -1,12 +1,14 @@
 """End-to-end compile-and-measure pipeline."""
 
-from .cache import (CacheStats, FrontendCache, reset_shared_cache,
-                    shared_cache)
+from .cache import (BackendCache, CacheStats, FrontendCache,
+                    reset_shared_backend_cache, reset_shared_cache,
+                    shared_backend_cache, shared_cache)
 from .driver import (CompiledProgram, compile_source, module_size,
                      run_frontend)
 from .trace import FRONTEND_PASSES, PassEvent, PipelineTrace
 
-__all__ = ["CacheStats", "CompiledProgram", "FRONTEND_PASSES",
-           "FrontendCache", "PassEvent", "PipelineTrace", "compile_source",
-           "module_size", "reset_shared_cache", "run_frontend",
-           "shared_cache"]
+__all__ = ["BackendCache", "CacheStats", "CompiledProgram",
+           "FRONTEND_PASSES", "FrontendCache", "PassEvent",
+           "PipelineTrace", "compile_source", "module_size",
+           "reset_shared_backend_cache", "reset_shared_cache",
+           "run_frontend", "shared_backend_cache", "shared_cache"]

@@ -26,6 +26,19 @@ The in-memory layer is LRU-bounded when ``max_entries`` is given
 (long-lived servers; unbounded by default for one-shot table runs) and
 guarded by a lock so the service's thread-mode workers can share one
 cache.
+
+:class:`BackendCache` is the same idea one stage later: it memoizes
+the *translated* Python back-end module per ``(module fingerprint,
+engine version)`` key, so service workers and ``--jobs`` pools skip
+SSA destruction and re-translation when they execute the same
+optimized module twice.  The fingerprint is the printed IR plus a
+canonical rendering of the declarations the printer omits (scalar
+types, parameter types, input defaults) — everything the code
+generator consumes.  Compiled modules are immutable at run time
+(execution state lives in a per-run ``_Runtime``), so the in-memory
+layer shares one :class:`CompiledPythonModule` instance per key
+instead of cloning; the disk layer pickles the (destructed module,
+generated source) pair and re-``exec``\\ s on load.
 """
 
 from __future__ import annotations
@@ -49,6 +62,14 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Environment variable bounding the in-memory layer of the default
 #: cache (unset or non-positive = unbounded).
 CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+#: Environment variable bounding the in-memory layer of the default
+#: backend cache (compiled modules are heavier than frontend modules,
+#: so this one is bounded even by default).
+BACKEND_CACHE_MAX_ENTRIES_ENV = "REPRO_BACKEND_CACHE_MAX_ENTRIES"
+
+#: Default LRU bound of the shared backend cache.
+BACKEND_CACHE_DEFAULT_MAX_ENTRIES = 512
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -302,6 +323,205 @@ class FrontendCache:
             entries, self.hits, self.frontend_compiles)
 
 
+def _module_fingerprint(module: Module) -> str:
+    """A canonical text form of everything the back-end consumes.
+
+    The printed IR covers blocks, instructions, checks, and array
+    declarations; the appended sections cover what the printer omits
+    but codegen depends on: parameter and scalar types, and input
+    defaults.  Hashing this is sound — two modules with equal
+    fingerprints translate to identical Python source.
+    """
+    from ..ir.printer import format_module
+
+    parts = [format_module(module)]
+    for name in sorted(module.functions):
+        function = module.functions[name]
+        parts.append("=func %s" % name)
+        parts.append("params " + ",".join(
+            "%s:%s" % (p.name, p.type.value if p.type else "?")
+            for p in function.params))
+        parts.append("scalars " + ",".join(
+            "%s:%s" % (sname, stype.value if stype else "?")
+            for sname, stype in sorted(function.scalar_types.items())))
+        parts.append("defaults " + ",".join(
+            "%s=%r" % item for item in
+            sorted(getattr(function, "input_defaults", {}).items())))
+    return "\n".join(parts)
+
+
+class BackendCache:
+    """Shares translated back-end modules across executions.
+
+    ``compiled(module)`` returns a ready-to-run
+    :class:`~repro.backend.pybackend.CompiledPythonModule` for the
+    given (SSA or non-SSA) module, destructing and translating a
+    private copy on first request.  Compiled modules hold no run state,
+    so the same instance is handed to every caller.
+
+    Keys include :data:`~repro.backend.pybackend.ENGINE_VERSION`, so
+    entries written by an older translation scheme — in particular
+    disk entries surviving an upgrade — can never be executed by a
+    newer engine.
+    """
+
+    def __init__(self, disk_dir: Optional[str] = None,
+                 max_entries: Optional[int] = None) -> None:
+        self.disk_dir = disk_dir
+        self.max_entries = max_entries if max_entries and max_entries > 0 \
+            else None
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+        #: Number of times the destruct+translate pass actually ran.
+        self.translations = 0
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, object]" = OrderedDict()
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def key(module: Module) -> str:
+        from ..backend.pybackend import ENGINE_VERSION
+
+        digest = hashlib.sha256(
+            _module_fingerprint(module).encode("utf-8")).hexdigest()
+        return "%s-e%d" % (digest, ENGINE_VERSION)
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir or "",
+                            "%s.pybackend.pickle" % key)
+
+    # -- the on-disk layer ---------------------------------------------
+
+    def _load_disk(self, key: str):
+        if not self.disk_dir:
+            return None
+        from ..backend.pybackend import CompiledPythonModule
+
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                payload = pickle.load(handle)
+            module, source = payload
+            if not isinstance(module, Module) or not isinstance(source, str):
+                return None
+            compiled = CompiledPythonModule(module, source=source)
+        except _DISK_READ_ERRORS + (SyntaxError, TypeError):
+            return None  # corrupt/truncated/incompatible entry == miss
+        self.disk_hits += 1
+        return compiled
+
+    def _store_disk(self, key: str, compiled) -> None:
+        if not self.disk_dir:
+            return
+        try:
+            blob = pickle.dumps((compiled.module, compiled.source),
+                                _PICKLE_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError,
+                RecursionError):
+            return
+        path = self._disk_path(key)
+        tmp = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- the public API ------------------------------------------------
+
+    def compiled(self, module: Module,
+                 trace: Optional[PipelineTrace] = None):
+        """The translated back-end module for ``module``.
+
+        The input module is never mutated: destruction runs on a
+        private clone.  Records one ``backend`` trace event per call —
+        ``cached=True`` on a hit, wall time of the
+        clone+destruct+translate pipeline on a miss.
+        """
+        key = self.key(module)
+        with self._lock:
+            compiled = self._memory.get(key)
+            if compiled is not None:
+                self._memory.move_to_end(key)
+        if compiled is not None:
+            self.hits += 1
+            if trace is not None:
+                trace.record("backend", 0.0, cached=True)
+            return compiled
+        compiled = self._load_disk(key)
+        if compiled is not None:
+            self._memory_put(key, compiled)
+            self.hits += 1
+            if trace is not None:
+                trace.record("backend", 0.0, cached=True)
+            return compiled
+        self.misses += 1
+        start = time.perf_counter()
+        compiled = self._translate(module)
+        self.translations += 1
+        if trace is not None:
+            trace.record("backend", time.perf_counter() - start,
+                         size_after=module_size(compiled.module),
+                         counters={"key": key})
+        self._memory_put(key, compiled)
+        self._store_disk(key, compiled)
+        return compiled
+
+    @staticmethod
+    def _translate(module: Module):
+        from ..backend.pybackend import compile_to_python
+        from ..ssa.destruct import destruct_ssa
+
+        try:  # pickle round-trip clones this IR ~5x faster than deepcopy
+            clone = pickle.loads(pickle.dumps(module, _PICKLE_PROTOCOL))
+        except (pickle.PickleError, TypeError, AttributeError,
+                RecursionError):
+            clone = copy.deepcopy(module)
+        for function in clone:
+            if any(block.phis() for block in function.blocks):
+                destruct_ssa(function)
+        return compile_to_python(clone)
+
+    def _memory_put(self, key: str, compiled) -> None:
+        with self._lock:
+            self._memory[key] = compiled
+            self._memory.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._memory) > self.max_entries:
+                    self._memory.popitem(last=False)
+                    self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer is left alone)."""
+        with self._lock:
+            self._memory.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            entries = len(self._memory)
+        return {
+            "translations": self.translations,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "entries": entries,
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            entries = len(self._memory)
+        return "BackendCache(%d entries, %d hits, %d translations)" % (
+            entries, self.hits, self.translations)
+
+
 _shared: Optional[FrontendCache] = None
 _shared_lock = threading.Lock()
 
@@ -333,3 +553,38 @@ def reset_shared_cache() -> None:
     global _shared
     with _shared_lock:
         _shared = None
+
+
+_shared_backend: Optional[BackendCache] = None
+
+
+def shared_backend_cache() -> BackendCache:
+    """The process-wide backend cache ``run_compiled`` defaults to.
+
+    Honors ``REPRO_CACHE_DIR`` for the on-disk layer (shared with the
+    frontend cache directory; file names cannot collide) and
+    ``REPRO_BACKEND_CACHE_MAX_ENTRIES`` for the LRU bound (default
+    :data:`BACKEND_CACHE_DEFAULT_MAX_ENTRIES`; non-positive =
+    unbounded is not offered — compiled modules pin exec'd code
+    objects, so long-lived fuzz campaigns need the bound).
+    """
+    global _shared_backend
+    with _shared_lock:
+        if _shared_backend is None:
+            try:
+                max_entries = int(os.environ.get(
+                    BACKEND_CACHE_MAX_ENTRIES_ENV,
+                    str(BACKEND_CACHE_DEFAULT_MAX_ENTRIES)))
+            except ValueError:
+                max_entries = BACKEND_CACHE_DEFAULT_MAX_ENTRIES
+            _shared_backend = BackendCache(
+                os.environ.get(CACHE_DIR_ENV) or None,
+                max_entries=max_entries)
+        return _shared_backend
+
+
+def reset_shared_backend_cache() -> None:
+    """Forget the process-wide backend cache (tests, servers)."""
+    global _shared_backend
+    with _shared_lock:
+        _shared_backend = None

@@ -18,7 +18,6 @@ configurations of one benchmark via
 
 from __future__ import annotations
 
-import copy
 import time
 from typing import Dict, Mapping, Optional, Union
 
@@ -147,27 +146,35 @@ class CompiledProgram:
         machine.run()
         return machine
 
-    def run_compiled(self, inputs: Optional[Mapping[str, Number]] = None):
+    def run_compiled(self, inputs: Optional[Mapping[str, Number]] = None,
+                     max_steps: int = 50_000_000,
+                     backend_cache: Optional["BackendCache"] = None):
         """Execute via the Python back-end (the paper's instrumented-C
         methodology; ~10x faster than interpretation).
 
-        SSA is destructed on a private deep copy of the module, so
-        dynamic *instruction* counts include the parallel-copy moves
-        phis lower to; check counts and outputs are identical to
-        :meth:`run`, and calling the two in either order gives the
-        same numbers.  Returns the back-end runtime (``.counters``,
-        ``.output``).
+        SSA is destructed on a private copy of the module, so
+        ``self.module`` is never mutated; phi copies are charged to the
+        ``phis`` counter, so check counts, instruction counts, and
+        outputs are identical to :meth:`run`, and calling the two in
+        either order gives the same numbers.  The back-end enforces the
+        same ``max_steps`` fuel and call-depth limits as the
+        interpreter, raising the same typed errors.
+
+        Translation goes through a
+        :class:`~repro.pipeline.cache.BackendCache` (the process-wide
+        shared one unless ``backend_cache`` is given), recording a
+        ``backend`` trace event; repeated executions reuse the
+        memoized translated module.  Returns the back-end runtime
+        (``.counters``, ``.output``).
         """
         if self._python_module is None:
-            from ..backend.pybackend import compile_to_python
-            from ..ssa.destruct import destruct_ssa
+            if backend_cache is None:
+                from ..pipeline.cache import shared_backend_cache
 
-            module = copy.deepcopy(self.module)
-            for function in module:
-                if any(block.phis() for block in function.blocks):
-                    destruct_ssa(function)
-            self._python_module = compile_to_python(module)
-        return self._python_module.run(inputs)
+                backend_cache = shared_backend_cache()
+            self._python_module = backend_cache.compiled(
+                self.module, trace=self.trace)
+        return self._python_module.run(inputs, max_steps=max_steps)
 
     def total_stats(self) -> OptimizeStats:
         """Module-wide optimizer stats."""

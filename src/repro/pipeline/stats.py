@@ -143,7 +143,8 @@ def _execute(module: Module, inputs: Optional[Mapping[str, Number]],
         for function in module:
             if any(block.phis() for block in function.blocks):
                 destruct_ssa(function)
-        runtime = compile_to_python(module).run(inputs)
+        runtime = compile_to_python(module).run(inputs,
+                                                max_steps=max_steps)
         return runtime.counters, runtime.output
     raise ValueError("unknown engine %r" % engine)
 

@@ -212,7 +212,11 @@ def _execute_program(request: CompileRequest) -> Envelope:
     with trace.timed("execute") as event:
         try:
             if request.engine == "compiled":
-                result = program.run_compiled(request.inputs)
+                # same fuel budget as the interpreter path: a runaway
+                # program must fail fast with StepLimitError, not hold a
+                # worker until the request deadline 504s
+                result = program.run_compiled(request.inputs,
+                                              max_steps=MAX_STEPS)
             else:
                 result = program.run(request.inputs,
                                      max_steps=MAX_STEPS)

@@ -93,6 +93,9 @@ class CompileService:
         self._phase_seconds = m.histogram(
             "repro_phase_seconds",
             "Pipeline phase latency reported by workers", ("phase",))
+        self._execute_seconds = m.histogram(
+            "repro_execute_seconds",
+            "Execution-phase latency by engine", ("engine",))
         self._cache_requests = m.counter(
             "repro_cache_requests_total",
             "Worker frontend-cache outcomes per compile request",
@@ -238,6 +241,10 @@ class CompileService:
                 seconds = phases.get(phase)
                 if isinstance(seconds, (int, float)):
                     self._phase_seconds.labels(phase).observe(seconds)
+            engine = body.get("engine")
+            execute = phases.get("execute")
+            if isinstance(engine, str) and isinstance(execute, (int, float)):
+                self._execute_seconds.labels(engine).observe(execute)
         if body.get("trap"):
             self._traps.inc()
 

@@ -1,0 +1,184 @@
+"""Back-end/interpreter parity for limits, mangling, and odd names.
+
+Regression tests for two parity bugs: the old ``_mangle`` collapsed
+every non-alphanumeric character to ``_`` (so the SSA temp ``i.1``
+collided with a user scalar named ``i_1``), and the old back-end
+enforced neither the call-depth limit nor the ``max_steps`` fuel the
+interpreter enforces.
+"""
+
+import pytest
+
+from repro.backend import compile_to_python
+from repro.backend.pybackend import _escape, _fn_ref, _mangle
+from repro.errors import CallDepthError, StepLimitError
+from repro.interp import Machine
+from repro.ssa import destruct_ssa
+
+from ..conftest import lower_ssa
+
+
+def destructed(source):
+    module = lower_ssa(source)
+    for function in module:
+        destruct_ssa(function)
+    return module
+
+
+def run_both(source, inputs=None, max_steps=50_000_000):
+    """(interpreter machine, back-end runtime) for one program."""
+    module = destructed(source)
+    machine = Machine(module, inputs, max_steps)
+    machine.run()
+    runtime = compile_to_python(module).run(inputs, max_steps=max_steps)
+    return machine, runtime
+
+
+RECURSION = """
+program p
+  input integer :: n = 500
+  call down(n)
+end program
+subroutine down(k)
+  integer :: k
+  if (k > 0) then
+    call down(k - 1)
+  end if
+end subroutine
+"""
+
+
+class TestMangling:
+    def test_dot_and_underscore_do_not_collide(self):
+        # the historical bug: both mangled to v_i_1
+        assert _mangle("i.1") != _mangle("i_1")
+
+    def test_escape_is_injective_on_adversarial_pairs(self):
+        names = ["i", "i_", "i.", "i_1", "i.1", "i__1", "i._1", "i_.1",
+                 "a%b", "a_b", "a.b", "x", "x.10", "x.1.0", "π",
+                 "π.1", "1up", "_"]
+        escaped = [_escape(name) for name in names]
+        assert len(set(escaped)) == len(names)
+
+    def test_escape_yields_identifiers(self):
+        for name in ["i.1", "a%b", "π", "1up", "_", "loop-var"]:
+            assert ("v_" + _escape(name)).isidentifier()
+            assert ("fn_" + _escape(name)).isidentifier()
+
+    def test_function_refs_share_the_escape(self):
+        assert _fn_ref("do.it") != _fn_ref("do_it")
+
+    def test_ssa_temp_vs_user_scalar_regression(self):
+        # ``i`` is reassigned, so SSA versions it (i.1, i.2, ...);
+        # ``i_1`` is a distinct live scalar.  Under the collapsing
+        # mangle the generated code silently merged them.
+        machine, runtime = run_both("""
+program p
+  integer :: i, i_1
+  i = 1
+  i_1 = 100
+  i = i + 1
+  print i
+  print i_1
+end program
+""")
+        assert machine.output == [2, 100]
+        assert runtime.output == [2, 100]
+        assert runtime.counters.instructions == \
+            machine.counters.instructions
+
+
+class TestCallDepthParity:
+    def test_both_engines_trap_runaway_recursion(self):
+        module = destructed(RECURSION)
+        machine = Machine(module, None)
+        with pytest.raises(CallDepthError) as interp_error:
+            machine.run()
+        with pytest.raises(CallDepthError) as backend_error:
+            compile_to_python(module).run()
+        assert str(interp_error.value) == str(backend_error.value)
+        assert "call depth exceeded %d" % Machine.MAX_CALL_DEPTH \
+            in str(interp_error.value)
+
+    def test_recursion_below_the_limit_succeeds_on_both(self):
+        machine, runtime = run_both("""
+program p
+  input integer :: n = 150
+  call count(n)
+end program
+subroutine count(k)
+  integer :: k
+  if (k > 0) then
+    call count(k - 1)
+  end if
+  if (k < 1) then
+    print k
+  end if
+end subroutine
+""")
+        assert machine.output == [0]
+        assert runtime.output == [0]
+
+    def test_depth_error_is_typed(self):
+        # services and the oracle key on the subclass, not the message
+        from repro.errors import InterpError
+
+        assert issubclass(CallDepthError, InterpError)
+        assert issubclass(StepLimitError, InterpError)
+
+
+class TestStepLimitParity:
+    LOOP = """
+program p
+  input integer :: n = 100000
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + i
+  end do
+  print s
+end program
+"""
+
+    def test_both_engines_exhaust_small_fuel(self):
+        module = destructed(self.LOOP)
+        machine = Machine(module, None, 1000)
+        with pytest.raises(StepLimitError) as interp_error:
+            machine.run()
+        with pytest.raises(StepLimitError) as backend_error:
+            compile_to_python(module).run(max_steps=1000)
+        assert str(interp_error.value) == str(backend_error.value)
+        assert "1000 steps" in str(interp_error.value)
+
+    def test_default_budget_matches_interpreter(self):
+        import inspect
+
+        from repro.backend.pybackend import CompiledPythonModule
+
+        interp_default = inspect.signature(
+            Machine.__init__).parameters["max_steps"].default
+        backend_default = inspect.signature(
+            CompiledPythonModule.run).parameters["max_steps"].default
+        assert interp_default == backend_default == 50_000_000
+
+    def test_zero_trip_loop_runs_clean_on_both(self):
+        machine, runtime = run_both("""
+program p
+  input integer :: n = 0
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + i
+  end do
+  print s
+end program
+""")
+        assert machine.output == [0]
+        assert runtime.output == [0]
+        assert runtime.counters.instructions == \
+            machine.counters.instructions
+
+    def test_ample_fuel_runs_clean_on_both(self):
+        machine, runtime = run_both(self.LOOP, {"n": 200},
+                                    max_steps=50_000)
+        assert machine.output == runtime.output == [20100]

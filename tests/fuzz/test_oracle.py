@@ -75,3 +75,49 @@ class TestOracleVerdicts:
                                              seed=42)
         text = failure.describe()
         assert "frontend-error" in text and "42" in text
+
+
+class TestLimitParity:
+    """Both engines run under the same fuel and depth budgets."""
+
+    def _compare(self, compiled_error):
+        from repro.fuzz.oracle import _RunResult
+
+        interp = _RunResult([1.0], False, None)
+        compiled = _RunResult(None, False, None, error=compiled_error)
+        return Oracle(configs=FAST)._compare_engines(
+            interp, compiled, 0, "<source>", "PRX-LLS")
+
+    def test_compiled_only_step_limit_is_tolerated(self):
+        # destructed SSA burns extra fuel on phi copies, so the
+        # back-end may exhaust max_steps where the interpreter finished
+        from repro.errors import StepLimitError
+
+        assert self._compare(
+            StepLimitError("execution exceeded 100 steps")) is None
+
+    def test_compiled_only_call_depth_is_a_failure(self):
+        # call depth is 1:1 between engines; divergence is a real bug
+        from repro.errors import CallDepthError
+
+        failure = self._compare(
+            CallDepthError("call depth exceeded 200 (runaway recursion?)"))
+        assert failure is not None
+        assert failure.kind == "limit-parity"
+
+    def test_other_backend_errors_still_report(self):
+        from repro.errors import InterpError
+
+        failure = self._compare(InterpError("boom"))
+        assert failure is not None
+        assert failure.kind == "engine-mismatch"
+
+    def test_oracle_runs_compiled_with_its_own_fuel(self):
+        # a loop that finishes for the interpreter inside max_steps but
+        # whose destructed form needs more: the oracle must not report
+        import inspect
+
+        from repro.fuzz.oracle import _run_compiled
+
+        signature = inspect.signature(_run_compiled)
+        assert "max_steps" in signature.parameters

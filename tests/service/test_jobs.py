@@ -165,3 +165,32 @@ class TestExecuteRequest:
         assert cli_doc["counters"] == body["counters"]
         assert cli_doc["optimizer"] == body["optimizer"]
         assert set(cli_doc) == set(body)
+
+
+class TestStepLimitParity:
+    """Both engines respect the service fuel budget (the compiled path
+    used to run unbounded and hold a worker until the 504 deadline)."""
+
+    RUNAWAY = """
+program demo
+  input integer :: n = 100000
+  integer :: i, s
+  s = 0
+  do i = 1, n
+    s = s + i
+  end do
+  print s
+end program
+"""
+
+    @pytest.mark.parametrize("engine", ["interp", "compiled"])
+    def test_runaway_program_is_a_422_on_both_engines(self, engine,
+                                                      monkeypatch):
+        import repro.service.jobs as jobs
+
+        monkeypatch.setattr(jobs, "MAX_STEPS", 1000)
+        status, body = execute_request(
+            {"action": "run", "source": self.RUNAWAY, "engine": engine})
+        assert status == 422
+        assert body["error_type"] == "StepLimitError"
+        assert "1000 steps" in body["error"]

@@ -107,6 +107,17 @@ class TestEndpoints:
         misses = values.get('repro_cache_requests_total{result="miss"}', 0)
         assert hits + misses >= 1
 
+    def test_execute_histogram_labeled_by_engine(self, client):
+        client.post_json("/compile", {
+            "action": "run", "source": GOOD, "inputs": {"n": 5}})
+        client.post_json("/compile", {
+            "action": "run", "source": GOOD, "inputs": {"n": 5},
+            "engine": "compiled"})
+        values = client.metrics_values()
+        for engine in ("interp", "compiled"):
+            key = 'repro_execute_seconds_count{engine="%s"}' % engine
+            assert values.get(key, 0) >= 1, key
+
     def test_cache_hit_on_repeat(self, client):
         payload = {"action": "run", "source": GOOD, "inputs": {"n": 7}}
         client.post_json("/compile", payload)
@@ -135,8 +146,9 @@ class TestTablesEndpoint:
             client = ServiceClient(service.url, timeout=120.0)
             original = parallel.run_suite
 
-            def small_suite(programs=None, small=False, jobs=1):
-                return original(subset, small=small, jobs=1)
+            def small_suite(programs=None, small=False, jobs=1,
+                            engine="interp"):
+                return original(subset, small=small, jobs=1, engine=engine)
 
             import unittest.mock as mock
 
