@@ -51,6 +51,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
+from .. import faults
 from ..errors import CallDepthError, InterpError, IRError, StepLimitError
 from ..interp.counters import ExecutionCounters
 from ..interp.machine import Machine
@@ -601,4 +602,5 @@ class CompiledPythonModule:
 
 def compile_to_python(module: Module) -> CompiledPythonModule:
     """Translate a (phi-free) module to executable Python."""
+    faults.fire("backend.compile")
     return CompiledPythonModule(module)

@@ -275,12 +275,21 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         config_labels = [label.strip()
                          for chunk in args.configs
                          for label in chunk.split(",") if label.strip()]
+    if args.faults:
+        from . import faults
+
+        try:
+            faults.parse_spec(args.faults)  # reject bad specs up front
+        except faults.FaultSpecError as error:
+            raise _usage_exit("fuzz: %s" % error)
     try:
         result = run_campaign(
             count=args.count, seed=args.seed, jobs=args.jobs,
             config_labels=config_labels, engines=not args.no_engines,
             corpus_dir=args.corpus, shrink_failures=not args.no_shrink,
             max_failures=args.max_failures,
+            faults_spec=args.faults or None,
+            cache_dir=args.cache_dir or None,
             log=lambda message: print(message, file=sys.stderr))
     except ValueError as error:
         raise _usage_exit("fuzz: %s" % error)
@@ -305,9 +314,22 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
     import signal
 
     from .service import CompileService
+
+    if args.faults:
+        from . import faults
+
+        try:
+            faults.parse_spec(args.faults)
+        except faults.FaultSpecError as error:
+            raise _usage_exit("serve: %s" % error)
+        # the env var is the transport: process-pool workers re-arm
+        # from it in their initializer
+        os.environ[faults.ENV_VAR] = args.faults
+        faults.arm_from_env()
 
     service = CompileService(host=args.host, port=args.port,
                              workers=args.workers,
@@ -470,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="keep at most N failures (default 10)")
     fuzz_parser.add_argument("--no-shrink", action="store_true",
                              help="keep failing programs unminimized")
+    fuzz_parser.add_argument("--faults", metavar="SPEC",
+                             help="arm fault injection inside each oracle "
+                                  "check (see docs/RESILIENCE.md; e.g. "
+                                  "'diskcache.write:corrupt:p=0.5')")
+    fuzz_parser.add_argument("--cache-dir", metavar="DIR",
+                             help="on-disk frontend-cache directory for "
+                                  "oracle compiles (required for the "
+                                  "diskcache.* fault points to matter)")
     fuzz_parser.add_argument("--no-engines", action="store_true",
                              help="skip the Python back-end comparison "
                                   "(interpreter-only oracle)")
@@ -498,6 +528,10 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="SECONDS",
                               help="per-request deadline before 504 "
                                    "(default 60)")
+    serve_parser.add_argument("--faults", metavar="SPEC",
+                              help="arm deterministic fault injection "
+                                   "(also honors the REPRO_FAULTS env "
+                                   "var; see docs/RESILIENCE.md)")
     serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
                               metavar="SECONDS",
                               help="max wait for in-flight work on "

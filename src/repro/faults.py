@@ -1,0 +1,368 @@
+"""Deterministic, seeded fault injection for the service and caches.
+
+The resilience suite needs to drive every failure path the service
+claims to survive — worker crashes, disk-cache corruption, admission
+rejections, compile/parse failures — *on demand* and *reproducibly*.
+This module is the single switchboard for that: a process-wide
+registry of named **fault points** that production code consults at
+the exact places where the real world can fail.
+
+Fault points (the complete, closed set):
+
+========================  ====================================================
+``workerpool.spawn``      creating a process-pool executor (initial build
+                          and every rebuild)
+``diskcache.write``       publishing a frontend/backend disk-cache entry
+``diskcache.read``        loading a frontend/backend disk-cache entry
+``service.accept``        admission of a ``/compile`` / ``/tables`` request
+``backend.compile``       translating a module to Python
+                          (:func:`~repro.backend.pybackend.compile_to_python`)
+``frontend.parse``        parsing source text
+                          (:func:`~repro.frontend.parser.parse_source`)
+========================  ====================================================
+
+Arming is driven by a spec string — the ``REPRO_FAULTS`` environment
+variable, the ``--faults`` CLI flags, or :func:`arm` — with the
+grammar::
+
+    spec    = point ":" action *( ":" key "=" value )
+    specs   = spec *( "," spec )
+    action  = "raise" | "corrupt" | "delay" | "kill"
+    key     = "p"         probability per trial, float in [0, 1] (default 1)
+            | "seed"      RNG seed for this point            (default 0)
+            | "times"     stop after N firings               (default: ∞)
+            | "delay_ms"  sleep duration for "delay"         (default 50)
+            | "exc"       "fault" (RuntimeError) or "io" (ENOSPC OSError);
+                          default "io" for diskcache.* points, else "fault"
+
+e.g. ``REPRO_FAULTS="diskcache.write:corrupt:p=0.5:seed=7,
+service.accept:raise:times=3"``.
+
+Actions:
+
+* ``raise``   — :func:`fire` raises :class:`FaultError` or
+  :class:`FaultIOError`;
+* ``delay``   — :func:`fire` sleeps ``delay_ms`` milliseconds;
+* ``kill``    — :func:`fire` calls ``os._exit(KILL_EXIT_CODE)``,
+  simulating a worker dying mid-request;
+* ``corrupt`` — :func:`corrupt_bytes` deterministically mangles the
+  payload (truncation, byte flips, or garbage framing, chosen by the
+  point's RNG).
+
+Determinism: each point owns a private ``random.Random(seed)``; firing
+decisions and corruption shapes depend only on (seed, trial index), so
+a failing resilience test replays exactly.
+
+Zero overhead disarmed: with no plane armed, :func:`fire` is one
+module-global load and a ``None`` test; :func:`corrupt_bytes` returns
+its input unchanged.  No fault point allocates, locks, or reads the
+environment on the hot path.
+
+Process workers: ``ProcessPoolExecutor`` children re-arm from
+``REPRO_FAULTS`` via an executor initializer (see
+:class:`~repro.service.workers.WorkerPool`) — required because under
+the ``fork`` start method a child inherits the parent's already-built
+module state rather than re-importing it.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import re
+import threading
+import time
+from contextlib import contextmanager
+from random import Random
+from typing import Dict, Iterator, List, Optional
+
+#: Environment variable holding the fault spec; read at import time and
+#: by every process-pool worker initializer.
+ENV_VAR = "REPRO_FAULTS"
+
+#: The closed set of fault-point names production code may consult.
+FAULT_POINTS = (
+    "workerpool.spawn",
+    "diskcache.write",
+    "diskcache.read",
+    "service.accept",
+    "backend.compile",
+    "frontend.parse",
+)
+
+ACTIONS = ("raise", "corrupt", "delay", "kill")
+
+#: Exit status of a ``kill`` firing — distinctive in post-mortems, and
+#: asserted by the resilience suite's crash tests.
+KILL_EXIT_CODE = 86
+
+
+class FaultError(RuntimeError):
+    """The canonical injected failure (``exc=fault``)."""
+
+
+class FaultIOError(OSError):
+    """An injected I/O failure (``exc=io``): ENOSPC, the nastiest of
+    the disk-cache failure modes (partial writes, full volumes)."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(errno.ENOSPC, "injected I/O fault at %s" % point)
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``REPRO_FAULTS`` / ``--faults`` spec."""
+
+
+class FaultPoint:
+    """One armed fault point: action, probability, seed, firing cap."""
+
+    __slots__ = ("name", "action", "probability", "seed", "times",
+                 "delay_ms", "exc", "trials", "fires", "_rng", "_lock")
+
+    def __init__(self, name: str, action: str, probability: float = 1.0,
+                 seed: int = 0, times: Optional[int] = None,
+                 delay_ms: float = 50.0, exc: Optional[str] = None) -> None:
+        if name not in FAULT_POINTS:
+            raise FaultSpecError(
+                "unknown fault point %r (expected one of: %s)"
+                % (name, ", ".join(FAULT_POINTS)))
+        if action not in ACTIONS:
+            raise FaultSpecError(
+                "unknown fault action %r (expected one of: %s)"
+                % (action, ", ".join(ACTIONS)))
+        if not 0.0 <= probability <= 1.0:
+            raise FaultSpecError("fault probability must be in [0, 1], "
+                                 "got %r" % probability)
+        if exc is None:
+            exc = "io" if name.startswith("diskcache.") else "fault"
+        if exc not in ("fault", "io"):
+            raise FaultSpecError("exc must be 'fault' or 'io', got %r"
+                                 % exc)
+        if times is not None and times < 0:
+            raise FaultSpecError("times must be >= 0, got %r" % times)
+        if delay_ms < 0:
+            raise FaultSpecError("delay_ms must be >= 0, got %r" % delay_ms)
+        self.name = name
+        self.action = action
+        self.probability = probability
+        self.seed = seed
+        self.times = times
+        self.delay_ms = delay_ms
+        self.exc = exc
+        self.trials = 0
+        self.fires = 0
+        self._rng = Random(seed)
+        self._lock = threading.Lock()
+
+    def trial(self) -> bool:
+        """One firing decision; deterministic in (seed, trial index)."""
+        with self._lock:
+            if self.times is not None and self.fires >= self.times:
+                return False
+            self.trials += 1
+            if self._rng.random() < self.probability:
+                self.fires += 1
+                return True
+            return False
+
+    def exception(self) -> Exception:
+        if self.exc == "io":
+            return FaultIOError(self.name)
+        return FaultError("injected fault at %s" % self.name)
+
+    def mangle(self, data: bytes) -> bytes:
+        """Deterministically corrupt ``data`` (never returns it intact)."""
+        with self._lock:
+            mode = self._rng.randrange(3)
+            if not data:
+                return b"\x00"
+            if mode == 0:  # truncation (torn write / partial read)
+                return data[:max(0, len(data) // 2)]
+            if mode == 1:  # scattered byte flips (media corruption)
+                buffer = bytearray(data)
+                for _ in range(max(1, len(buffer) // 64)):
+                    buffer[self._rng.randrange(len(buffer))] ^= 0xFF
+                return bytes(buffer)
+            # garbage framing (a foreign file at the cache path)
+            return b"\x00injected-garbage\x00" + data[:16]
+
+    def describe(self) -> str:
+        extras = ["p=%g" % self.probability]
+        if self.times is not None:
+            extras.append("times=%d" % self.times)
+        extras.append("fires=%d/%d" % (self.fires, self.trials))
+        return "%s:%s(%s)" % (self.name, self.action, ", ".join(extras))
+
+
+_FLOAT_KEYS = {"p": "probability", "delay_ms": "delay_ms"}
+_INT_KEYS = {"seed": "seed", "times": "times"}
+
+
+def parse_spec(text: str) -> Dict[str, FaultPoint]:
+    """Parse a spec string into ``{point name: FaultPoint}``.
+
+    Raises :class:`FaultSpecError` on any malformed input; a point
+    named twice keeps the last spec (explicit override semantics).
+    """
+    points: Dict[str, FaultPoint] = {}
+    for chunk in re.split(r"[,;]", text):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2:
+            raise FaultSpecError(
+                "fault spec %r needs at least point:action" % chunk)
+        name, action = parts[0].strip(), parts[1].strip()
+        kwargs: Dict[str, object] = {}
+        for item in parts[2:]:
+            key, sep, value = item.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep:
+                raise FaultSpecError("fault option %r is not key=value"
+                                     % item)
+            try:
+                if key in _FLOAT_KEYS:
+                    kwargs[_FLOAT_KEYS[key]] = float(value)
+                elif key in _INT_KEYS:
+                    kwargs[_INT_KEYS[key]] = int(value)
+                elif key == "exc":
+                    kwargs["exc"] = value
+                else:
+                    raise FaultSpecError(
+                        "unknown fault option %r (expected p, seed, "
+                        "times, delay_ms, or exc)" % key)
+            except ValueError as error:
+                if isinstance(error, FaultSpecError):
+                    raise
+                raise FaultSpecError("bad value for %s in %r: %s"
+                                     % (key, chunk, error))
+        points[name] = FaultPoint(name, action, **kwargs)
+    if not points:
+        raise FaultSpecError("empty fault spec %r" % text)
+    return points
+
+
+class FaultPlane:
+    """The armed registry; absent entirely (module global ``None``)
+    when injection is disarmed."""
+
+    def __init__(self, points: Dict[str, FaultPoint]) -> None:
+        self._points = points
+
+    def fire(self, name: str) -> None:
+        point = self._points.get(name)
+        if point is None or point.action == "corrupt":
+            return
+        if not point.trial():
+            return
+        if point.action == "delay":
+            time.sleep(point.delay_ms / 1000.0)
+            return
+        if point.action == "kill":
+            os._exit(KILL_EXIT_CODE)
+        raise point.exception()
+
+    def corrupt_bytes(self, name: str, data: bytes) -> bytes:
+        point = self._points.get(name)
+        if point is None or point.action != "corrupt":
+            return data
+        if not point.trial():
+            return data
+        return point.mangle(data)
+
+    def describe(self) -> List[str]:
+        return [self._points[name].describe()
+                for name in sorted(self._points)]
+
+
+_plane: Optional[FaultPlane] = None
+_plane_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether any fault point is armed in this process."""
+    return _plane is not None
+
+
+def fire(name: str) -> None:
+    """Consult fault point ``name``; no-op unless armed and firing.
+
+    May raise :class:`FaultError` / :class:`FaultIOError` (``raise``),
+    sleep (``delay``), or exit the process (``kill``).
+    """
+    plane = _plane
+    if plane is None:
+        return
+    plane.fire(name)
+
+
+def corrupt_bytes(name: str, data: bytes) -> bytes:
+    """Pass ``data`` through fault point ``name``; identity unless an
+    armed ``corrupt`` action fires."""
+    plane = _plane
+    if plane is None:
+        return data
+    return plane.corrupt_bytes(name, data)
+
+
+def arm(spec: str) -> None:
+    """Arm the points in ``spec``, merging over any already armed."""
+    points = parse_spec(spec)
+    global _plane
+    with _plane_lock:
+        if _plane is not None:
+            merged = dict(_plane._points)
+            merged.update(points)
+            points = merged
+        _plane = FaultPlane(points)
+
+
+def disarm(name: Optional[str] = None) -> None:
+    """Disarm one point, or everything (``name=None``)."""
+    global _plane
+    with _plane_lock:
+        if _plane is None:
+            return
+        if name is None:
+            _plane = None
+            return
+        points = dict(_plane._points)
+        points.pop(name, None)
+        _plane = FaultPlane(points) if points else None
+
+
+def arm_from_env() -> None:
+    """Set the plane to exactly what ``REPRO_FAULTS`` says (or disarm
+    when unset/empty).  Runs at import and in every process-pool
+    worker initializer."""
+    spec = os.environ.get(ENV_VAR, "").strip()
+    global _plane
+    with _plane_lock:
+        _plane = FaultPlane(parse_spec(spec)) if spec else None
+
+
+@contextmanager
+def armed(spec: str) -> Iterator[None]:
+    """Scoped arming for tests: arm exactly ``spec``, restore the
+    previous plane (armed or not) on exit."""
+    points = parse_spec(spec)
+    global _plane
+    with _plane_lock:
+        previous = _plane
+        _plane = FaultPlane(points)
+    try:
+        yield
+    finally:
+        with _plane_lock:
+            _plane = previous
+
+
+def describe() -> List[str]:
+    """Human-readable state of every armed point (health endpoint)."""
+    plane = _plane
+    return plane.describe() if plane is not None else []
+
+
+if os.environ.get(ENV_VAR, "").strip():
+    arm_from_env()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from .. import faults
 from ..errors import ParseError
 from . import ast
 from .lexer import tokenize
@@ -484,4 +485,5 @@ class Parser:
 
 def parse_source(source: str) -> ast.SourceFile:
     """Parse mini-Fortran source text into an AST."""
+    faults.fire("frontend.parse")
     return Parser(tokenize(source)).parse_file()

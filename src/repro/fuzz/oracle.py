@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional
 
+from .. import faults
 from ..checks.config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
 from ..errors import (BoundsAuditError, CallDepthError, InterpError,
                       RangeTrap, ReproError, StepLimitError)
@@ -139,19 +140,34 @@ class Oracle:
 
     def __init__(self, configs: Optional[List[OptimizerOptions]] = None,
                  max_steps: int = DEFAULT_MAX_STEPS,
-                 engines: bool = True) -> None:
+                 engines: bool = True, cache_dir: Optional[str] = None,
+                 faults_spec: Optional[str] = None) -> None:
         self.configs = configs if configs is not None \
             else all_configurations()
         self.max_steps = max_steps
         #: also run the Python back-end and require engine agreement
         self.engines = engines
+        #: optional on-disk layer for the per-check frontend cache —
+        #: gives the ``diskcache.*`` fault points something to hit
+        self.cache_dir = cache_dir
+        #: fault spec armed around each check (cache faults must be
+        #: invisible to program semantics; the oracle proves it)
+        self.faults_spec = faults_spec
 
     def check(self, source: str, seed: Optional[int] = None,
               inputs: Optional[Dict[str, float]] = None
               ) -> Optional[FuzzFailure]:
         """First oracle violation for ``source``, or ``None``."""
+        if self.faults_spec:
+            with faults.armed(self.faults_spec):
+                return self._check(source, seed, inputs)
+        return self._check(source, seed, inputs)
+
+    def _check(self, source: str, seed: Optional[int] = None,
+               inputs: Optional[Dict[str, float]] = None
+               ) -> Optional[FuzzFailure]:
         inputs = inputs or {}
-        cache = FrontendCache()
+        cache = FrontendCache(disk_dir=self.cache_dir)
 
         # -- baseline: naive checking, audit armed ---------------------
         try:

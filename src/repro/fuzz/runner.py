@@ -64,7 +64,9 @@ def _resolve_configs(config_labels: Optional[List[str]]):
 
 
 def fuzz_one(seed: int, config_labels: Optional[List[str]] = None,
-             engines: bool = True) -> Optional[Dict[str, object]]:
+             engines: bool = True, faults_spec: Optional[str] = None,
+             cache_dir: Optional[str] = None
+             ) -> Optional[Dict[str, object]]:
     """Process-pool task: one seed through the oracle.
 
     Returns ``None`` on success or the failure as a plain dict (plain
@@ -72,7 +74,8 @@ def fuzz_one(seed: int, config_labels: Optional[List[str]] = None,
     """
     source = generate_program(seed)
     oracle = Oracle(configs=_resolve_configs(config_labels),
-                    engines=engines)
+                    engines=engines, cache_dir=cache_dir,
+                    faults_spec=faults_spec)
     failure = oracle.check(source, seed=seed)
     if failure is None:
         return None
@@ -88,13 +91,16 @@ def _revive(payload: Dict[str, object]) -> FuzzFailure:
 
 
 def _run_pool(seeds: List[int], config_labels: Optional[List[str]],
-              engines: bool, jobs: int
+              engines: bool, jobs: int,
+              faults_spec: Optional[str] = None,
+              cache_dir: Optional[str] = None
               ) -> List[Optional[Dict[str, object]]]:
     from concurrent.futures import ProcessPoolExecutor
 
     results: List[Optional[Dict[str, object]]] = [None] * len(seeds)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(fuzz_one, s, config_labels, engines)
+        futures = [pool.submit(fuzz_one, s, config_labels, engines,
+                               faults_spec, cache_dir)
                    for s in seeds]
         for index, future in enumerate(futures):
             results[index] = future.result()
@@ -171,6 +177,8 @@ def run_campaign(count: int, seed: int = 0, jobs: int = 1,
                  corpus_dir: Optional[str] = None,
                  shrink_failures: bool = True,
                  max_failures: int = 10,
+                 faults_spec: Optional[str] = None,
+                 cache_dir: Optional[str] = None,
                  log: Optional[Callable[[str], None]] = None
                  ) -> CampaignResult:
     """Fuzz ``count`` seeds starting at ``seed``.
@@ -179,6 +187,12 @@ def run_campaign(count: int, seed: int = 0, jobs: int = 1,
     pool failure, identical results either way).  The first
     ``max_failures`` distinct failures are kept; with ``corpus_dir``
     each is shrunk (when ``shrink_failures``) and persisted.
+
+    ``faults_spec`` arms deterministic fault injection inside every
+    oracle check (``repro fuzz --faults``); with ``cache_dir`` the
+    oracle's frontend cache gains an on-disk layer so the
+    ``diskcache.*`` points have a real surface.  Cache faults must be
+    semantically invisible — a failure under them is a real bug.
     """
     _resolve_configs(config_labels)  # validate labels before working
     result = CampaignResult()
@@ -187,7 +201,8 @@ def run_campaign(count: int, seed: int = 0, jobs: int = 1,
     ran = [False] * len(seeds)
     if jobs > 1 and len(seeds) > 1:
         try:
-            payloads = _run_pool(seeds, config_labels, engines, jobs)
+            payloads = _run_pool(seeds, config_labels, engines, jobs,
+                                 faults_spec, cache_dir)
             ran = [True] * len(seeds)
             result.parallel = True
         except Exception as error:  # pool machinery, not the oracle
@@ -198,7 +213,8 @@ def run_campaign(count: int, seed: int = 0, jobs: int = 1,
             ran = [False] * len(seeds)
     for index, value in enumerate(seeds):
         if not ran[index]:
-            payloads[index] = fuzz_one(value, config_labels, engines)
+            payloads[index] = fuzz_one(value, config_labels, engines,
+                                       faults_spec, cache_dir)
     for payload in payloads:
         result.programs += 1
         if payload is None:

@@ -19,8 +19,13 @@ hash, surviving across processes.  The layer is safe under concurrent
 writers — the compile service runs many workers against one cache
 directory — because entries are written to a temp file *in the same
 directory* and atomically renamed into place (readers never observe a
-partial entry), and any corrupt, truncated, or otherwise unreadable
-entry is treated as a miss and recompiled.
+partial entry).  Entries are framed with a sha256 integrity digest, so
+any corrupt, truncated, or otherwise unreadable entry — including a
+single flipped byte that a raw pickle would silently decode into a
+different module — is treated as a miss and recompiled.  Reads and
+writes pass the ``diskcache.read`` / ``diskcache.write`` fault points
+(:mod:`repro.faults`); the resilience suite asserts the miss-never-
+corruption contract by arming them.
 
 The in-memory layer is LRU-bounded when ``max_entries`` is given
 (long-lived servers; unbounded by default for one-shot table runs) and
@@ -52,6 +57,7 @@ import time
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from .. import faults
 from ..ir.function import Module
 from .driver import module_size, run_frontend
 from .trace import PipelineTrace
@@ -75,10 +81,35 @@ _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 #: Everything a disk-cache read can legitimately die of: I/O errors,
 #: truncated or garbage pickles, entries written by an incompatible
-#: version.  All of them mean "miss", never a failed compile.
-_DISK_READ_ERRORS = (OSError, pickle.PickleError, EOFError, ValueError,
-                     AttributeError, ImportError, IndexError, KeyError,
-                     MemoryError, UnicodeDecodeError)
+#: version, and injected faults.  All of them mean "miss", never a
+#: failed compile.
+_DISK_READ_ERRORS = (OSError, faults.FaultError, pickle.PickleError,
+                     EOFError, ValueError, AttributeError, ImportError,
+                     IndexError, KeyError, MemoryError,
+                     UnicodeDecodeError)
+
+#: On-disk entries are framed ``MAGIC + sha256(payload) + payload``.
+#: Unpickling raw bytes would happily decode a flipped byte into a
+#: *different* module — silent wrong results.  The digest makes every
+#: truncation or corruption detectable, so it degrades to a miss;
+#: unframed entries written by older versions fail the magic test and
+#: are recompiled.
+_DISK_MAGIC = b"RPRC1\n"
+_DISK_DIGEST_BYTES = 32
+
+
+def _seal_entry(blob: bytes) -> bytes:
+    return _DISK_MAGIC + hashlib.sha256(blob).digest() + blob
+
+
+def _unseal_entry(data: bytes) -> Optional[bytes]:
+    header = len(_DISK_MAGIC) + _DISK_DIGEST_BYTES
+    if len(data) < header or not data.startswith(_DISK_MAGIC):
+        return None
+    blob = data[header:]
+    if hashlib.sha256(blob).digest() != data[len(_DISK_MAGIC):header]:
+        return None
+    return blob
 
 
 class CacheStats:
@@ -205,8 +236,14 @@ class FrontendCache:
         if not self.disk_dir:
             return None
         try:
+            faults.fire("diskcache.read")
             with open(self._disk_path(key), "rb") as handle:
-                module = pickle.load(handle)
+                data = handle.read()
+            blob = _unseal_entry(faults.corrupt_bytes("diskcache.read",
+                                                      data))
+            if blob is None:
+                return None  # corrupt/truncated/legacy frame == miss
+            module = pickle.loads(blob)
         except _DISK_READ_ERRORS:
             return None  # corrupt/truncated/unreadable entry == miss
         if not isinstance(module, Module):
@@ -232,10 +269,13 @@ class FrontendCache:
                                 threading.get_ident())
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
+            faults.fire("diskcache.write")
+            data = faults.corrupt_bytes("diskcache.write",
+                                        _seal_entry(blob))
             with open(tmp, "wb") as handle:
-                handle.write(blob)
+                handle.write(data)
             os.replace(tmp, path)
-        except OSError:
+        except (OSError, faults.FaultError):
             # caching is best-effort; never fail a compile.  Don't
             # leave the temp file behind if the rename failed.
             try:
@@ -401,9 +441,14 @@ class BackendCache:
         from ..backend.pybackend import CompiledPythonModule
 
         try:
+            faults.fire("diskcache.read")
             with open(self._disk_path(key), "rb") as handle:
-                payload = pickle.load(handle)
-            module, source = payload
+                data = handle.read()
+            blob = _unseal_entry(faults.corrupt_bytes("diskcache.read",
+                                                      data))
+            if blob is None:
+                return None  # corrupt/truncated/legacy frame == miss
+            module, source = pickle.loads(blob)
             if not isinstance(module, Module) or not isinstance(source, str):
                 return None
             compiled = CompiledPythonModule(module, source=source)
@@ -425,10 +470,13 @@ class BackendCache:
         tmp = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
+            faults.fire("diskcache.write")
+            data = faults.corrupt_bytes("diskcache.write",
+                                        _seal_entry(blob))
             with open(tmp, "wb") as handle:
-                handle.write(blob)
+                handle.write(data)
             os.replace(tmp, path)
-        except OSError:
+        except (OSError, faults.FaultError):
             try:
                 os.unlink(tmp)
             except OSError:

@@ -25,7 +25,8 @@ heavy traffic needs a resident process.  This package provides:
 Everything is standard library only -- no third-party dependencies.
 """
 
-from .client import LoadgenReport, ServiceClient, run_loadgen
+from .client import (LoadgenReport, RetryPolicy, ServiceClient,
+                     run_loadgen)
 from .jobs import (CompileRequest, ServiceError, execute_request,
                    request_key)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
@@ -34,5 +35,5 @@ from .workers import WorkerPool
 
 __all__ = ["CompileRequest", "CompileService", "Counter", "Gauge",
            "Histogram", "LoadgenReport", "MetricsRegistry",
-           "ServiceClient", "ServiceError", "WorkerPool",
+           "RetryPolicy", "ServiceClient", "ServiceError", "WorkerPool",
            "execute_request", "percentile", "request_key", "run_loadgen"]

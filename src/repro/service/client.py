@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..reporting.jsonout import LOADGEN_SCHEMA
 from .metrics import percentile
@@ -49,16 +50,91 @@ end program
 MALFORMED_SOURCE = "program broken\n  if then else while\nend program\n"
 
 
-class ServiceClient:
-    """Tiny blocking JSON-over-HTTP client for the compile service."""
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for *safe* retries.
 
-    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+    Only ``429`` (queue full), ``503`` (draining), and transport errors
+    are retried: both statuses are emitted by admission control
+    *before* a worker touches the request, and a transport error means
+    no response was produced — so a retry can never double-execute
+    work.  A ``200`` body is final even when it reports a trap (a trap
+    is a correct, non-idempotent program outcome, not a server
+    failure), and so are ``4xx`` validation errors, ``500``, and
+    ``504`` (the worker may still be running; retrying would stack
+    duplicate executions behind the deadline).
+
+    The delay for attempt ``n`` (0-based) is::
+
+        min(max_delay, base_delay * multiplier**n) * (1 + jitter * U)
+
+    with ``U`` drawn from a private ``random.Random(seed)`` — seeded,
+    so resilience tests replay byte-identical schedules.  A server
+    ``Retry-After`` header acts as a floor on the computed delay.
+    """
+
+    #: Statuses that are safe to retry (rejected before execution).
+    RETRY_STATUSES = (429, 503)
+
+    def __init__(self, max_attempts: int = 4, base_delay: float = 0.05,
+                 multiplier: float = 2.0, max_delay: float = 2.0,
+                 jitter: float = 0.5, seed: int = 0) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def should_retry(self, status: Optional[int]) -> bool:
+        """Whether an outcome is retryable (``None`` = transport error)."""
+        return status is None or status in self.RETRY_STATUSES
+
+    def delay(self, attempt: int,
+              retry_after: Optional[float] = None) -> float:
+        backoff = min(self.max_delay,
+                      self.base_delay * (self.multiplier ** attempt))
+        backoff *= 1.0 + self.jitter * self._rng.random()
+        if retry_after is not None and retry_after > backoff:
+            backoff = retry_after
+        return backoff
+
+
+def _retry_after_seconds(headers: Optional[Mapping[str, str]]
+                         ) -> Optional[float]:
+    if headers is None:
+        return None
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None  # HTTP-date form: not produced by this server
+
+
+class ServiceClient:
+    """Tiny blocking JSON-over-HTTP client for the compile service.
+
+    With a :class:`RetryPolicy` (``retry=``), :meth:`post_with_retry`
+    retries safe failures with backoff; the default ``retry=None``
+    keeps every request single-shot.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 120.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        #: retries performed by :meth:`post_with_retry` (observability).
+        self.retries = 0
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None
-                 ) -> Tuple[int, bytes]:
+    def _request_full(self, method: str, path: str,
+                      payload: Optional[Dict[str, Any]] = None,
+                      timeout: Optional[float] = None
+                      ) -> Tuple[int, bytes, Mapping[str, str]]:
         url = self.base_url + path
         data = None
         headers = {}
@@ -67,12 +143,76 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers,
                                          method=method)
+        budget = self.timeout if timeout is None else timeout
         try:
             with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return response.status, response.read()
+                                        timeout=budget) as response:
+                return response.status, response.read(), response.headers
         except urllib.error.HTTPError as error:
-            return error.code, error.read()
+            return error.code, error.read(), error.headers
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None
+                 ) -> Tuple[int, bytes]:
+        status, body, _ = self._request_full(method, path, payload)
+        return status, body
+
+    def post_with_retry(self, path: str, payload: Dict[str, Any],
+                        policy: Optional[RetryPolicy] = None,
+                        deadline: Optional[float] = None
+                        ) -> Tuple[int, bytes]:
+        """POST with retries per ``policy`` (default: the client's).
+
+        ``deadline`` is an overall wall-clock budget in seconds; it
+        caps each attempt's socket timeout and no retry is attempted
+        (nor backoff slept) that would overrun it.  Returns the final
+        ``(status, body)``; re-raises the final transport error if no
+        attempt produced a response.
+        """
+        policy = policy if policy is not None else self.retry
+        if policy is None:
+            return self.post(path, payload)
+        started = time.monotonic()
+        last: Optional[Tuple[int, bytes]] = None
+        last_error: Optional[OSError] = None
+        for attempt in range(policy.max_attempts):
+            timeout = self.timeout
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - started)
+                if remaining <= 0:
+                    break
+                timeout = min(timeout, remaining)
+            retry_after = None
+            try:
+                status, body, headers = self._request_full(
+                    "POST", path, payload, timeout=timeout)
+            except OSError as error:
+                last, last_error = None, error
+            else:
+                last, last_error = (status, body), None
+                if not policy.should_retry(status):
+                    return last
+                retry_after = _retry_after_seconds(headers)
+            if attempt + 1 >= policy.max_attempts:
+                break
+            pause = policy.delay(attempt, retry_after)
+            if deadline is not None and \
+                    (time.monotonic() - started) + pause >= deadline:
+                break  # honoring the backoff would blow the deadline
+            self.retries += 1
+            time.sleep(pause)
+        if last is not None:
+            return last
+        assert last_error is not None
+        raise last_error
+
+    def post_json_with_retry(self, path: str, payload: Dict[str, Any],
+                             policy: Optional[RetryPolicy] = None,
+                             deadline: Optional[float] = None
+                             ) -> Tuple[int, Any]:
+        status, body = self.post_with_retry(path, payload, policy,
+                                            deadline)
+        return status, json.loads(body.decode("utf-8"))
 
     def get(self, path: str) -> Tuple[int, bytes]:
         return self._request("GET", path)
@@ -197,6 +337,9 @@ class LoadgenReport:
         self.url = url
         self.concurrency = concurrency
         self.results: List[Dict[str, Any]] = []
+        #: requests handed to the executor; 0 until ``run_loadgen``
+        #: sets it, in which case it defaults to ``total``.
+        self.submitted = 0
         self.wall_seconds = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -225,13 +368,17 @@ class LoadgenReport:
         by_status = self.by_status()
         completed = sum(count for status, count in by_status.items()
                         if status != "transport-error")
+        submitted = self.submitted if self.submitted else self.total
         return {
             "schema": LOADGEN_SCHEMA,
             "url": self.url,
             "concurrency": self.concurrency,
             "requests": self.total,
+            "submitted": submitted,
             "completed": completed,
-            "unaccounted": self.total - len(self.results),  # always 0
+            # result rows the executor lost (worker crash); the "zero
+            # silent drops" proof — 0 on every healthy run
+            "unaccounted": max(0, submitted - self.total),
             "wall_seconds": self.wall_seconds,
             "throughput_rps": (self.total / self.wall_seconds
                                if self.wall_seconds else 0.0),
@@ -293,7 +440,12 @@ def _fire(client: ServiceClient,
                 else False
         except ValueError:
             trapped = False
-    except OSError as error:
+    except Exception:
+        # OSError covers socket/connect failures, but a half-closed
+        # server can also surface http.client.HTTPException (e.g.
+        # BadStatusLine), which is NOT an OSError; anything escaping
+        # here would crash the executor future and silently drop the
+        # row from the report.
         outcome = "transport-error"
         trapped = False
     seconds = time.perf_counter() - started
@@ -328,6 +480,7 @@ def run_loadgen(url: str, requests_total: int = 50, concurrency: int = 8,
                               include_trap=include_trap,
                               include_malformed=include_malformed)
     report = LoadgenReport(url, concurrency)
+    report.submitted = len(workload)
     try:
         hits_before, misses_before = _cache_counters(
             client.metrics_values())
@@ -339,7 +492,10 @@ def run_loadgen(url: str, requests_total: int = 50, concurrency: int = 8,
         futures = [pool.submit(_fire, client, request)
                    for request in workload]
         for future in futures:
-            report.results.append(future.result())
+            try:
+                report.results.append(future.result())
+            except Exception:  # _fire never raises; belt and braces
+                pass  # surfaces as a non-zero "unaccounted" count
     report.wall_seconds = time.perf_counter() - started
 
     try:

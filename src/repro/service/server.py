@@ -36,7 +36,7 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from .. import __version__
+from .. import __version__, faults
 from ..reporting.jsonout import SERVICE_ERROR_SCHEMA
 from .jobs import CompileRequest, ServiceError, request_key
 from .metrics import MetricsRegistry
@@ -175,6 +175,12 @@ class CompileService:
                        endpoint: str) -> Tuple[int, Dict[str, Any]]:
         """Admission control + validation + worker dispatch for the
         ``/compile`` and ``/tables`` endpoints."""
+        try:
+            faults.fire("service.accept")
+        except (faults.FaultError, faults.FaultIOError) as error:
+            self._rejected.labels("fault").inc()
+            return 500, {"schema": SERVICE_ERROR_SCHEMA,
+                         "error": str(error)}
         if self._draining.is_set():
             self._rejected.labels("draining").inc()
             return 503, {"schema": SERVICE_ERROR_SCHEMA,
@@ -266,6 +272,7 @@ class CompileService:
             "queue_limit": self.queue_limit,
             "worker_mode": self.pool.mode,
             "workers": self.pool.workers,
+            "faults": faults.describe(),
         }
 
 

@@ -33,6 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from .. import faults
 from .jobs import execute_request
 
 Envelope = Tuple[int, Dict[str, Any]]
@@ -66,9 +67,15 @@ class WorkerPool:
 
     def _make_executor(self, mode: str):
         if mode == "process":
+            faults.fire("workerpool.spawn")
             from concurrent.futures import ProcessPoolExecutor
 
-            return ProcessPoolExecutor(max_workers=self.workers)
+            # Workers re-arm the fault plane from REPRO_FAULTS: under
+            # the fork start method a child inherits the parent's
+            # module state instead of re-importing, and the parent may
+            # be armed differently (or not at all).
+            return ProcessPoolExecutor(max_workers=self.workers,
+                                       initializer=faults.arm_from_env)
         return ThreadPoolExecutor(max_workers=self.workers)
 
     def _rebuild(self, error: BaseException) -> None:

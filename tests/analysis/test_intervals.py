@@ -183,3 +183,109 @@ program p
 end program
 """)
         assert analysis.entry_env  # reached a fixpoint without hanging
+
+
+# -- seeded property tests (stdlib random; no hypothesis dependency) ----
+#
+# Each operation is checked against concrete sampling: draw intervals
+# (10% chance of an infinite bound per side), draw members, and assert
+# the abstract result contains the concrete one.  Seeded, so a failure
+# reproduces exactly; intervals with +-inf bounds are sampled through a
+# finite +-10^6 window.
+
+import random  # noqa: E402
+
+from repro.analysis.intervals import NEG_INF, POS_INF  # noqa: E402
+
+_TRIALS = 200
+
+
+def _random_interval(rng):
+    lo = NEG_INF if rng.random() < 0.1 else rng.randint(-50, 50)
+    hi = POS_INF if rng.random() < 0.1 else rng.randint(-50, 50)
+    if lo > hi:
+        lo, hi = hi, lo
+    return Interval(lo, hi)
+
+
+def _sample(rng, interval):
+    lo, hi = interval.lo, interval.hi
+    if lo == NEG_INF:
+        lo = min(-10 ** 6, hi)
+    if hi == POS_INF:
+        hi = max(10 ** 6, lo)
+    return rng.randint(int(lo), int(hi))
+
+
+def _contains(interval, value):
+    return interval.lo <= value <= interval.hi
+
+
+class TestPropertySoundness:
+    def _cases(self, seed):
+        rng = random.Random(seed)
+        for _ in range(_TRIALS):
+            a, b = _random_interval(rng), _random_interval(rng)
+            yield rng, a, b, _sample(rng, a), _sample(rng, b)
+
+    def test_add_sound(self):
+        for rng, a, b, x, y in self._cases(101):
+            assert _contains(a.add(b), x + y), (a, b, x, y)
+
+    def test_sub_sound(self):
+        for rng, a, b, x, y in self._cases(102):
+            assert _contains(a.sub(b), x - y), (a, b, x, y)
+
+    def test_neg_sound(self):
+        for rng, a, _, x, _ in self._cases(103):
+            assert _contains(a.neg(), -x), (a, x)
+
+    def test_mul_sound(self):
+        for rng, a, b, x, y in self._cases(104):
+            assert _contains(a.mul(b), x * y), (a, b, x, y)
+
+    def test_scale_sound(self):
+        for rng, a, _, x, _ in self._cases(105):
+            factor = rng.randint(-5, 5)
+            assert _contains(a.scale(factor), x * factor), (a, x, factor)
+
+    def test_scale_zero_kills_infinities(self):
+        # the 0 * inf = 0 convention: scaling any interval by 0 is [0,0]
+        for rng, a, _, _, _ in self._cases(106):
+            assert a.scale(0) == Interval(0, 0), a
+
+    def test_abs_sound(self):
+        for rng, a, _, x, _ in self._cases(107):
+            assert _contains(a.abs_value(), abs(x)), (a, x)
+
+    def test_min_max_sound(self):
+        for rng, a, b, x, y in self._cases(108):
+            assert _contains(a.min_with(b), min(x, y)), (a, b, x, y)
+            assert _contains(a.max_with(b), max(x, y)), (a, b, x, y)
+
+    def test_join_contains_both_members(self):
+        for rng, a, b, x, y in self._cases(109):
+            joined = a.join(b)
+            assert _contains(joined, x) and _contains(joined, y)
+
+    def test_widen_is_an_upper_bound_of_join(self):
+        # widening must cover everything joining would; that is what
+        # makes it a sound (if blunt) fixpoint accelerator
+        for rng, a, b, x, y in self._cases(110):
+            widened = a.widen(b)
+            joined = a.join(b)
+            assert widened.lo <= joined.lo, (a, b)
+            assert widened.hi >= joined.hi, (a, b)
+            assert _contains(widened, x) and _contains(widened, y)
+
+    def test_widen_is_stable_on_no_growth(self):
+        for rng, a, _, _, _ in self._cases(111):
+            assert a.widen(a) == a
+
+    def test_clamp_keeps_agreeing_members(self):
+        for rng, a, b, x, _ in self._cases(112):
+            bound = rng.randint(-60, 60)
+            if x <= bound:
+                assert _contains(a.clamp_upper(bound), x), (a, x, bound)
+            if x >= bound:
+                assert _contains(a.clamp_lower(bound), x), (a, x, bound)

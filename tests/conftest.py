@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import contextlib
+import socket
+
 import pytest
 
 from repro.checks.config import (CheckKind, ImplicationMode, OptimizerOptions,
@@ -11,6 +14,35 @@ from repro.frontend.parser import parse_source
 from repro.interp.machine import Machine
 from repro.ir.lowering import LoweringOptions, lower_source_file
 from repro.ssa.construct import construct_ssa
+
+
+def free_tcp_port():
+    """An ephemeral 127.0.0.1 port.
+
+    Prefer passing ``port=0`` and reading the bound address back
+    (:func:`make_service` does); this is for the rare case where the
+    port number must be known before the server exists.  The socket is
+    closed before returning, so a race is possible but vanishingly
+    rare with the kernel's ephemeral range.
+    """
+    with contextlib.closing(socket.socket()) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def make_service(**kwargs):
+    """A started :class:`~repro.service.CompileService` on an ephemeral
+    port (``port=0`` bind — no fixed ports, no collision flakes under
+    parallel CI).  Thread workers by default so suites stay fast;
+    callers override ``worker_mode``/``workers``/``pool`` freely."""
+    from repro.service import CompileService
+
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("worker_mode", "thread")
+    service = CompileService(**kwargs)
+    service.start()
+    return service
 
 
 def lower(source, insert_checks=True):

@@ -1,0 +1,19 @@
+"""Shared fixtures for the resilience suite.
+
+Every test in this package runs against a clean fault plane: the
+autouse fixture disarms before and after each test so no armed point
+can leak between tests (or into the rest of the suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plane():
+    faults.disarm()
+    yield
+    faults.disarm()

@@ -1,0 +1,250 @@
+"""Unit tests for the fault-injection plane itself: spec parsing,
+determinism, probability/cap semantics, and zero-overhead disarm."""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+
+pytestmark = pytest.mark.resilience
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(faults.__file__))))
+
+
+def _run_python(code, extra_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.ENV_VAR, None)
+    env.update(extra_env or {})
+    return subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, env=env,
+                          timeout=60)
+
+
+class TestSpecParsing:
+    def test_minimal_spec(self):
+        points = faults.parse_spec("service.accept:raise")
+        point = points["service.accept"]
+        assert point.action == "raise"
+        assert point.probability == 1.0
+        assert point.times is None
+        assert point.exc == "fault"
+
+    def test_full_spec(self):
+        points = faults.parse_spec(
+            "diskcache.write:corrupt:p=0.25:seed=7:times=3")
+        point = points["diskcache.write"]
+        assert point.action == "corrupt"
+        assert point.probability == 0.25
+        assert point.seed == 7
+        assert point.times == 3
+
+    def test_multiple_points(self):
+        points = faults.parse_spec(
+            "service.accept:raise, frontend.parse:delay:delay_ms=1")
+        assert set(points) == {"service.accept", "frontend.parse"}
+
+    def test_diskcache_defaults_to_io_error(self):
+        for name in ("diskcache.read", "diskcache.write"):
+            point = faults.parse_spec("%s:raise" % name)[name]
+            assert point.exc == "io"
+            error = point.exception()
+            assert isinstance(error, faults.FaultIOError)
+            assert isinstance(error, OSError)
+
+    def test_non_disk_defaults_to_fault_error(self):
+        point = faults.parse_spec("backend.compile:raise")[
+            "backend.compile"]
+        assert isinstance(point.exception(), faults.FaultError)
+
+    def test_exc_override(self):
+        point = faults.parse_spec("service.accept:raise:exc=io")[
+            "service.accept"]
+        assert isinstance(point.exception(), faults.FaultIOError)
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ,  ",
+        "service.accept",                    # no action
+        "nosuch.point:raise",                # unknown point
+        "service.accept:explode",            # unknown action
+        "service.accept:raise:p=2.0",        # probability out of range
+        "service.accept:raise:p=-0.1",
+        "service.accept:raise:p=banana",     # unparsable float
+        "service.accept:raise:times=-1",
+        "service.accept:raise:frequency=1",  # unknown key
+        "service.accept:raise:p",            # not key=value
+        "service.accept:raise:exc=kaboom",
+        "service.accept:raise:delay_ms=-5",
+    ])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_spec(bad)
+
+    def test_spec_error_is_a_value_error(self):
+        # the CLI maps ValueError to a usage exit
+        assert issubclass(faults.FaultSpecError, ValueError)
+
+
+class TestDisarmedIsNoop:
+    def test_fire_is_noop(self):
+        assert not faults.enabled()
+        for name in faults.FAULT_POINTS:
+            faults.fire(name)  # must not raise, sleep, or exit
+
+    def test_corrupt_bytes_is_identity(self):
+        payload = b"precious bytes"
+        assert faults.corrupt_bytes("diskcache.write", payload) is payload
+
+    def test_describe_empty(self):
+        assert faults.describe() == []
+
+
+class TestArming:
+    def test_arm_and_disarm_one_point(self):
+        faults.arm("service.accept:raise")
+        with pytest.raises(faults.FaultError):
+            faults.fire("service.accept")
+        faults.fire("frontend.parse")  # other points stay no-ops
+        faults.disarm("service.accept")
+        assert not faults.enabled()
+        faults.fire("service.accept")
+
+    def test_arm_merges(self):
+        faults.arm("service.accept:raise")
+        faults.arm("frontend.parse:raise")
+        assert len(faults.describe()) == 2
+
+    def test_armed_context_restores_previous_plane(self):
+        faults.arm("service.accept:raise")
+        with faults.armed("frontend.parse:raise"):
+            # exactly the scoped spec, not a merge
+            faults.fire("service.accept")
+            with pytest.raises(faults.FaultError):
+                faults.fire("frontend.parse")
+        with pytest.raises(faults.FaultError):
+            faults.fire("service.accept")
+
+    def test_armed_context_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.armed("service.accept:raise"):
+                raise RuntimeError("boom")
+        assert not faults.enabled()
+
+    def test_arm_from_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "service.accept:raise")
+        faults.arm_from_env()
+        assert faults.enabled()
+        # env semantics are "exactly this", so an unset var disarms —
+        # what a freshly forked worker needs after the parent delenvs
+        monkeypatch.delenv(faults.ENV_VAR)
+        faults.arm_from_env()
+        assert not faults.enabled()
+
+
+class TestFiringSemantics:
+    def test_p_one_always_fires(self):
+        faults.arm("service.accept:raise:p=1.0")
+        for _ in range(10):
+            with pytest.raises(faults.FaultError):
+                faults.fire("service.accept")
+
+    def test_p_zero_never_fires(self):
+        faults.arm("service.accept:raise:p=0.0")
+        for _ in range(100):
+            faults.fire("service.accept")
+
+    def test_times_caps_firings(self):
+        faults.arm("service.accept:raise:times=2")
+        fired = 0
+        for _ in range(10):
+            try:
+                faults.fire("service.accept")
+            except faults.FaultError:
+                fired += 1
+        assert fired == 2
+
+    def test_probability_pattern_is_seed_deterministic(self):
+        def pattern(seed):
+            faults.disarm()
+            faults.arm("service.accept:raise:p=0.5:seed=%d" % seed)
+            outcomes = []
+            for _ in range(32):
+                try:
+                    faults.fire("service.accept")
+                    outcomes.append(0)
+                except faults.FaultError:
+                    outcomes.append(1)
+            return outcomes
+
+        first, second = pattern(11), pattern(11)
+        assert first == second
+        assert 0 < sum(first) < 32  # actually probabilistic
+        assert pattern(12) != first  # seed matters
+
+    def test_delay_sleeps(self):
+        faults.arm("frontend.parse:delay:delay_ms=30")
+        started = time.perf_counter()
+        faults.fire("frontend.parse")
+        assert time.perf_counter() - started >= 0.025
+
+    def test_corrupt_action_never_raises_from_fire(self):
+        faults.arm("diskcache.write:corrupt")
+        faults.fire("diskcache.write")  # corrupt points only mangle
+
+
+class TestCorruption:
+    def test_corrupt_changes_bytes(self):
+        faults.arm("diskcache.write:corrupt:seed=1")
+        payload = b"x" * 256
+        assert faults.corrupt_bytes("diskcache.write", payload) != payload
+
+    def test_corrupt_deterministic_per_seed(self):
+        def mangle(seed):
+            faults.disarm()
+            faults.arm("diskcache.write:corrupt:seed=%d" % seed)
+            return [faults.corrupt_bytes("diskcache.write", b"y" * 128)
+                    for _ in range(8)]
+
+        assert mangle(5) == mangle(5)
+        assert mangle(5) != mangle(6)
+
+    def test_corrupt_respects_probability_and_times(self):
+        faults.arm("diskcache.write:corrupt:times=1")
+        payload = b"z" * 64
+        assert faults.corrupt_bytes("diskcache.write", payload) != payload
+        # cap reached: identity from here on
+        assert faults.corrupt_bytes("diskcache.write", payload) == payload
+
+    def test_corrupt_empty_payload(self):
+        faults.arm("diskcache.write:corrupt")
+        assert faults.corrupt_bytes("diskcache.write", b"") == b"\x00"
+
+
+class TestKillAction:
+    def test_kill_exits_with_kill_exit_code(self):
+        # must observe from outside: the action is os._exit
+        code = ("import repro.faults as faults\n"
+                "faults.arm('frontend.parse:kill')\n"
+                "faults.fire('frontend.parse')\n"
+                "print('survived')\n")
+        proc = _run_python(code)
+        assert proc.returncode == faults.KILL_EXIT_CODE
+        assert "survived" not in proc.stdout
+
+    def test_env_var_arms_at_import(self):
+        code = ("import repro.faults as faults\n"
+                "assert faults.enabled(), 'env spec must auto-arm'\n"
+                "try:\n"
+                "    faults.fire('service.accept')\n"
+                "except faults.FaultError:\n"
+                "    print('armed-and-fired')\n")
+        proc = _run_python(
+            code, extra_env={faults.ENV_VAR: "service.accept:raise"})
+        assert proc.returncode == 0, proc.stderr
+        assert "armed-and-fired" in proc.stdout

@@ -1,0 +1,94 @@
+"""The differential oracle with disk-cache write faults armed.
+
+A corrupted (or failed) cache write must be *semantically invisible*:
+generated programs compile to the same modules, execute to the same
+outputs, and count the same dynamic checks as a fault-free run.  The
+oracle proves that end to end — any divergence caused by a poisoned
+cache entry would surface as an output-mismatch or count-regression
+failure here.
+"""
+
+import pytest
+
+from repro import faults
+from repro.errors import RangeTrap
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import Oracle, config_by_label
+from repro.fuzz.runner import fuzz_one, run_campaign
+from repro.interp.machine import Machine
+from repro.pipeline.cache import FrontendCache
+from repro.pipeline.driver import compile_source
+
+pytestmark = pytest.mark.resilience
+
+WRITE_FAULTS = "diskcache.write:corrupt:p=1.0:seed=5"
+SEEDS = (0, 1, 2)
+
+
+def _single_config():
+    return [config_by_label()["PRX-LLS"]]
+
+
+class TestOracleUnderCacheFaults:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_check_passes_with_and_without_faults(self, seed, tmp_path):
+        source = generate_program(seed)
+        clean = Oracle(configs=_single_config(), engines=False,
+                       cache_dir=str(tmp_path / "clean"))
+        faulted = Oracle(configs=_single_config(), engines=False,
+                         cache_dir=str(tmp_path / "faulted"),
+                         faults_spec=WRITE_FAULTS)
+        assert clean.check(source, seed=seed) is None
+        assert faulted.check(source, seed=seed) is None
+
+    def test_read_faults_are_also_invisible(self, tmp_path):
+        source = generate_program(7)
+        oracle = Oracle(configs=_single_config(), engines=False,
+                        cache_dir=str(tmp_path),
+                        faults_spec="diskcache.read:corrupt:p=1.0:seed=2")
+        oracle.check(source, seed=7)  # populate, reads corrupted
+        assert oracle.check(source, seed=7) is None
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_outputs_and_check_counts_unchanged(self, seed, tmp_path):
+        """Directly compare one configuration's execution between a
+        fault-free compile and one whose every cache write corrupts."""
+        source = generate_program(seed)
+        options = _single_config()[0]
+
+        def run(cache_dir, spec):
+            with faults.armed(spec) if spec else _noop():
+                cache = FrontendCache(disk_dir=cache_dir)
+                program = compile_source(source, options, cache=cache)
+                machine = Machine(program.module, {}, 2_000_000)
+                trap = None
+                try:
+                    machine.run()
+                except RangeTrap as error:  # a legitimate outcome
+                    trap = str(error)
+                return machine.output, machine.counters.checks, trap
+
+        clean = run(str(tmp_path / "clean"), None)
+        faulted = run(str(tmp_path / "faulted"), WRITE_FAULTS)
+        assert faulted == clean
+
+    def test_fuzz_one_under_faults(self, tmp_path):
+        assert fuzz_one(3, config_labels=["PRX-LLS"], engines=False,
+                        faults_spec=WRITE_FAULTS,
+                        cache_dir=str(tmp_path)) is None
+
+    def test_campaign_under_faults_is_clean(self, tmp_path):
+        report = run_campaign(count=2, seed=0, jobs=1,
+                              config_labels=["PRX-LLS"], engines=False,
+                              faults_spec=WRITE_FAULTS,
+                              cache_dir=str(tmp_path))
+        assert report.failures == []
+        assert report.programs == 2
+
+
+class _noop:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False

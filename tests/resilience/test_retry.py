@@ -1,0 +1,248 @@
+"""Retry-policy resilience: only safe outcomes (429, 503, transport
+errors) are retried, backoff schedules are seed-deterministic, the
+``Retry-After`` header is honored as a floor, and a wall-clock
+deadline is never blown by a backoff sleep."""
+
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.service import RetryPolicy, ServiceClient, WorkerPool
+from repro.service.client import TRAP_SOURCE
+
+from ..conftest import free_tcp_port, make_service
+
+pytestmark = pytest.mark.resilience
+
+QUICK_SOURCE = """\
+program retryquick
+  input integer :: n = 3
+  integer :: i
+  real :: a(8)
+  do i = 1, n
+    a(i) = real(i) + 0.5
+  end do
+  print a(n)
+end program
+"""
+
+
+def scripted(client, steps):
+    """Replace ``client._request_full`` with a canned transcript.
+
+    Each step is either ``(status, body, headers)`` or an exception to
+    raise; the last step repeats forever.  Returns the call log.
+    """
+    steps = list(steps)
+    calls = []
+
+    def fake(method, path, payload=None, timeout=None):
+        calls.append({"method": method, "path": path, "timeout": timeout})
+        step = steps.pop(0) if len(steps) > 1 else steps[0]
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+    client._request_full = fake
+    return calls
+
+
+class TestRetryPolicyUnit:
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    @pytest.mark.parametrize("status,retryable", [
+        (None, True),   # transport error: no response was produced
+        (429, True),    # queue full: rejected before a worker ran
+        (503, True),    # draining: ditto
+        (200, False),   # final — even when the body reports a trap
+        (400, False), (404, False), (422, False),
+        (500, False),   # the worker may have executed; not idempotent
+        (504, False),   # the worker may STILL be executing
+    ])
+    def test_should_retry(self, status, retryable):
+        assert RetryPolicy().should_retry(status) is retryable
+
+    def test_delay_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5, jitter=0.0)
+        assert [policy.delay(n) for n in range(5)] == \
+            [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_delay_schedule_is_seed_deterministic(self):
+        def schedule(seed):
+            policy = RetryPolicy(jitter=1.0, seed=seed)
+            return [policy.delay(n) for n in range(6)]
+
+        assert schedule(42) == schedule(42)
+        assert schedule(42) != schedule(43)
+
+    def test_retry_after_is_a_floor_not_a_cap(self):
+        policy = RetryPolicy(base_delay=0.05, jitter=0.0, max_delay=2.0)
+        assert policy.delay(0, retry_after=1.5) == 1.5
+        # a tiny Retry-After never shrinks the computed backoff
+        assert policy.delay(3, retry_after=0.001) == policy.delay(3)
+
+
+class TestScriptedRetries:
+    def client(self):
+        return ServiceClient("http://127.0.0.1:1")  # never dialed
+
+    def test_retries_503_honoring_retry_after(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        client = self.client()
+        scripted(client, [
+            (503, b'{"error": "draining"}', {"Retry-After": "1.5"}),
+            (200, b'{"ok": true}', {}),
+        ])
+        policy = RetryPolicy(base_delay=0.01, jitter=0.0)
+        status, body = client.post_with_retry("/compile", {}, policy)
+        assert status == 200
+        assert client.retries == 1
+        assert sleeps == [1.5]  # header floor beat the 0.01s backoff
+
+    @pytest.mark.parametrize("status", [200, 400, 422, 500, 504])
+    def test_non_retryable_statuses_are_final(self, status, monkeypatch):
+        monkeypatch.setattr(time, "sleep",
+                            lambda _: pytest.fail("must not sleep"))
+        client = self.client()
+        calls = scripted(client, [(status, b"{}", {})])
+        got, _ = client.post_with_retry("/compile", {}, RetryPolicy())
+        assert got == status
+        assert len(calls) == 1
+        assert client.retries == 0
+
+    def test_exhausted_attempts_return_last_response(self, monkeypatch):
+        monkeypatch.setattr(time, "sleep", lambda _: None)
+        client = self.client()
+        calls = scripted(client, [(429, b"{}", {})])
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
+        status, _ = client.post_with_retry("/compile", {}, policy)
+        assert status == 429
+        assert len(calls) == 3
+        assert client.retries == 2
+
+    def test_deadline_skips_backoff_that_would_overrun(self, monkeypatch):
+        monkeypatch.setattr(time, "sleep",
+                            lambda _: pytest.fail("deadline must veto"))
+        client = self.client()
+        calls = scripted(client, [(503, b"{}", {})])
+        # backoff (10s) dwarfs the 0.25s budget: one attempt, no sleep
+        policy = RetryPolicy(max_attempts=5, base_delay=10.0, jitter=0.0)
+        status, _ = client.post_with_retry("/compile", {}, policy,
+                                           deadline=0.25)
+        assert status == 503
+        assert len(calls) == 1
+        assert calls[0]["timeout"] <= 0.25  # socket timeout capped too
+
+    def test_deadline_reraises_transport_error(self):
+        client = self.client()
+        calls = scripted(client, [ConnectionRefusedError("refused")])
+        policy = RetryPolicy(max_attempts=5, base_delay=10.0, jitter=0.0)
+        with pytest.raises(OSError):
+            client.post_with_retry("/compile", {}, policy, deadline=0.25)
+        assert len(calls) == 1
+
+    def test_no_policy_means_single_shot(self):
+        client = self.client()  # retry=None and no per-call policy
+        calls = scripted(client, [(503, b"{}", {})])
+        status, _ = client.post_with_retry("/compile", {})
+        assert status == 503
+        assert len(calls) == 1
+        assert client.retries == 0
+
+
+class TestRetriesAgainstRealService:
+    def test_transport_errors_retried_then_reraised(self):
+        # a port we just proved nothing listens on
+        url = "http://127.0.0.1:%d" % free_tcp_port()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        client = ServiceClient(url, timeout=5.0, retry=policy)
+        with pytest.raises(OSError):
+            client.post_with_retry("/compile",
+                                   {"action": "run", "source": "x"})
+        assert client.retries == 2
+
+    def test_trap_result_is_never_retried(self):
+        svc = make_service()
+        try:
+            client = ServiceClient(svc.url, timeout=30.0,
+                                   retry=RetryPolicy(max_attempts=4))
+            status, doc = client.post_json_with_retry(
+                "/compile", {"action": "run", "source": TRAP_SOURCE})
+            assert status == 200
+            assert doc["ok"] is False
+            assert "range check failed" in doc["trap"]
+            assert client.retries == 0  # a trap is a final outcome
+        finally:
+            svc.shutdown()
+
+    def test_queue_full_retried_until_admitted(self):
+        """With the single admission slot pinned by a blocked request,
+        a retrying client rides 429s until the slot frees, then wins."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def task(payload):
+            if payload.get("source") == "BLOCK":
+                entered.set()
+                release.wait(10.0)
+            return 200, {"ok": True, "output": [3.5]}
+
+        pool = WorkerPool(workers=2, mode="thread", task=task)
+        svc = make_service(pool=pool, queue_limit=1)
+        try:
+            blocker = ServiceClient(svc.url, timeout=30.0)
+            hold = threading.Thread(target=blocker.post_json, args=(
+                "/compile", {"action": "run", "source": "BLOCK"}))
+            hold.start()
+            assert entered.wait(5.0)
+
+            threading.Timer(0.25, release.set).start()
+            policy = RetryPolicy(max_attempts=10, base_delay=0.1,
+                                 multiplier=1.0, jitter=0.0)
+            client = ServiceClient(svc.url, timeout=30.0, retry=policy)
+            status, doc = client.post_json_with_retry(
+                "/compile", {"action": "run", "source": QUICK_SOURCE})
+            assert status == 200
+            assert doc["ok"] is True
+            assert client.retries >= 1  # saw at least one 429 first
+            hold.join(timeout=5.0)
+            assert not hold.is_alive()
+        finally:
+            release.set()
+            svc.shutdown()
+
+    def test_draining_503_carries_retry_after_header(self):
+        svc = make_service()
+        try:
+            client = ServiceClient(svc.url, timeout=30.0)
+            svc._draining.set()  # drain state without tearing down HTTP
+            status, body, headers = client._request_full(
+                "POST", "/compile",
+                {"action": "run", "source": QUICK_SOURCE})
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+        finally:
+            svc._draining.clear()
+            svc.shutdown()
+
+    def test_injected_accept_fault_is_not_retried(self):
+        """An injected 500 is indistinguishable from a real worker
+        failure, so the policy must treat it as final."""
+        svc = make_service()
+        try:
+            client = ServiceClient(
+                svc.url, timeout=30.0,
+                retry=RetryPolicy(max_attempts=5, base_delay=0.01))
+            with faults.armed("service.accept:raise:p=1.0"):
+                status, doc = client.post_json_with_retry(
+                    "/compile", {"action": "run", "source": QUICK_SOURCE})
+            assert status == 500
+            assert client.retries == 0
+        finally:
+            svc.shutdown()

@@ -4,9 +4,11 @@ import json
 
 import pytest
 
-from repro.service import CompileService, run_loadgen
+from repro.service import run_loadgen
 from repro.service.client import (MALFORMED_SOURCE, TRAP_SOURCE,
                                   build_workload)
+
+from ..conftest import make_service
 
 GOOD = """\
 program corpusdemo
@@ -66,8 +68,7 @@ class TestBuildWorkload:
 class TestRunLoadgen:
     @pytest.fixture
     def service(self):
-        svc = CompileService(port=0, workers=2, worker_mode="thread")
-        svc.start()
+        svc = make_service()
         yield svc
         if not svc._stopped.is_set():
             svc.shutdown()
@@ -120,3 +121,80 @@ class TestRunLoadgen:
         assert "6 requests @ 3 clients" in text
         assert "p95" in text
         assert "hit rate" in text
+
+
+class TestDegenerateReports:
+    """Percentile/throughput math on empty or all-failed result sets.
+
+    A run where every request failed (or none ran at all) must still
+    produce a well-formed report — no ZeroDivisionError, no
+    IndexError from percentiles over an empty sample list.
+    """
+
+    def test_empty_report_renders(self):
+        from repro.service import LoadgenReport
+
+        report = LoadgenReport("http://127.0.0.1:9", 4)
+        doc = report.as_dict()
+        assert doc["requests"] == 0
+        assert doc["completed"] == 0
+        assert doc["unaccounted"] == 0
+        assert doc["throughput_rps"] == 0.0
+        lat = doc["latency_seconds"]
+        assert lat["p50"] == lat["p95"] == lat["p99"] == 0.0
+        assert lat["max"] == lat["mean"] == 0.0
+        assert doc["cache"]["hit_rate"] == 0.0
+        assert "0 requests" in report.summary()
+
+    def test_all_failed_report_renders(self):
+        from repro.service import LoadgenReport
+
+        report = LoadgenReport("http://127.0.0.1:9", 2)
+        report.submitted = 3
+        for sequence in range(3):
+            report.results.append({
+                "sequence": sequence, "tag": "bench",
+                "status": "transport-error", "trapped": False,
+                "seconds": 0.01})
+        doc = report.as_dict()
+        assert doc["completed"] == 0  # zero successes, zero divides
+        assert doc["by_status"] == {"transport-error": 3}
+        assert doc["unaccounted"] == 0
+        assert doc["latency_seconds"]["p95"] == 0.01
+        report.summary()  # must not raise
+
+    def test_unaccounted_counts_lost_rows(self):
+        from repro.service import LoadgenReport
+
+        report = LoadgenReport("http://127.0.0.1:9", 2)
+        report.submitted = 5
+        report.results.append({"sequence": 0, "tag": "", "status": 200,
+                               "trapped": False, "seconds": 0.01})
+        assert report.as_dict()["unaccounted"] == 4
+
+    def test_non_oserror_transport_failure_is_a_row(self):
+        """http.client.HTTPException is not an OSError; _fire must
+        still account it instead of crashing the executor future."""
+        import http.client
+
+        from repro.service import ServiceClient
+        from repro.service.client import _fire
+
+        client = ServiceClient("http://127.0.0.1:9", timeout=1.0)
+
+        def explode(path, payload):
+            raise http.client.BadStatusLine("garbage")
+
+        client.post = explode
+        row = _fire(client, {"action": "run", "source": GOOD,
+                             "sequence": 7, "tag": "bench"})
+        assert row["status"] == "transport-error"
+        assert row["sequence"] == 7
+
+    def test_percentile_empty_and_singleton(self):
+        from repro.service import percentile
+
+        assert percentile([], 50) == 0.0
+        assert percentile([], 99) == 0.0
+        assert percentile([3.5], 50) == 3.5
+        assert percentile([3.5], 99) == 3.5

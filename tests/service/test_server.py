@@ -10,7 +10,9 @@ import time
 
 import pytest
 
-from repro.service import CompileService, ServiceClient, WorkerPool
+from repro.service import ServiceClient, WorkerPool
+
+from ..conftest import make_service
 
 GOOD = """
 program demo
@@ -23,15 +25,6 @@ program demo
   print a(n)
 end program
 """
-
-
-def make_service(**kwargs):
-    kwargs.setdefault("port", 0)
-    kwargs.setdefault("workers", 2)
-    kwargs.setdefault("worker_mode", "thread")
-    service = CompileService(**kwargs)
-    service.start()
-    return service
 
 
 @pytest.fixture
