@@ -1,6 +1,17 @@
 """Back-ends: translation of IR to executable instrumented code
-(the Python analogue of the paper's instrumented-C back-end)."""
+(the Python analogue of the paper's instrumented-C back-end).
+
+Two engines share this package:
+
+* :func:`compile_to_python` -- the tier-1 direct-threaded engine
+  (one closure per basic block);
+* :func:`compile_to_specialized` -- the tier-2 flat-source engine with
+  NumPy-vectorized affine loops, falling back to threaded emission per
+  function on unsupported control flow.
+"""
 
 from .pybackend import CompiledPythonModule, compile_to_python
+from .specialized import (CompiledSpecializedModule, compile_to_specialized)
 
-__all__ = ["CompiledPythonModule", "compile_to_python"]
+__all__ = ["CompiledPythonModule", "compile_to_python",
+           "CompiledSpecializedModule", "compile_to_specialized"]

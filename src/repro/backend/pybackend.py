@@ -163,10 +163,11 @@ class _FunctionEmitter:
         assert isinstance(value, Var)
         return _mangle(value.name)
 
-    def _linexpr(self, expr: LinearExpr) -> str:
+    def _linexpr(self, expr: LinearExpr,
+                 rename: Optional[Dict[str, str]] = None) -> str:
         parts: List[str] = []
         for sym, coeff in expr.sorted_terms():
-            var = _mangle(sym)
+            var = rename[sym] if rename and sym in rename else _mangle(sym)
             if coeff == 1:
                 parts.append("+ %s" % var)
             elif coeff == -1:
@@ -246,6 +247,12 @@ class _FunctionEmitter:
             return text if value.type is REAL else "float(%s)" % text
         return text if value.type is INT else "int(%s)" % text
 
+    def _fastpath_load(self, prefix: str, offset: str,
+                       element_real: bool) -> str:
+        """The in-bounds load expression; the specialized emitter
+        overrides it to pin REAL elements to Python floats."""
+        return "%s_data[%s]" % (prefix, offset)
+
     def _emit_access(self, indent: int, inst) -> None:
         """Emit a Load or Store with the precomputed-offset fast path.
 
@@ -269,17 +276,17 @@ class _FunctionEmitter:
         terms.append(ixs[rank - 1])
         offset = "%s - %s_base" % (" + ".join(terms), prefix)
         tup = "(%s,)" % ", ".join(ixs)
+        element_real = self.function.arrays[inst.array].element is REAL
         self._line(indent, "if %s:" % guard)
         if isinstance(inst, Load):
             dest = _mangle(inst.dest.name)
-            self._line(indent + 1, "%s = %s_data[%s]"
-                       % (dest, prefix, offset))
+            self._line(indent + 1, "%s = %s"
+                       % (dest, self._fastpath_load(prefix, offset,
+                                                    element_real)))
             self._line(indent, "else:")
             self._line(indent + 1, "%s = %s_load(%s)"
                        % (dest, prefix, tup))
         else:
-            element_real = \
-                self.function.arrays[inst.array].element is REAL
             self._line(indent + 1, "%s_data[%s] = %s"
                        % (prefix, offset,
                           self._store_value(inst.src, element_real)))
@@ -290,6 +297,19 @@ class _FunctionEmitter:
     # -- emission --------------------------------------------------------------
 
     def emit(self) -> str:
+        function = self.function
+        self._emit_prologue()
+        for block in function.blocks:
+            self._emit_block(block)
+        self._line(1, "_next = %s" % self.block_fns[function.entry.name])
+        self._line(1, "while _next is not None:")
+        self._line(2, "_next = _next()")
+        return "\n".join(self.lines)
+
+    def _emit_prologue(self) -> None:
+        """The shared function preamble: signature, runtime locals,
+        array allocation, scalar zero-defaults and array fast-path
+        locals.  Reused by the specialized (flat-source) emitter."""
         function = self.function
         params = [_mangle(p.name) for p in function.params]
         params += [_array_ref(name) for name in function.array_params]
@@ -338,12 +358,6 @@ class _FunctionEmitter:
                 "False" if stype is BOOL else "0"
             self._line(1, "%s = %s" % (_mangle(name), default))
         self._emit_fastpath_locals()
-        for block in function.blocks:
-            self._emit_block(block)
-        self._line(1, "_next = %s" % self.block_fns[function.entry.name])
-        self._line(1, "while _next is not None:")
-        self._line(2, "_next = _next()")
-        return "\n".join(self.lines)
 
     def _emit_fastpath_locals(self) -> None:
         for name, prefix in self.array_prefix.items():
@@ -417,31 +431,32 @@ class _FunctionEmitter:
         if not terminated:
             self._line(2, "return _rt.fell_off(%r)" % block.name)
 
-    def _emit_instruction(self, inst) -> None:
+    def _emit_instruction(self, inst, indent: int = 2) -> None:
         line = self._line
         if isinstance(inst, Assign):
-            line(2, "%s = %s" % (_mangle(inst.dest.name),
-                                 self._value(inst.src)))
+            line(indent, "%s = %s" % (_mangle(inst.dest.name),
+                                      self._value(inst.src)))
         elif isinstance(inst, BinOp):
-            line(2, "%s = %s" % (_mangle(inst.dest.name), self._binop(inst)))
+            line(indent, "%s = %s" % (_mangle(inst.dest.name),
+                                      self._binop(inst)))
         elif isinstance(inst, UnOp):
-            line(2, "%s = %s" % (_mangle(inst.dest.name), self._unop(inst)))
+            line(indent, "%s = %s" % (_mangle(inst.dest.name),
+                                      self._unop(inst)))
         elif isinstance(inst, (Load, Store)):
             if inst.array in self.array_prefix:
-                self._emit_access(2, inst)
+                self._emit_access(indent, inst)
             elif isinstance(inst, Load):  # pragma: no cover - unknown array
-                line(2, "%s = %s.load((%s,))"
+                line(indent, "%s = %s.load((%s,))"
                      % (_mangle(inst.dest.name), _array_ref(inst.array),
                         ", ".join("int(%s)" % self._value(i)
                                   for i in inst.indices)))
             else:  # pragma: no cover - unknown array
-                line(2, "%s.store((%s,), %s)"
+                line(indent, "%s.store((%s,), %s)"
                      % (_array_ref(inst.array),
                         ", ".join("int(%s)" % self._value(i)
                                   for i in inst.indices),
                         self._value(inst.src)))
         elif isinstance(inst, Check):
-            indent = 2
             if inst.guards:
                 condition = " and ".join(
                     "(%s) <= %d" % (self._linexpr(guard.linexpr),
@@ -462,10 +477,10 @@ class _FunctionEmitter:
                 line(indent - 1, "else:")
                 line(indent, "_counters.guard_skipped += 1")
         elif isinstance(inst, Trap):
-            line(2, "_rt.trap(%r)" % inst.message)
-            line(2, "return None")  # unreachable; trap always raises
+            line(indent, "_rt.trap(%r)" % inst.message)
+            line(indent, "return None")  # unreachable; trap always raises
         elif isinstance(inst, Print):
-            line(2, "_emit(%s)" % self._value(inst.value))
+            line(indent, "_emit(%s)" % self._value(inst.value))
         elif isinstance(inst, Call):
             callee = self.module.lookup(inst.callee)
             args = ["_rt"]
@@ -483,20 +498,20 @@ class _FunctionEmitter:
                     args.append(text if arg.type is INT
                                 else "int(%s)" % text)
             args += [_array_ref(name) for name in inst.array_args]
-            line(2, "if _rt.depth >= _max_depth:")
-            line(3, "_rt.depth_overflow()")
-            line(2, "_rt.depth += 1")
-            line(2, "%s(%s)" % (_fn_ref(inst.callee), ", ".join(args)))
-            line(2, "_rt.depth -= 1")
+            line(indent, "if _rt.depth >= _max_depth:")
+            line(indent + 1, "_rt.depth_overflow()")
+            line(indent, "_rt.depth += 1")
+            line(indent, "%s(%s)" % (_fn_ref(inst.callee), ", ".join(args)))
+            line(indent, "_rt.depth -= 1")
         elif isinstance(inst, Jump):
-            line(2, "return %s" % self.block_fns[inst.target.name])
+            line(indent, "return %s" % self.block_fns[inst.target.name])
         elif isinstance(inst, CondJump):
-            line(2, "return %s if %s else %s"
+            line(indent, "return %s if %s else %s"
                  % (self.block_fns[inst.if_true.name],
                     self._value(inst.cond),
                     self.block_fns[inst.if_false.name]))
         elif isinstance(inst, Return):
-            line(2, "return None")
+            line(indent, "return None")
         else:  # pragma: no cover
             raise IRError("cannot compile %r" % inst)
 

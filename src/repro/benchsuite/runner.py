@@ -94,7 +94,7 @@ def run_table2(programs: Optional[Iterable[BenchmarkProgram]] = None,
     return results
 
 
-BENCH_ENGINES: Tuple[str, ...] = ("interp", "compiled")
+BENCH_ENGINES: Tuple[str, ...] = ("interp", "compiled", "specialized")
 
 #: counter fields that must agree between engines.  ``phis`` is
 #: deliberately excluded: the interpreter charges one phi move per phi
@@ -141,6 +141,24 @@ class BenchProgramResult:
             return 0.0
         return interp.seconds / compiled.seconds
 
+    @property
+    def speedup_specialized(self) -> float:
+        """Interpreter seconds / specialized seconds (0 when undefined)."""
+        interp = self.engines.get("interp")
+        spec = self.engines.get("specialized")
+        if interp is None or spec is None or spec.seconds <= 0.0:
+            return 0.0
+        return interp.seconds / spec.seconds
+
+    @property
+    def speedup_vs_compiled(self) -> float:
+        """Threaded seconds / specialized seconds (0 when undefined)."""
+        compiled = self.engines.get("compiled")
+        spec = self.engines.get("specialized")
+        if compiled is None or spec is None or spec.seconds <= 0.0:
+            return 0.0
+        return compiled.seconds / spec.seconds
+
 
 class BenchResult:
     """Everything one ``repro bench`` run produced."""
@@ -170,32 +188,61 @@ class BenchResult:
             return 0.0
         return interp / compiled
 
+    @property
+    def speedup_specialized(self) -> float:
+        interp = self.total_seconds("interp")
+        spec = self.total_seconds("specialized")
+        if spec <= 0.0:
+            return 0.0
+        return interp / spec
+
+    @property
+    def speedup_vs_compiled(self) -> float:
+        compiled = self.total_seconds("compiled")
+        spec = self.total_seconds("specialized")
+        if spec <= 0.0:
+            return 0.0
+        return compiled / spec
+
 
 def _time_engine(program, engine: str, inputs, max_steps: int,
                  repeats: int, backend_cache) -> EngineRun:
     """Run one engine ``repeats`` times; counters come from the last
     run (they are deterministic, so any run would do)."""
+    import gc
     import time
 
     run = EngineRun(engine)
-    if engine == "compiled":
+    if engine != "interp":
         # translate once, outside the timed repeats — the cache makes
         # repeated executions reuse the compiled module, mirroring how
         # a compiled binary is built once and run many times
         start = time.perf_counter()
         program.run_compiled(inputs, max_steps=max_steps,
-                             backend_cache=backend_cache)
+                             backend_cache=backend_cache, engine=engine)
         run.translate_seconds = time.perf_counter() - start
-    for _ in range(repeats):
-        start = time.perf_counter()
-        if engine == "interp":
-            machine = program.run(inputs, max_steps=max_steps)
-        else:
-            machine = program.run_compiled(inputs, max_steps=max_steps,
-                                           backend_cache=backend_cache)
-        run.runs.append(time.perf_counter() - start)
-        run.counters = machine.counters.snapshot()
-        run.output = list(machine.output)
+    # drain garbage left by earlier engines (an interpreter run churns
+    # millions of objects) and keep the collector out of the timed
+    # window, so sub-millisecond repeats measure the engine, not a
+    # collection triggered by a previous engine's allocations
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if engine == "interp":
+                machine = program.run(inputs, max_steps=max_steps)
+            else:
+                machine = program.run_compiled(inputs, max_steps=max_steps,
+                                               backend_cache=backend_cache,
+                                               engine=engine)
+            run.runs.append(time.perf_counter() - start)
+            run.counters = machine.counters.snapshot()
+            run.output = list(machine.output)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     run.seconds = min(run.runs) if run.runs else 0.0
     return run
 
@@ -212,11 +259,13 @@ def run_bench(programs: Optional[Iterable[BenchmarkProgram]] = None,
 
     Each program is compiled once (under ``options``, default LLS/PRX)
     and then executed ``repeats`` times per engine; the best repeat is
-    the reported wall clock.  When both engines run, every
-    :data:`BENCH_PARITY_FIELDS` counter and the printed output are
-    asserted identical — a divergence marks the program's
-    ``counts_match``/``output_match`` flags and the overall
-    :meth:`BenchResult.counts_ok` false.
+    the reported wall clock.  When the interpreter runs alongside a
+    back-end engine, every :data:`BENCH_PARITY_FIELDS` counter and the
+    printed output are asserted identical — a divergence marks the
+    program's ``counts_match``/``output_match`` flags and the overall
+    :meth:`BenchResult.counts_ok` false.  Divergences in the
+    specialized engine are labeled ``specialized:<field>``; plain
+    field names refer to the direct-threaded engine.
     """
     from ..pipeline.driver import compile_source
 
@@ -231,17 +280,41 @@ def run_bench(programs: Optional[Iterable[BenchmarkProgram]] = None,
         inputs = program.test_inputs if small else program.inputs
         compiled = compile_source(program.source, options, cache=cache)
         row = BenchProgramResult(program.name)
-        for engine in engines:
-            row.engines[engine] = _time_engine(
-                compiled, engine, inputs, max_steps, repeats, backend_cache)
-        if "interp" in row.engines and "compiled" in row.engines:
+        # interleave the engines' timed repeats in rounds: a localized
+        # machine-load spike then lands in every engine's sample set
+        # instead of inflating whichever engine happened to be timed
+        # during it, so the best-of ratios stay comparable
+        rounds = min(repeats, 5) or 1
+        for rnd in range(rounds):
+            share = repeats // rounds + (1 if rnd < repeats % rounds else 0)
+            if share == 0:
+                continue
+            for engine in engines:
+                run = _time_engine(compiled, engine, inputs, max_steps,
+                                   share, backend_cache)
+                prior = row.engines.get(engine)
+                if prior is None:
+                    row.engines[engine] = run
+                else:
+                    prior.runs.extend(run.runs)
+                    prior.seconds = min(prior.runs)
+                    prior.counters = run.counters
+                    prior.output = run.output
+        if "interp" in row.engines:
             interp = row.engines["interp"]
-            comp = row.engines["compiled"]
-            row.mismatches = [
-                field for field in BENCH_PARITY_FIELDS
-                if interp.counters.get(field) != comp.counters.get(field)]
+            for other_name in ("compiled", "specialized"):
+                other = row.engines.get(other_name)
+                if other is None:
+                    continue
+                prefix = "" if other_name == "compiled" \
+                    else other_name + ":"
+                row.mismatches.extend(
+                    prefix + field for field in BENCH_PARITY_FIELDS
+                    if interp.counters.get(field) !=
+                    other.counters.get(field))
+                if interp.output != other.output:
+                    row.output_match = False
             row.counts_match = not row.mismatches
-            row.output_match = interp.output == comp.output
         result.programs.append(row)
     return result
 

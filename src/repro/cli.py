@@ -101,8 +101,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trap = None
     result = None
     try:
-        if args.engine == "compiled":
-            result = program.run_compiled(inputs)
+        if args.engine in ("compiled", "specialized"):
+            result = program.run_compiled(inputs, engine=args.engine)
         else:
             result = program.run(inputs)
     except RangeTrap as error:
@@ -227,26 +227,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise _usage_exit("bench: %s" % error.args[0])
     else:
         programs = all_programs()
-    # a compiled-only request still runs the interpreter as the parity
+    # a backend-only request still runs the interpreter as the parity
     # reference: the whole point of the artifact is counts asserted
     # identical across engines
-    engines = (("interp",) if args.engine == "interp"
-               else ("interp", "compiled"))
+    if args.engine == "interp":
+        engines = ("interp",)
+    elif args.engine == "all":
+        engines = ("interp", "compiled", "specialized")
+    else:
+        engines = ("interp", args.engine)
+    # the artifact name derives from --tag so successive campaigns
+    # (BENCH_4, BENCH_6, ...) can't silently clobber each other; an
+    # explicit --out overrides, '' disables the artifact entirely
+    out = args.out if args.out is not None else "BENCH_%s.json" % args.tag
+    if out and os.path.exists(out) and not args.force:
+        raise _usage_exit("bench: %s already exists "
+                          "(pass --force to overwrite)" % out)
     result = run_bench(programs, engines=engines, small=args.small,
                        repeats=args.repeats)
     doc = bench_to_dict(result)
-    if args.out:
-        out_dir = os.path.dirname(args.out)
+    if out:
+        out_dir = os.path.dirname(out)
         if out_dir:
             os.makedirs(out_dir, exist_ok=True)
-        with open(args.out, "w") as handle:
+        with open(out, "w") as handle:
             json.dump(doc, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print("wrote %s" % args.out, file=sys.stderr)
+        print("wrote %s" % out, file=sys.stderr)
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
-        compared = "interp" in result.engines and "compiled" in result.engines
+        compared = "interp" in result.engines and len(result.engines) > 1
         for row in result.programs:
             parts = ["%-10s" % row.name]
             for engine in result.engines:
@@ -256,14 +267,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 parity = ("ok" if row.counts_match and row.output_match
                           else "MISMATCH(%s)"
                           % ",".join(row.mismatches or ["output"]))
-                parts.append("%7.2fx" % row.speedup)
+                if "compiled" in row.engines:
+                    parts.append("%7.2fx" % row.speedup)
+                if "specialized" in row.engines:
+                    parts.append("%7.2fx(sp)" % row.speedup_specialized)
                 parts.append("counts %s" % parity)
             print("  ".join(parts))
         if compared:
-            print("%-10s  interp %9.4fs  compiled %9.4fs  %7.2fx  counts %s"
-                  % ("total", result.total_seconds("interp"),
-                     result.total_seconds("compiled"), result.speedup,
-                     "ok" if result.counts_ok() else "MISMATCH"))
+            parts = ["%-10s" % "total"]
+            for engine in result.engines:
+                parts.append("%s %9.4fs"
+                             % (engine, result.total_seconds(engine)))
+            if "compiled" in result.engines:
+                parts.append("%7.2fx" % result.speedup)
+            if "specialized" in result.engines:
+                parts.append("%7.2fx(sp)" % result.speedup_specialized)
+            parts.append("counts %s"
+                         % ("ok" if result.counts_ok() else "MISMATCH"))
+            print("  ".join(parts))
     return EXIT_OK if result.counts_ok() else EXIT_TRAP
 
 
@@ -394,9 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="NAME=VALUE")
     run_parser.add_argument("--no-optimize", action="store_true")
     run_parser.add_argument("--engine", default="interp",
-                            choices=["interp", "compiled"],
-                            help="tree-walking interpreter or the "
-                                 "Python back-end")
+                            choices=["interp", "compiled", "specialized"],
+                            help="tree-walking interpreter, the "
+                                 "direct-threaded back-end, or the "
+                                 "tier-2 specialized back-end")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the machine-readable run document "
                                  "(same schema as the compile service)")
@@ -442,7 +464,8 @@ def build_parser() -> argparse.ArgumentParser:
                                help="include the wall-clock Range(s) "
                                     "column (nondeterministic output)")
     tables_parser.add_argument("--engine", default="interp",
-                               choices=["interp", "compiled"],
+                               choices=["interp", "compiled",
+                                        "specialized"],
                                help="execution engine for every "
                                     "measurement; the rendered tables "
                                     "are identical either way")
@@ -450,11 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = commands.add_parser(
         "bench", help="wall-clock comparison of the execution engines")
-    bench_parser.add_argument("--engine", default="both",
-                              choices=["interp", "compiled", "both"],
-                              help="engine under test; 'compiled' still "
-                                   "runs the interpreter as the parity "
-                                   "reference (default: both)")
+    bench_parser.add_argument("--engine", default="all",
+                              choices=["interp", "compiled",
+                                       "specialized", "all"],
+                              help="engine under test; a back-end "
+                                   "engine still runs the interpreter "
+                                   "as the parity reference "
+                                   "(default: all three)")
     bench_parser.add_argument("--small", action="store_true",
                               help="use test-sized inputs")
     bench_parser.add_argument("--programs", nargs="+", metavar="NAME",
@@ -464,10 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
                                    "is reported (default 3)")
     bench_parser.add_argument("--json", action="store_true",
                               help="print the bench document to stdout")
-    bench_parser.add_argument("--out", metavar="PATH",
-                              default="benchmarks/results/BENCH_4.json",
+    bench_parser.add_argument("--tag", default="6", metavar="TAG",
+                              help="artifact tag; the document is "
+                                   "written to BENCH_<TAG>.json "
+                                   "(default %(default)s)")
+    bench_parser.add_argument("--out", metavar="PATH", default=None,
                               help="write the bench document here "
-                                   "(default %(default)s; '' disables)")
+                                   "(default BENCH_<tag>.json; "
+                                   "'' disables)")
+    bench_parser.add_argument("--force", action="store_true",
+                              help="overwrite an existing artifact")
     bench_parser.set_defaults(handler=_cmd_bench)
 
     fuzz_parser = commands.add_parser(

@@ -1,13 +1,15 @@
 """The differential safety oracle.
 
 One generated program is compiled under *every* optimizer
-configuration and executed on both engines; the oracle asserts the
-paper's correctness contract against the naive-checking baseline:
+configuration and executed on all engines (the interpreter plus both
+back-end tiers); the oracle asserts the paper's correctness contract
+against the naive-checking baseline:
 
 1. **Engine agreement** -- for each configuration, the interpreter and
-   the Python back-end produce identical output, identical trap
-   behavior, and identical dynamic check counts (instruction counts
-   legitimately differ: the back-end runs destructed SSA).
+   each Python back-end tier (direct-threaded and specialized) produce
+   identical output, identical trap behavior, and identical dynamic
+   check counts (instruction counts legitimately differ: the back-ends
+   run destructed SSA).
 2. **No extra work** -- on runs where neither version traps, the
    optimized program's *effective* checks (executed checks whose range
    inequality was actually evaluated; a Cond-check stopped by its
@@ -121,9 +123,11 @@ def _run_interp(module, inputs, max_steps: int,
 
 
 def _run_compiled(program, inputs,
-                  max_steps: int = DEFAULT_MAX_STEPS) -> _RunResult:
+                  max_steps: int = DEFAULT_MAX_STEPS,
+                  engine: str = "compiled") -> _RunResult:
     try:
-        runtime = program.run_compiled(inputs, max_steps=max_steps)
+        runtime = program.run_compiled(inputs, max_steps=max_steps,
+                                       engine=engine)
     except RangeTrap as trap:
         runtime = getattr(trap, "runtime", None)
         if runtime is None:  # pragma: no cover - the back-end attaches it
@@ -186,12 +190,15 @@ class Oracle:
                 "naive lowering let an access escape checking: %s"
                 % baseline.audit_error)
         if self.engines:
-            compiled = _run_compiled(baseline_prog, inputs, self.max_steps)
-            failure = self._compare_engines(baseline, compiled, seed,
-                                            source, "<baseline>",
-                                            kind="baseline-engine")
-            if failure is not None:
-                return failure
+            for engine in ("compiled", "specialized"):
+                compiled = _run_compiled(baseline_prog, inputs,
+                                         self.max_steps, engine=engine)
+                failure = self._compare_engines(baseline, compiled, seed,
+                                                source, "<baseline>",
+                                                kind="baseline-engine",
+                                                engine=engine)
+                if failure is not None:
+                    return failure
 
         # -- every optimizer configuration ----------------------------
         for options in self.configs:
@@ -211,11 +218,14 @@ class Oracle:
             if failure is not None:
                 return failure
             if self.engines:
-                compiled = _run_compiled(program, inputs, self.max_steps)
-                failure = self._compare_engines(optimized, compiled, seed,
-                                                source, label)
-                if failure is not None:
-                    return failure
+                for engine in ("compiled", "specialized"):
+                    compiled = _run_compiled(program, inputs,
+                                             self.max_steps, engine=engine)
+                    failure = self._compare_engines(optimized, compiled,
+                                                    seed, source, label,
+                                                    engine=engine)
+                    if failure is not None:
+                        return failure
         return None
 
     # -- invariants -----------------------------------------------------
@@ -273,7 +283,8 @@ class Oracle:
 
     def _compare_engines(self, interp: _RunResult, compiled: _RunResult,
                          seed, source, label: str,
-                         kind: str = "engine-mismatch"
+                         kind: str = "engine-mismatch",
+                         engine: str = "compiled"
                          ) -> Optional[FuzzFailure]:
         if compiled.error is not None:
             # limit parity: the interpreter side of this comparison ran
@@ -290,28 +301,28 @@ class Oracle:
             if isinstance(compiled.error, CallDepthError):
                 return FuzzFailure(
                     "limit-parity", seed, source, label,
-                    "the back-end hit the call-depth limit (%s) on a "
+                    "the %s back-end hit the call-depth limit (%s) on a "
                     "program the interpreter %s"
-                    % (compiled.error,
+                    % (engine, compiled.error,
                        "trapped" if interp.trapped else "ran clean"))
             return FuzzFailure(
                 kind, seed, source, label,
-                "the back-end raised %s: %s (interpreter %s)"
-                % (type(compiled.error).__name__, compiled.error,
+                "the %s back-end raised %s: %s (interpreter %s)"
+                % (engine, type(compiled.error).__name__, compiled.error,
                    "trapped" if interp.trapped else "ran clean"))
         if compiled.trapped != interp.trapped:
             return FuzzFailure(
                 kind, seed, source, label,
-                "interpreter %s but the back-end %s"
-                % ("trapped" if interp.trapped else "ran clean",
+                "interpreter %s but the %s back-end %s"
+                % ("trapped" if interp.trapped else "ran clean", engine,
                    "trapped" if compiled.trapped else "ran clean"))
         if compiled.output is None or compiled.counters is None:
             return None  # backend trap state without a runtime handle
         if compiled.output != interp.output:
             return FuzzFailure(
                 kind, seed, source, label,
-                "outputs differ\ninterp: %r\ncompiled: %r"
-                % (interp.output, compiled.output))
+                "outputs differ\ninterp: %r\n%s: %r"
+                % (interp.output, engine, compiled.output))
         if interp.trapped:
             # per-block accounting: the back-end bumps a whole block's
             # check count on entry, so a trap mid-block legitimately
@@ -324,8 +335,8 @@ class Oracle:
                 kind, seed, source, label,
                 "dynamic check counts differ\n"
                 "interp: checks=%d guard_skipped=%d\n"
-                "compiled: checks=%d guard_skipped=%d"
+                "%s: checks=%d guard_skipped=%d"
                 % (interp.counters.checks, interp.counters.guard_skipped,
-                   compiled.counters.checks,
+                   engine, compiled.counters.checks,
                    compiled.counters.guard_skipped))
         return None

@@ -399,10 +399,13 @@ class BackendCache:
     private copy on first request.  Compiled modules hold no run state,
     so the same instance is handed to every caller.
 
-    Keys include :data:`~repro.backend.pybackend.ENGINE_VERSION`, so
-    entries written by an older translation scheme — in particular
-    disk entries surviving an upgrade — can never be executed by a
-    newer engine.
+    Keys include the engine's translation-scheme version
+    (:data:`~repro.backend.pybackend.ENGINE_VERSION` for the threaded
+    engine, :data:`~repro.backend.specialized.SPECIALIZED_ENGINE_VERSION`
+    for the tier-2 flat/vectorized engine), so entries written by an
+    older translation scheme — in particular disk entries surviving an
+    upgrade — can never be executed by a newer engine, and the two
+    engines never collide on a key.
     """
 
     def __init__(self, disk_dir: Optional[str] = None,
@@ -422,11 +425,14 @@ class BackendCache:
     # -- keys ----------------------------------------------------------
 
     @staticmethod
-    def key(module: Module) -> str:
+    def key(module: Module, engine: str = "compiled") -> str:
         from ..backend.pybackend import ENGINE_VERSION
+        from ..backend.specialized import SPECIALIZED_ENGINE_VERSION
 
         digest = hashlib.sha256(
             _module_fingerprint(module).encode("utf-8")).hexdigest()
+        if engine == "specialized":
+            return "%s-sp%d" % (digest, SPECIALIZED_ENGINE_VERSION)
         return "%s-e%d" % (digest, ENGINE_VERSION)
 
     def _disk_path(self, key: str) -> str:
@@ -435,11 +441,14 @@ class BackendCache:
 
     # -- the on-disk layer ---------------------------------------------
 
-    def _load_disk(self, key: str):
+    def _load_disk(self, key: str, engine: str = "compiled"):
         if not self.disk_dir:
             return None
         from ..backend.pybackend import CompiledPythonModule
+        from ..backend.specialized import CompiledSpecializedModule
 
+        cls = CompiledSpecializedModule if engine == "specialized" \
+            else CompiledPythonModule
         try:
             faults.fire("diskcache.read")
             with open(self._disk_path(key), "rb") as handle:
@@ -451,7 +460,7 @@ class BackendCache:
             module, source = pickle.loads(blob)
             if not isinstance(module, Module) or not isinstance(source, str):
                 return None
-            compiled = CompiledPythonModule(module, source=source)
+            compiled = cls(module, source=source)
         except _DISK_READ_ERRORS + (SyntaxError, TypeError):
             return None  # corrupt/truncated/incompatible entry == miss
         self.disk_hits += 1
@@ -485,15 +494,18 @@ class BackendCache:
     # -- the public API ------------------------------------------------
 
     def compiled(self, module: Module,
-                 trace: Optional[PipelineTrace] = None):
+                 trace: Optional[PipelineTrace] = None,
+                 engine: str = "compiled"):
         """The translated back-end module for ``module``.
 
+        ``engine`` selects the tier: ``"compiled"`` (direct-threaded)
+        or ``"specialized"`` (flat source + vectorized affine loops).
         The input module is never mutated: destruction runs on a
         private clone.  Records one ``backend`` trace event per call —
         ``cached=True`` on a hit, wall time of the
         clone+destruct+translate pipeline on a miss.
         """
-        key = self.key(module)
+        key = self.key(module, engine)
         with self._lock:
             compiled = self._memory.get(key)
             if compiled is not None:
@@ -503,7 +515,7 @@ class BackendCache:
             if trace is not None:
                 trace.record("backend", 0.0, cached=True)
             return compiled
-        compiled = self._load_disk(key)
+        compiled = self._load_disk(key, engine)
         if compiled is not None:
             self._memory_put(key, compiled)
             self.hits += 1
@@ -512,7 +524,7 @@ class BackendCache:
             return compiled
         self.misses += 1
         start = time.perf_counter()
-        compiled = self._translate(module)
+        compiled = self._translate(module, engine)
         self.translations += 1
         if trace is not None:
             trace.record("backend", time.perf_counter() - start,
@@ -523,8 +535,9 @@ class BackendCache:
         return compiled
 
     @staticmethod
-    def _translate(module: Module):
+    def _translate(module: Module, engine: str = "compiled"):
         from ..backend.pybackend import compile_to_python
+        from ..backend.specialized import compile_to_specialized
         from ..ssa.destruct import destruct_ssa
 
         try:  # pickle round-trip clones this IR ~5x faster than deepcopy
@@ -532,6 +545,9 @@ class BackendCache:
         except (pickle.PickleError, TypeError, AttributeError,
                 RecursionError):
             clone = copy.deepcopy(module)
+        if engine == "specialized":
+            # Plans loops on the SSA form, then destructs in place.
+            return compile_to_specialized(clone)
         for function in clone:
             if any(block.phis() for block in function.blocks):
                 destruct_ssa(function)

@@ -137,7 +137,7 @@ class CompiledProgram:
         self.module = module
         self.optimize_stats = optimize_stats or {}
         self.trace = trace if trace is not None else PipelineTrace()
-        self._python_module = None
+        self._python_modules = {}
 
     def run(self, inputs: Optional[Mapping[str, Number]] = None,
             max_steps: int = 50_000_000) -> Machine:
@@ -148,33 +148,39 @@ class CompiledProgram:
 
     def run_compiled(self, inputs: Optional[Mapping[str, Number]] = None,
                      max_steps: int = 50_000_000,
-                     backend_cache: Optional["BackendCache"] = None):
-        """Execute via the Python back-end (the paper's instrumented-C
+                     backend_cache: Optional["BackendCache"] = None,
+                     engine: str = "compiled"):
+        """Execute via a back-end engine (the paper's instrumented-C
         methodology; ~10x faster than interpretation).
 
-        SSA is destructed on a private copy of the module, so
-        ``self.module`` is never mutated; phi copies are charged to the
-        ``phis`` counter, so check counts, instruction counts, and
-        outputs are identical to :meth:`run`, and calling the two in
-        either order gives the same numbers.  The back-end enforces the
-        same ``max_steps`` fuel and call-depth limits as the
-        interpreter, raising the same typed errors.
+        ``engine`` selects the tier: ``"compiled"`` (direct-threaded,
+        the default) or ``"specialized"`` (flat source with
+        NumPy-vectorized affine loops).  SSA is destructed on a
+        private copy of the module, so ``self.module`` is never
+        mutated; phi copies are charged to the ``phis`` counter, so
+        check counts, instruction counts, and outputs are identical to
+        :meth:`run`, and calling the two in either order gives the
+        same numbers.  Both engines enforce the same ``max_steps``
+        fuel and call-depth limits as the interpreter, raising the
+        same typed errors.
 
         Translation goes through a
         :class:`~repro.pipeline.cache.BackendCache` (the process-wide
         shared one unless ``backend_cache`` is given), recording a
         ``backend`` trace event; repeated executions reuse the
-        memoized translated module.  Returns the back-end runtime
-        (``.counters``, ``.output``).
+        per-engine memoized translated module.  Returns the back-end
+        runtime (``.counters``, ``.output``).
         """
-        if self._python_module is None:
+        compiled = self._python_modules.get(engine)
+        if compiled is None:
             if backend_cache is None:
                 from ..pipeline.cache import shared_backend_cache
 
                 backend_cache = shared_backend_cache()
-            self._python_module = backend_cache.compiled(
-                self.module, trace=self.trace)
-        return self._python_module.run(inputs, max_steps=max_steps)
+            compiled = backend_cache.compiled(
+                self.module, trace=self.trace, engine=engine)
+            self._python_modules[engine] = compiled
+        return compiled.run(inputs, max_steps=max_steps)
 
     def total_stats(self) -> OptimizeStats:
         """Module-wide optimizer stats."""

@@ -146,6 +146,13 @@ def _execute(module: Module, inputs: Optional[Mapping[str, Number]],
         runtime = compile_to_python(module).run(inputs,
                                                 max_steps=max_steps)
         return runtime.counters, runtime.output
+    if engine == "specialized":
+        from ..backend.specialized import compile_to_specialized
+
+        # Plans loops on the SSA form, then destructs in place.
+        runtime = compile_to_specialized(module).run(inputs,
+                                                     max_steps=max_steps)
+        return runtime.counters, runtime.output
     raise ValueError("unknown engine %r" % engine)
 
 

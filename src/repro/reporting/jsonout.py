@@ -115,14 +115,28 @@ def bench_to_dict(result: "BenchResult") -> Dict[str, Any]:
                 "translate_seconds": run.translate_seconds,
                 "counters": dict(run.counters),
             }
-        programs.append({
+        entry = {
             "program": row.name,
             "engines": engines,
             "counts_match": row.counts_match,
             "output_match": row.output_match,
             "mismatches": list(row.mismatches),
             "speedup": row.speedup,
-        })
+        }
+        if "specialized" in row.engines:
+            entry["speedup_specialized"] = row.speedup_specialized
+            entry["speedup_vs_compiled"] = row.speedup_vs_compiled
+        programs.append(entry)
+    totals = {
+        "interp_seconds": result.total_seconds("interp"),
+        "compiled_seconds": result.total_seconds("compiled"),
+        "speedup": result.speedup,
+        "counts_match": result.counts_ok(),
+    }
+    if "specialized" in result.engines:
+        totals["specialized_seconds"] = result.total_seconds("specialized")
+        totals["speedup_specialized"] = result.speedup_specialized
+        totals["speedup_vs_compiled"] = result.speedup_vs_compiled
     return {
         "schema": BENCH_SCHEMA,
         "config": result.config_label,
@@ -130,12 +144,7 @@ def bench_to_dict(result: "BenchResult") -> Dict[str, Any]:
         "repeats": result.repeats,
         "engines": list(result.engines),
         "programs": programs,
-        "totals": {
-            "interp_seconds": result.total_seconds("interp"),
-            "compiled_seconds": result.total_seconds("compiled"),
-            "speedup": result.speedup,
-            "counts_match": result.counts_ok(),
-        },
+        "totals": totals,
     }
 
 

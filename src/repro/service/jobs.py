@@ -112,7 +112,7 @@ class CompileRequest:
             raise ServiceError(400, "unknown implication %r"
                                % (implication,))
         engine = payload.get("engine", "interp")
-        if engine not in ("interp", "compiled"):
+        if engine not in ("interp", "compiled", "specialized"):
             raise ServiceError(400, "unknown engine %r" % (engine,))
         inputs = payload.get("inputs", {})
         if not isinstance(inputs, dict):
@@ -211,12 +211,13 @@ def _execute_program(request: CompileRequest) -> Envelope:
     output: List[Any] = []
     with trace.timed("execute") as event:
         try:
-            if request.engine == "compiled":
+            if request.engine in ("compiled", "specialized"):
                 # same fuel budget as the interpreter path: a runaway
                 # program must fail fast with StepLimitError, not hold a
                 # worker until the request deadline 504s
                 result = program.run_compiled(request.inputs,
-                                              max_steps=MAX_STEPS)
+                                              max_steps=MAX_STEPS,
+                                              engine=request.engine)
             else:
                 result = program.run(request.inputs,
                                      max_steps=MAX_STEPS)

@@ -64,14 +64,21 @@ class CompileService:
                  queue_limit: int = 32, request_timeout: float = 60.0,
                  drain_timeout: float = 30.0,
                  registry: Optional[MetricsRegistry] = None,
-                 pool: Optional[WorkerPool] = None) -> None:
+                 pool: Optional[WorkerPool] = None,
+                 clock=None) -> None:
         self.queue_limit = max(1, queue_limit)
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.pool = pool if pool is not None \
             else WorkerPool(workers, worker_mode)
-        self._started = time.time()
+        # durations (uptime, drain deadline) come off the monotonic
+        # clock so a wall-clock jump (NTP step, DST) can't stretch or
+        # collapse them; the wall timestamp is kept for reporting only.
+        # ``clock`` is injectable for deterministic tests.
+        self._clock = clock if clock is not None else time.monotonic
+        self._started_monotonic = self._clock()
+        self._started_wall = time.time()
         self._draining = threading.Event()
         self._stopped = threading.Event()
         self._admit = threading.Semaphore(self.queue_limit)
@@ -150,11 +157,13 @@ class CompileService:
             self._stopped.wait()
             return
         self._draining.set()
-        deadline = time.time() + (drain_timeout if drain_timeout is not None
-                                  else self.drain_timeout)
+        deadline = self._clock() + (drain_timeout
+                                    if drain_timeout is not None
+                                    else self.drain_timeout)
         with self._idle:
-            while self._inflight > 0 and time.time() < deadline:
-                self._idle.wait(timeout=max(0.05, deadline - time.time()))
+            while self._inflight > 0 and self._clock() < deadline:
+                self._idle.wait(
+                    timeout=max(0.05, deadline - self._clock()))
         self.pool.shutdown(wait=True)
         # shutdown() must not be called from the serve_forever thread;
         # handler threads and signal handlers are fine.
@@ -267,7 +276,8 @@ class CompileService:
         return {
             "status": "draining" if self._draining.is_set() else "ok",
             "version": __version__,
-            "uptime_seconds": time.time() - self._started,
+            "uptime_seconds": self._clock() - self._started_monotonic,
+            "started_unix": self._started_wall,
             "in_flight": inflight,
             "queue_limit": self.queue_limit,
             "worker_mode": self.pool.mode,

@@ -26,8 +26,13 @@ class TestRunBench:
             assert not row.mismatches
             interp = row.engines["interp"].counters
             compiled = row.engines["compiled"].counters
+            spec = row.engines["specialized"].counters
             for field in BENCH_PARITY_FIELDS:
                 assert interp[field] == compiled[field], field
+                assert interp[field] == spec[field], field
+            # both back-ends run destructed SSA, so they agree on
+            # every counter, phis included
+            assert spec == compiled
 
     def test_phis_differ_by_design(self):
         # destructed SSA charges two copies per phi; the interpreter
@@ -45,6 +50,7 @@ class TestRunBench:
                 assert run.seconds > 0.0
                 assert len(run.runs) == result.repeats
             assert row.engines["compiled"].translate_seconds > 0.0
+            assert row.engines["specialized"].translate_seconds > 0.0
             assert row.engines["interp"].translate_seconds == 0.0
 
     def test_interp_only_mode(self):
@@ -63,6 +69,26 @@ class TestRunBench:
                       row.engines["compiled"].counters.get(field)]
         assert recomputed == ["checks"]
 
+    def test_specialized_mismatch_is_labeled(self, monkeypatch):
+        # a specialized-engine divergence must be distinguishable from
+        # a threaded-engine one in the mismatch list
+        from repro.benchsuite import runner
+
+        real = runner._time_engine
+
+        def tampered(program, engine, inputs, max_steps, repeats, cache):
+            run = real(program, engine, inputs, max_steps, repeats, cache)
+            if engine == "specialized":
+                run.counters["checks"] += 1
+            return run
+
+        monkeypatch.setattr(runner, "_time_engine", tampered)
+        result = small_bench(count=1)
+        row = result.programs[0]
+        assert row.mismatches == ["specialized:checks"]
+        assert not row.counts_match
+        assert not result.counts_ok()
+
 
 class TestBenchDocument:
     def test_schema_and_totals(self):
@@ -71,14 +97,27 @@ class TestBenchDocument:
         assert doc["totals"]["counts_match"] is True
         assert doc["totals"]["interp_seconds"] > 0.0
         assert doc["totals"]["compiled_seconds"] > 0.0
+        assert doc["totals"]["specialized_seconds"] > 0.0
+        assert doc["totals"]["speedup_specialized"] > 0.0
+        assert doc["totals"]["speedup_vs_compiled"] > 0.0
+        assert set(doc["engines"]) == {"interp", "compiled",
+                                       "specialized"}
+
+    def test_two_engine_document_has_no_specialized_fields(self):
+        doc = bench_to_dict(small_bench(count=1,
+                                        engines=("interp", "compiled")))
         assert set(doc["engines"]) == {"interp", "compiled"}
+        assert "specialized_seconds" not in doc["totals"]
+        assert "speedup_specialized" not in doc["programs"][0]
 
     def test_program_entries_are_complete(self):
         doc = bench_to_dict(small_bench())
         for entry in doc["programs"]:
             assert sorted(entry) == ["counts_match", "engines",
                                      "mismatches", "output_match",
-                                     "program", "speedup"]
+                                     "program", "speedup",
+                                     "speedup_specialized",
+                                     "speedup_vs_compiled"]
             for engine in entry["engines"].values():
                 assert sorted(engine) == ["counters", "runs", "seconds",
                                           "translate_seconds"]
@@ -116,6 +155,38 @@ class TestBenchCli:
                 pytest.raises(SystemExit) as info:
             main(["bench", "--programs", "nope", "--out", ""])
         assert info.value.code == 2
+
+    def test_tag_derives_filename_and_refuses_clobber(self, tmp_path,
+                                                      monkeypatch):
+        import pytest
+
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        quiet = (contextlib.redirect_stdout(io.StringIO()),
+                 contextlib.redirect_stderr(io.StringIO()))
+        with quiet[0], quiet[1]:
+            code = main(["bench", "--small", "--repeats", "1",
+                         "--programs", "vortex", "--tag", "T",
+                         "--engine", "specialized"])
+        assert code == 0
+        out = tmp_path / "BENCH_T.json"
+        assert out.exists()
+        doc = json.loads(out.read_text())
+        assert set(doc["engines"]) == {"interp", "specialized"}
+        assert doc["totals"]["counts_match"] is True
+        # a second run must refuse to clobber the artifact ...
+        with contextlib.redirect_stderr(io.StringIO()), \
+                pytest.raises(SystemExit) as info:
+            main(["bench", "--small", "--repeats", "1",
+                  "--programs", "vortex", "--tag", "T"])
+        assert info.value.code == 2
+        # ... unless --force is given
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(io.StringIO()):
+            code = main(["bench", "--small", "--repeats", "1",
+                         "--programs", "vortex", "--tag", "T", "--force"])
+        assert code == 0
 
 
 class TestTablesEngine:

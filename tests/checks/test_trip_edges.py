@@ -11,7 +11,7 @@ naive program.
 
 import pytest
 
-from repro.checks import OptimizerOptions
+from repro.checks import OptimizerOptions, Scheme
 from repro.errors import RangeTrap
 
 from ..conftest import ALL_KINDS, ALL_SCHEMES, compile_and_run, run_baseline
@@ -119,3 +119,120 @@ class TestSingleTrip:
             run_baseline(SINGLE_TRIP_TRAPPING)
         with pytest.raises(RangeTrap):
             compile_and_run(SINGLE_TRIP_TRAPPING, options)
+
+
+ENGINE_SCHEMES = [Scheme.NI, Scheme.LLS, Scheme.ALL]
+
+ZERO_EXTENT_DECL = """
+program p
+  input integer :: n = 4
+  integer :: i
+  real :: a(5:2), b(10)
+  do i = 1, n
+    b(i) = real(i) * 2.0
+  end do
+  print b(n)
+end program
+"""
+
+ZERO_EXTENT_ACCESS = """
+program p
+  integer :: i
+  real :: a(5:2)
+  do i = 5, 2
+    a(i) = 1.0
+  end do
+  a(3) = 1.0
+  print 1
+end program
+"""
+
+
+class TestEngineTripEdges:
+    """The back-end engines (including the tier-2 vectorizer) against
+    the same zero/single-trip fixtures: a kernel's closed-form counter
+    charging and zero-trip early return must be indistinguishable from
+    the interpreter's per-iteration accounting."""
+
+    @pytest.mark.parametrize("scheme", ENGINE_SCHEMES,
+                             ids=[s.value for s in ENGINE_SCHEMES])
+    @pytest.mark.parametrize("source", [ZERO_TRIP_CONST,
+                                        ZERO_TRIP_SYMBOLIC,
+                                        ZERO_TRIP_NEGATIVE_STEP,
+                                        SINGLE_TRIP],
+                             ids=["const", "symbolic", "negstep",
+                                  "single"])
+    def test_clean_fixtures_tri_engine_parity(self, source, scheme):
+        from ..backend.test_specialized import tri_parity
+
+        tri_parity(source, options=OptimizerOptions(scheme=scheme))
+
+    @pytest.mark.parametrize("scheme", ENGINE_SCHEMES,
+                             ids=[s.value for s in ENGINE_SCHEMES])
+    def test_single_trip_trap_tri_engine_parity(self, scheme):
+        import pickle
+
+        from repro.backend import compile_to_python, compile_to_specialized
+        from repro.checks import optimize_module
+        from repro.interp import Machine
+        from repro.ssa import destruct_ssa
+
+        from ..conftest import lower_ssa
+
+        module = lower_ssa(SINGLE_TRIP_TRAPPING)
+        optimize_module(module, OptimizerOptions(scheme=scheme))
+        clone = pickle.loads(pickle.dumps(module))
+        machine = Machine(clone, {"n": 1})
+        with pytest.raises(RangeTrap):
+            machine.run()
+        threaded_mod = pickle.loads(pickle.dumps(module))
+        for function in threaded_mod:
+            destruct_ssa(function)
+        with pytest.raises(RangeTrap) as threaded_info:
+            compile_to_python(threaded_mod).run({"n": 1})
+        spec = compile_to_specialized(pickle.loads(pickle.dumps(module)))
+        with pytest.raises(RangeTrap) as spec_info:
+            spec.run({"n": 1})
+        assert list(spec_info.value.runtime.output) == \
+            list(machine.output) == \
+            list(threaded_info.value.runtime.output)
+        assert spec_info.value.runtime.counters.traps == \
+            machine.counters.traps == 1
+
+
+class TestZeroExtentArrays:
+    """Arrays declared with lo > hi have extent zero: every access is
+    out of bounds and every engine must agree on that."""
+
+    def test_zero_extent_declaration_is_harmless(self):
+        from ..backend.test_specialized import tri_parity
+
+        tri_parity(ZERO_EXTENT_DECL, {"n": 4})
+
+    @pytest.mark.parametrize("scheme", ENGINE_SCHEMES,
+                             ids=[s.value for s in ENGINE_SCHEMES])
+    def test_zero_extent_access_traps_in_every_engine(self, scheme):
+        import pickle
+
+        from repro.backend import compile_to_python, compile_to_specialized
+        from repro.checks import optimize_module
+        from repro.interp import Machine
+        from repro.ssa import destruct_ssa
+
+        from ..conftest import lower_ssa
+
+        module = lower_ssa(ZERO_EXTENT_ACCESS)
+        optimize_module(module, OptimizerOptions(scheme=scheme))
+        clone = pickle.loads(pickle.dumps(module))
+        machine = Machine(clone, None)
+        with pytest.raises(RangeTrap):
+            machine.run()
+        threaded_mod = pickle.loads(pickle.dumps(module))
+        for function in threaded_mod:
+            destruct_ssa(function)
+        with pytest.raises(RangeTrap):
+            compile_to_python(threaded_mod).run(None)
+        spec = compile_to_specialized(pickle.loads(pickle.dumps(module)))
+        with pytest.raises(RangeTrap) as info:
+            spec.run(None)
+        assert list(info.value.runtime.output) == list(machine.output)

@@ -311,6 +311,45 @@ class TestGracefulShutdown:
         service.shutdown()
         assert service.wait_stopped(timeout=1.0)
 
+    def test_drain_deadline_follows_injected_monotonic_clock(self):
+        # the drain deadline must come off the injectable monotonic
+        # clock: while that clock stands still the drain keeps waiting
+        # (no wall-clock source can cut it short), and a jump past the
+        # deadline ends it promptly even though almost no wall time
+        # has passed
+        clock_value = [500.0]
+        service = make_service(worker_mode="inline", drain_timeout=300.0,
+                               clock=lambda: clock_value[0])
+        with service._inflight_lock:
+            service._inflight = 1  # simulate a stuck in-flight request
+        done = threading.Event()
+
+        def drain():
+            service.shutdown()
+            done.set()
+
+        threading.Thread(target=drain, daemon=True).start()
+        assert not done.wait(timeout=0.3)  # deadline not reached yet
+        clock_value[0] += 301.0  # jump past the 300s drain deadline
+        with service._idle:
+            service._idle.notify_all()
+        assert done.wait(timeout=10.0)
+        assert service.wait_stopped(timeout=10.0)
+
+    def test_uptime_follows_injected_monotonic_clock(self):
+        clock_value = [100.0]
+        service = make_service(worker_mode="inline",
+                               clock=lambda: clock_value[0])
+        try:
+            clock_value[0] += 42.0
+            health = service.health()
+            assert health["uptime_seconds"] == pytest.approx(42.0)
+            # the wall timestamp is reporting-only and stays a real
+            # unix time regardless of the injected duration clock
+            assert health["started_unix"] <= time.time()
+        finally:
+            service.shutdown()
+
 
 class TestRealWorkerPoolModes:
     def test_inline_mode_round_trip(self):
