@@ -100,6 +100,52 @@ def test_value_range_baseline(benchmark, programs, results_dir):
         assert row[Scheme.VR] < row[Scheme.LLS]
 
 
+@pytest.mark.benchmark(group="extensions")
+def test_spec_vs_lls_and_all(benchmark, programs, results_dir):
+    """Speculative loop versioning vs the paper's best schemes.
+
+    SPEC replaces each covered family's per-loop preheader checks
+    with one envelope guard and runs the fast path check-free, so its
+    dynamic effective-check count must be <= LLS on every program
+    where loops qualify (the guard subsumes the Cond-checks LLS would
+    insert; anything uncovered degrades to exactly LLS placement).
+    """
+    baselines = {
+        p.name: measure_baseline(p.name, p.source, p.inputs).dynamic_checks
+        for p in programs
+    }
+
+    def run_comparison():
+        rows = {}
+        for program in programs:
+            row = {}
+            for scheme in (Scheme.NI, Scheme.LLS, Scheme.ALL, Scheme.SPEC):
+                cell = measure_scheme(
+                    program.name, program.source,
+                    OptimizerOptions(scheme=scheme),
+                    baselines[program.name], program.inputs)
+                row[scheme] = cell.percent_eliminated
+            rows[program.name] = row
+        return rows
+
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = ["SPEC (speculative loop versioning) vs LLS and ALL",
+             "%-10s %8s %8s %8s %8s" % ("program", "NI", "LLS", "ALL",
+                                        "SPEC")]
+    for name, row in rows.items():
+        lines.append("%-10s %8.2f %8.2f %8.2f %8.2f"
+                     % (name, row[Scheme.NI], row[Scheme.LLS],
+                        row[Scheme.ALL], row[Scheme.SPEC]))
+    write_result(results_dir, "extension_spec.txt", "\n".join(lines))
+
+    for name, row in rows.items():
+        # the envelope guard never loses to per-family hoisting
+        assert row[Scheme.SPEC] >= row[Scheme.LLS] - 1e-9, name
+    # and wins outright somewhere: fully covered loops run check-free
+    assert any(row[Scheme.SPEC] > row[Scheme.LLS] + 1e-9
+               for row in rows.values())
+
+
 WHILE_HEAVY = """
 program whiley
   input integer :: n = 200, k = 5

@@ -59,7 +59,8 @@ from ..interp.values import ArrayStorage
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Module
 from ..ir.instructions import (Assign, BinOp, Call, Check, CondJump, Jump,
-                               Load, Phi, Print, Return, Store, Trap, UnOp)
+                               Load, Phi, Print, Return, SpecGuard, Store,
+                               Trap, UnOp)
 from ..ir.types import BOOL, INT, REAL
 from ..ir.values import Const, Value, Var
 from ..symbolic import LinearExpr
@@ -395,6 +396,11 @@ class _FunctionEmitter:
                 cost += 1 + len(inst.indices)
             elif _is_phi_copy(inst) or _is_synthetic_jump(inst):
                 phi_moves += 1  # free: artifacts of SSA destruction
+            elif isinstance(inst, SpecGuard):
+                # free in the instruction count; its spec_guards /
+                # spec_misses bumps are data-dependent and emitted
+                # inline by _emit_instruction
+                pass
             else:
                 cost += 1
         return cost, checks, guarded, phi_moves
@@ -476,6 +482,24 @@ class _FunctionEmitter:
                 # inequality itself was skipped
                 line(indent - 1, "else:")
                 line(indent, "_counters.guard_skipped += 1")
+        elif isinstance(inst, SpecGuard):
+            dest = _mangle(inst.dest.name)
+            if inst.pre_guards:
+                pre = " and ".join(
+                    "(%s) <= %d" % (self._linexpr(guard.linexpr),
+                                    guard.bound)
+                    for guard in inst.pre_guards)
+                line(indent, "if not (%s):" % pre)
+                line(indent + 1, "%s = True" % dest)
+                line(indent, "else:")
+                indent += 1
+            env = " and ".join(
+                "(%s) <= %d" % (self._linexpr(guard.linexpr), guard.bound)
+                for guard in inst.guards) or "True"
+            line(indent, "_counters.spec_guards += 1")
+            line(indent, "%s = %s" % (dest, env))
+            line(indent, "if not %s:" % dest)
+            line(indent + 1, "_counters.spec_misses += 1")
         elif isinstance(inst, Trap):
             line(indent, "_rt.trap(%r)" % inst.message)
             line(indent, "return None")  # unreachable; trap always raises

@@ -24,10 +24,11 @@ from ..pipeline.stats import (BaselineMeasurement, SchemeMeasurement,
                               measure_baseline, measure_scheme)
 from .registry import BenchmarkProgram, all_programs
 
-# Table 2 runs all seven schemes for both check kinds.
+# Table 2 runs the seven paper schemes plus the speculative
+# loop-versioning extension for both check kinds.
 TABLE2_SCHEMES: Tuple[Scheme, ...] = (
     Scheme.NI, Scheme.CS, Scheme.LNI, Scheme.SE,
-    Scheme.LI, Scheme.LLS, Scheme.ALL,
+    Scheme.LI, Scheme.LLS, Scheme.ALL, Scheme.SPEC,
 )
 
 # Table 3 compares implication modes on NI, SE, and LLS.
@@ -102,7 +103,8 @@ BENCH_ENGINES: Tuple[str, ...] = ("interp", "compiled", "specialized")
 #: destruction inserts per phi, so the field legitimately differs
 #: (ratio 1:2) without affecting instruction or check parity.
 BENCH_PARITY_FIELDS: Tuple[str, ...] = (
-    "instructions", "checks", "guarded_checks", "guard_skipped", "traps")
+    "instructions", "checks", "guarded_checks", "guard_skipped",
+    "spec_guards", "spec_misses", "traps")
 
 
 class EngineRun:

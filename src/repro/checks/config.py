@@ -32,6 +32,14 @@ class Scheme(enum.Enum):
     # extension: the abstract-interpretation baseline (value-range
     # analysis; compile-time elimination only, no insertion)
     VR = "VR"
+    # extension: speculative convex-hull preheader guards.  Each
+    # qualifying loop is versioned: one preheader SpecGuard covers the
+    # whole [min, max] offset envelope of a check family, the guarded
+    # fast path runs zero per-iteration checks for covered families,
+    # and a guard miss dispatches to a fully checked clone (never a
+    # trap).  Everything the guard cannot cover degrades to LLS
+    # placement.
+    SPEC = "SPEC"
 
 
 class CheckKind(enum.Enum):

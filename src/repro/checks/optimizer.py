@@ -49,6 +49,8 @@ class OptimizeStats:
         self.eliminated = 0
         self.compile_time = 0
         self.inx_rewritten = 0
+        #: loops versioned by the SPEC scheme (fast/slow clones)
+        self.speculated = 0
         self.trap_reports: List[str] = []
 
     def merge(self, other: "OptimizeStats") -> None:
@@ -60,6 +62,7 @@ class OptimizeStats:
         self.eliminated += other.eliminated
         self.compile_time += other.compile_time
         self.inx_rewritten += other.inx_rewritten
+        self.speculated += other.speculated
         self.trap_reports.extend(other.trap_reports)
 
     def __repr__(self) -> str:
@@ -145,6 +148,14 @@ class RangeCheckOptimizer:
             self._run_preheader(substitute_linear=True)
             self._refresh_analyses()
             self._run_lcm(earliest=True)
+        elif scheme is Scheme.SPEC:
+            # speculative loop versioning first, then LLS placement for
+            # every family the envelope guard could not cover (the
+            # degradation path).  The preheader inserter skips the
+            # checked slow-path clones so they stay NI-exact.
+            self._run_spec()
+            self._refresh_analyses()
+            self._run_preheader(substitute_linear=True)
         elif scheme is Scheme.MCM:
             self._run_markstein()
         # Scheme.NI: no insertion
@@ -175,6 +186,14 @@ class RangeCheckOptimizer:
         self.stats.inserted += inserter.inserted
         for edge, checks in inserter.edge_gen.items():
             self.edge_gen.setdefault(edge, []).extend(checks)
+
+    def _run_spec(self) -> None:
+        from .spec import SpeculativeVersioner
+
+        versioner = SpeculativeVersioner(self.function, self._env,
+                                         self._forest, self._induction)
+        versioner.run()
+        self.stats.speculated += versioner.versioned
 
     def _run_markstein(self) -> None:
         from .markstein import MarksteinInserter

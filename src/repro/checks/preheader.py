@@ -72,7 +72,12 @@ class PreheaderInserter:
     def run(self, substitute_linear: bool) -> int:
         """Process all loops inner-to-outer; returns insertions made."""
         antin, _ = self.analysis.anticipatability()
+        # SPEC slow-path clones must stay exactly as the NI scheme
+        # would leave them: elimination only, never insertion
+        slow_headers = getattr(self.function, "spec_slow_headers", ()) or ()
         for loop in self.forest.inner_to_outer():
+            if loop.header.name in slow_headers:
+                continue
             body_entry = self._body_entry(loop)
             if body_entry is None:
                 continue

@@ -51,6 +51,21 @@ def _usage_exit(message: str) -> "SystemExit":
     return SystemExit(EXIT_USAGE)
 
 
+ENGINE_NAMES = ("interp", "compiled", "specialized")
+
+
+def _validate_engine(command: str, engine: str,
+                     extra: tuple = ()) -> str:
+    """Exit-code-2 contract: an unknown engine name is a usage error
+    with a one-line message, never an argparse usage dump or a
+    traceback."""
+    allowed = ENGINE_NAMES + extra
+    if engine not in allowed:
+        raise _usage_exit("%s: unknown engine %r (choose from %s)"
+                          % (command, engine, ", ".join(allowed)))
+    return engine
+
+
 def _parse_inputs(pairs: List[str]) -> Dict[str, float]:
     inputs: Dict[str, float] = {}
     for pair in pairs:
@@ -91,6 +106,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _validate_engine("run", args.engine)
     with open(args.file) as handle:
         source = handle.read()
     inputs = _parse_inputs(args.input)
@@ -182,6 +198,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
+    _validate_engine("tables", args.engine)
     from .benchsuite import run_suite
     from .reporting import (TABLE3_LABELS, render_tables_text,
                             table2_labels, tables_summary_line)
@@ -214,6 +231,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    _validate_engine("bench", args.engine, extra=("all",))
     import json
     import os
 
@@ -415,10 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="NAME=VALUE")
     run_parser.add_argument("--no-optimize", action="store_true")
     run_parser.add_argument("--engine", default="interp",
-                            choices=["interp", "compiled", "specialized"],
+                            metavar="ENGINE",
                             help="tree-walking interpreter, the "
                                  "direct-threaded back-end, or the "
-                                 "tier-2 specialized back-end")
+                                 "tier-2 specialized back-end "
+                                 "(interp, compiled, specialized)")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the machine-readable run document "
                                  "(same schema as the compile service)")
@@ -464,19 +483,19 @@ def build_parser() -> argparse.ArgumentParser:
                                help="include the wall-clock Range(s) "
                                     "column (nondeterministic output)")
     tables_parser.add_argument("--engine", default="interp",
-                               choices=["interp", "compiled",
-                                        "specialized"],
+                               metavar="ENGINE",
                                help="execution engine for every "
-                                    "measurement; the rendered tables "
+                                    "measurement (interp, compiled, "
+                                    "specialized); the rendered tables "
                                     "are identical either way")
     tables_parser.set_defaults(handler=_cmd_tables)
 
     bench_parser = commands.add_parser(
         "bench", help="wall-clock comparison of the execution engines")
     bench_parser.add_argument("--engine", default="all",
-                              choices=["interp", "compiled",
-                                       "specialized", "all"],
-                              help="engine under test; a back-end "
+                              metavar="ENGINE",
+                              help="engine under test (interp, compiled, "
+                                   "specialized, all); a back-end "
                                    "engine still runs the interpreter "
                                    "as the parity reference "
                                    "(default: all three)")

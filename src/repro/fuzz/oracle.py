@@ -279,6 +279,14 @@ class Oracle:
                    optimized.counters.checks,
                    optimized.counters.guard_skipped,
                    baseline.counters.checks))
+        if optimized.counters.spec_misses > optimized.counters.spec_guards:
+            # each evaluated envelope guard records at most one miss, so
+            # a surplus means SpecGuard accounting itself is broken
+            return FuzzFailure(
+                "count-regression", seed, source, label,
+                "spec_misses=%d exceeds spec_guards=%d"
+                % (optimized.counters.spec_misses,
+                   optimized.counters.spec_guards))
         return None
 
     def _compare_engines(self, interp: _RunResult, compiled: _RunResult,
@@ -330,13 +338,22 @@ class Oracle:
             return None
         if compiled.counters.checks != interp.counters.checks or \
                 compiled.counters.guard_skipped != \
-                interp.counters.guard_skipped:
+                interp.counters.guard_skipped or \
+                compiled.counters.spec_guards != \
+                interp.counters.spec_guards or \
+                compiled.counters.spec_misses != \
+                interp.counters.spec_misses:
             return FuzzFailure(
                 kind, seed, source, label,
                 "dynamic check counts differ\n"
-                "interp: checks=%d guard_skipped=%d\n"
-                "%s: checks=%d guard_skipped=%d"
+                "interp: checks=%d guard_skipped=%d "
+                "spec_guards=%d spec_misses=%d\n"
+                "%s: checks=%d guard_skipped=%d "
+                "spec_guards=%d spec_misses=%d"
                 % (interp.counters.checks, interp.counters.guard_skipped,
+                   interp.counters.spec_guards, interp.counters.spec_misses,
                    engine, compiled.counters.checks,
-                   compiled.counters.guard_skipped))
+                   compiled.counters.guard_skipped,
+                   compiled.counters.spec_guards,
+                   compiled.counters.spec_misses))
         return None

@@ -24,7 +24,8 @@ class ExecutionCounters:
     """Mutable counters filled in by the interpreter."""
 
     __slots__ = ("instructions", "checks", "phis", "guarded_checks",
-                 "guard_skipped", "by_opcode", "traps")
+                 "guard_skipped", "spec_guards", "spec_misses",
+                 "by_opcode", "traps")
 
     def __init__(self) -> None:
         self.instructions = 0
@@ -38,6 +39,15 @@ class ExecutionCounters:
         # baseline (a hoisted check above a zero-trip loop does run-time
         # work but performs no range comparison).
         self.guard_skipped = 0
+        # SPEC envelope guards: ``spec_guards`` counts evaluated
+        # SpecGuard envelopes (pre-guard failures are free -- the loop
+        # never runs), ``spec_misses`` counts envelopes that failed and
+        # dispatched to the checked slow path.  Kept out of ``checks``:
+        # a guard may fail on a run whose baseline did zero checks, and
+        # the oracle's no-extra-work invariant compares effective
+        # checks against the naive baseline.
+        self.spec_guards = 0
+        self.spec_misses = 0
         self.traps = 0
         self.by_opcode: Counter = Counter()
 
@@ -59,6 +69,8 @@ class ExecutionCounters:
             "phis": self.phis,
             "guarded_checks": self.guarded_checks,
             "guard_skipped": self.guard_skipped,
+            "spec_guards": self.spec_guards,
+            "spec_misses": self.spec_misses,
             "traps": self.traps,
         }
 

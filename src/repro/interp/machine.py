@@ -20,7 +20,8 @@ from ..errors import (BoundsAuditError, CallDepthError, InterpError,
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Module
 from ..ir.instructions import (Assign, BinOp, Call, Check, CondJump, Jump,
-                               Load, Phi, Print, Return, Store, Trap, UnOp)
+                               Load, Phi, Print, Return, SpecGuard, Store,
+                               Trap, UnOp)
 from ..ir.types import REAL
 from ..ir.values import Const, Value, Var
 from ..symbolic import LinearExpr
@@ -217,6 +218,13 @@ class Machine:
                 counters.instructions += 1
                 self.output.append(self._eval(frame, inst.value))
                 continue
+            if isinstance(inst, SpecGuard):
+                # free in the instruction count: the guard replaces
+                # per-iteration checks, and its cost is reported via
+                # the dedicated spec_guards/spec_misses counters
+                frame.scalars[inst.dest.name] = self._run_spec_guard(
+                    frame, inst)
+                continue
             if isinstance(inst, Trap):
                 counters.traps += 1
                 raise RangeTrap(inst.message)
@@ -238,6 +246,19 @@ class Machine:
                 "range check failed: %s = %d > %d (array %s, %s bound)"
                 % (check.linexpr, value, check.bound, check.array or "?",
                    check.kind), str(check))
+
+    def _run_spec_guard(self, frame: _Frame, inst: SpecGuard) -> bool:
+        for guard in inst.pre_guards:
+            if self._eval_linear(frame, guard.linexpr) > guard.bound:
+                # zero-trip loop: the fast path is trivially safe and
+                # the envelope is never evaluated (no counter bumps)
+                return True
+        self.counters.spec_guards += 1
+        for guard in inst.guards:
+            if self._eval_linear(frame, guard.linexpr) > guard.bound:
+                self.counters.spec_misses += 1
+                return False
+        return True
 
     def _audit_access(self, array: ArrayStorage,
                       indices: List[int]) -> None:

@@ -361,6 +361,70 @@ def _rewrite_linear(linexpr: LinearExpr, bound: int,
     return new_expr, new_bound, kept
 
 
+class SpecGuard(Instruction):
+    """Speculative envelope guard of the SPEC placement scheme.
+
+    Sits in the preheader of a versioned loop and defines the BOOL
+    that dispatches between the unchecked fast clone and the fully
+    checked slow clone:
+
+    * ``pre_guards`` encode "the loop executes at least once".  When
+      any of them fails, ``dest`` is True (take the fast path -- the
+      loop exits immediately, so skipping its checks is trivially
+      safe) and **no** counters are touched.
+    * otherwise the run charges one ``spec_guards`` evaluation, and
+      ``dest`` is True iff every envelope inequality in ``guards``
+      holds.  A failing envelope charges one ``spec_misses`` and sends
+      execution down the slow path -- it never traps.
+
+    By construction ``spec_misses`` equals the number of slow-path
+    entries, which is what the fuzz oracle's "slow path fires iff the
+    envelope guard fails" invariant leans on.  Guard evaluations are
+    deliberately *not* counted as ``checks``: the envelope may fail on
+    a run whose baseline executed zero checks, and the no-extra-work
+    invariant compares effective checks against the naive baseline.
+    """
+
+    __slots__ = ("dest", "pre_guards", "guards")
+
+    def __init__(self, dest: Var, pre_guards: Sequence[Guard],
+                 guards: Sequence[Guard]) -> None:
+        super().__init__()
+        self.dest = dest
+        self.pre_guards: List[Guard] = list(pre_guards)
+        self.guards: List[Guard] = list(guards)
+        self._validate()
+
+    def _validate(self) -> None:
+        for guard in list(self.pre_guards) + list(self.guards):
+            missing = set(guard.linexpr.symbols()) - set(guard.operands)
+            if missing:
+                raise IRError("spec-guard %s missing operands for %s"
+                              % (self, sorted(missing)))
+
+    def uses(self) -> List[Value]:
+        used: List[Value] = []
+        for guard in list(self.pre_guards) + list(self.guards):
+            used.extend(guard.operands[s] for s in guard.linexpr.symbols())
+        return used
+
+    def def_var(self) -> Optional[Var]:
+        return self.dest
+
+    def replace_uses(self, mapping: Mapping[Var, Value]) -> None:
+        for guard in list(self.pre_guards) + list(self.guards):
+            guard.linexpr, guard.bound, guard.operands = _rewrite_linear(
+                guard.linexpr, guard.bound, guard.operands, mapping)
+
+    def __str__(self) -> str:
+        # The printed form feeds the BackendCache fingerprint: every
+        # semantically relevant field (pre-guards, envelope bounds)
+        # must appear here, or two different guards would share a key.
+        pre = " and ".join(str(g) for g in self.pre_guards) or "()"
+        env = " and ".join(str(g) for g in self.guards) or "()"
+        return "%s = spec-guard pre %s env %s" % (self.dest, pre, env)
+
+
 class Trap(Instruction):
     """Unconditional trap: a check proven false at compile time."""
 

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import IRError
 from .basicblock import BasicBlock
 from .function import Function, Module
-from .instructions import Check, Instruction, Phi
+from .instructions import Check, Instruction, Phi, SpecGuard
 from .values import Var
 
 
@@ -76,6 +76,8 @@ def _verify_block(function: Function, block: BasicBlock) -> None:
             seen_non_phi = True
         if isinstance(inst, Check):
             _verify_check(inst)
+        if isinstance(inst, SpecGuard):
+            _verify_spec_guard(inst)
     for succ in term.successors():
         if succ not in function.blocks:
             raise IRError("block %s targets unknown block %s"
@@ -102,6 +104,23 @@ def _verify_check(check: Check) -> None:
                 raise IRError(
                     "check guard %s operand %r bound to mismatched var %r"
                     % (check, sym, var.name))
+
+
+def _verify_spec_guard(inst: SpecGuard) -> None:
+    for kind, guards in (("pre", inst.pre_guards), ("env", inst.guards)):
+        for guard in guards:
+            if guard.linexpr.const != 0:
+                raise IRError("spec-guard %s %s-guard is not canonical "
+                              "(nonzero constant term)" % (inst, kind))
+            missing = set(guard.linexpr.symbols()) - set(guard.operands)
+            if missing:
+                raise IRError("spec-guard %s %s-guard missing operand "
+                              "vars %s" % (inst, kind, sorted(missing)))
+            for sym, var in guard.operands.items():
+                if var.name != sym:
+                    raise IRError(
+                        "spec-guard %s %s-guard operand %r bound to "
+                        "mismatched var %r" % (inst, kind, sym, var.name))
 
 
 def _collect_single_defs(

@@ -55,6 +55,51 @@ class TestShrink:
         assert oracle.check(small).kind == "frontend-error"
 
 
+class TestShrinkEngineReplay:
+    """Regression: shrinking must replay the tier-2 specialized engine.
+
+    A shrunk reproducer is only trustworthy if every candidate was
+    validated under the same engines that exposed the original
+    failure; silently dropping ``specialized`` from the replay would
+    let the shrinker "minimize away" a tier-2-only divergence."""
+
+    def test_specialized_engine_replayed_during_shrink(self, monkeypatch):
+        from repro.fuzz import oracle as oracle_mod
+        from repro.fuzz.runner import shrink_failure
+
+        seen = []
+        real = oracle_mod._run_compiled
+
+        def spy(program, inputs, max_steps, engine="compiled"):
+            seen.append(engine)
+            return real(program, inputs, max_steps, engine=engine)
+
+        monkeypatch.setattr(oracle_mod, "_run_compiled", spy)
+        # the failure need not reproduce: the predicate still drives
+        # the oracle over each candidate, which is what we audit
+        failure = FuzzFailure("output-mismatch", 3, BLOATED, "PRX-SPEC",
+                              "synthetic")
+        shrink_failure(failure, engines=True)
+        assert "specialized" in seen
+        assert "compiled" in seen
+
+    def test_engines_flag_off_skips_backends(self, monkeypatch):
+        from repro.fuzz import oracle as oracle_mod
+        from repro.fuzz.runner import shrink_failure
+
+        seen = []
+
+        def spy(program, inputs, max_steps, engine="compiled"):
+            seen.append(engine)
+            return oracle_mod._RunResult([], False, None)
+
+        monkeypatch.setattr(oracle_mod, "_run_compiled", spy)
+        failure = FuzzFailure("output-mismatch", 3, BLOATED, "PRX-SPEC",
+                              "synthetic")
+        shrink_failure(failure, engines=False)
+        assert seen == []
+
+
 class TestCorpus:
     def test_roundtrip(self, tmp_path):
         failure = FuzzFailure("safety", 17, BLOATED, "PRX-LLS",

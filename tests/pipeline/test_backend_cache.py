@@ -76,6 +76,70 @@ class TestMemoryLayer:
         assert stats["entries"] == 1
 
 
+SPEC_SOURCE = """
+program p
+  input integer :: n = 6
+  real :: a(10)
+  integer :: i
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  print a(1)
+end program
+"""
+
+
+class TestSchemeSensitiveKeys:
+    """Regression (check-configuration audit): the cache key is the
+    printed IR, so every semantic difference the optimizer introduces
+    must reach an instruction's ``__str__``.  A SpecGuard that printed
+    only its destination would let two different envelope guards
+    collide on one cached compiled module."""
+
+    @staticmethod
+    def _key(scheme):
+        from repro.checks.config import OptimizerOptions
+        program = compile_source(SPEC_SOURCE,
+                                 OptimizerOptions(scheme=scheme))
+        return BackendCache.key(program.module)
+
+    def test_spec_and_lls_schemes_get_distinct_keys(self):
+        from repro.checks.config import Scheme
+        assert self._key(Scheme.SPEC) != self._key(Scheme.LLS)
+
+    def test_envelope_bound_reaches_the_key(self):
+        from repro.checks.config import OptimizerOptions, Scheme
+        from repro.ir.instructions import SpecGuard
+
+        program = compile_source(SPEC_SOURCE,
+                                 OptimizerOptions(scheme=Scheme.SPEC))
+        module = program.module
+        before = BackendCache.key(module)
+        guards = [inst for function in module
+                  for inst in function.instructions()
+                  if isinstance(inst, SpecGuard)]
+        assert guards, "SPEC should have versioned the loop"
+        # modules identical except for one envelope bound must not
+        # share a cache entry
+        guards[0].guards[0].bound += 1
+        assert BackendCache.key(module) != before
+
+    def test_trip_pre_guard_reaches_the_key(self):
+        from repro.checks.config import OptimizerOptions, Scheme
+        from repro.ir.instructions import SpecGuard
+
+        program = compile_source(SPEC_SOURCE,
+                                 OptimizerOptions(scheme=Scheme.SPEC))
+        module = program.module
+        before = BackendCache.key(module)
+        guards = [inst for function in module
+                  for inst in function.instructions()
+                  if isinstance(inst, SpecGuard)]
+        assert guards and guards[0].pre_guards
+        guards[0].pre_guards[0].bound += 1
+        assert BackendCache.key(module) != before
+
+
 class TestDiskLayer:
     def test_fresh_instance_hits_disk(self, tmp_path):
         writer = BackendCache(disk_dir=str(tmp_path))

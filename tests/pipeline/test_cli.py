@@ -175,6 +175,26 @@ class TestExitCodeContract:
             main(["run", "--not-a-flag"])
         assert info.value.code == 2
 
+    def test_unknown_engine_is_two(self, source_file, capsys):
+        # every --engine taker shares the contract: exit code 2 plus a
+        # single-line message, never an argparse usage dump
+        for argv in (["run", source_file, "--engine", "turbo"],
+                     ["tables", "--engine", "turbo"],
+                     ["bench", "--engine", "turbo"]):
+            with pytest.raises(SystemExit) as info:
+                main(argv)
+            assert info.value.code == 2
+            err = capsys.readouterr().err
+            assert err.count("\n") == 1
+            assert "unknown engine 'turbo'" in err
+
+    def test_bench_accepts_all_engines_keyword(self):
+        # "all" is bench-only; run/tables reject it with the same
+        # one-liner
+        with pytest.raises(SystemExit) as info:
+            main(["tables", "--engine", "all"])
+        assert info.value.code == 2
+
     def test_parse_error_is_two(self, tmp_path):
         bad = tmp_path / "bad.f"
         bad.write_text("program p\nif then\nend program")
