@@ -28,6 +28,27 @@ def results_dir():
 
 
 def write_result(results_dir: str, name: str, text: str) -> None:
+    """Overwrite one results file, preserving marked sections.
+
+    Sections framed ``# >>> repro:<tag>`` .. ``# <<< repro:<tag>``
+    (e.g. the cluster scaling curve appended by
+    ``repro.cluster.scaling``) are re-appended after the fresh text so
+    two harnesses can share one artifact without clobbering each
+    other.
+    """
     path = os.path.join(results_dir, name)
+    preserved: list = []
+    if os.path.exists(path):
+        keep = False
+        with open(path) as handle:
+            for line in handle:
+                if line.startswith("# >>> repro:"):
+                    keep = True
+                if keep:
+                    preserved.append(line.rstrip("\n"))
+                if line.startswith("# <<< repro:"):
+                    keep = False
     with open(path, "w") as handle:
         handle.write(text + "\n")
+        if preserved:
+            handle.write("\n" + "\n".join(preserved) + "\n")

@@ -400,23 +400,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json
 
-    from .service import run_loadgen
+    from .service import ServiceClient, run_loadgen
 
-    report = run_loadgen(args.url, requests_total=args.requests,
+    slo_spec = None
+    if args.slo:
+        from .cluster.slo import SloParseError, parse_slo
+
+        try:
+            slo_spec = parse_slo(args.slo)
+        except SloParseError as error:
+            raise _usage_exit("loadgen: %s" % error)
+    shard_urls = list(args.shard or [])
+    if args.cluster:
+        # the cluster admin /healthz reports every live shard's direct
+        # URL — resolve them once so requests route with affinity
+        try:
+            health = ServiceClient(args.cluster, timeout=10.0).healthz()
+        except (OSError, ValueError) as error:
+            raise _usage_exit("loadgen: cannot reach cluster admin %s "
+                              "(%s)" % (args.cluster, error))
+        shard_urls.extend(
+            shard["direct_url"]
+            for shard in health.get("shard_status", ())
+            if shard.get("alive") and shard.get("direct_url"))
+        if not shard_urls:
+            raise _usage_exit("loadgen: cluster %s reports no live "
+                              "shards" % args.cluster)
+    url = args.url or (shard_urls[0] if shard_urls else None)
+    if url is None:
+        raise _usage_exit("loadgen: need --url, --cluster, or --shard")
+    report = run_loadgen(url, requests_total=args.requests,
                          concurrency=args.concurrency,
                          small=not args.large,
                          corpus_dir=args.corpus,
                          include_trap=not args.no_trap,
                          include_malformed=not args.no_malformed,
                          timeout=args.request_timeout,
-                         out_path=args.out)
+                         out_path=args.out,
+                         qps=args.qps, arrival_seed=args.seed,
+                         slo=slo_spec,
+                         shard_urls=shard_urls or None)
     print(report.summary(), file=sys.stderr)
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     elif args.out:
         print(args.out)
     transport_errors = report.by_status().get("transport-error", 0)
+    if report.slo_passed is False:
+        print("loadgen: SLO %r FAILED" % report.slo_spec.spec,
+              file=sys.stderr)
+        return EXIT_TRAP
     return EXIT_OK if transport_errors == 0 else EXIT_TRAP
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from .cluster import ClusterSupervisor
+
+    if args.faults:
+        from . import faults
+
+        try:
+            faults.parse_spec(args.faults)
+        except faults.FaultSpecError as error:
+            raise _usage_exit("cluster: %s" % error)
+        # the env var is the transport: shards and their workers re-arm
+        # from it after the fork
+        os.environ[faults.ENV_VAR] = args.faults
+        faults.arm_from_env()
+
+    if args.bench:
+        from .cluster.scaling import (record_section, render_section,
+                                      run_scaling_ladder)
+
+        shard_counts = [int(item) for chunk in (args.bench_shards or ["1,2,4,8"])
+                        for item in chunk.split(",") if item.strip()]
+        qps_ladder = [float(item) for chunk in (args.bench_qps or ["25,50,100"])
+                      for item in chunk.split(",") if item.strip()]
+        points = run_scaling_ladder(
+            shard_counts=shard_counts, qps_ladder=qps_ladder,
+            requests_total=args.bench_requests, workers=args.workers,
+            worker_mode=args.worker_mode,
+            log=lambda message: print(message, file=sys.stderr))
+        section = render_section(points)
+        record_section(args.bench_out, section)
+        print(section)
+        print("cluster: scaling curve written to %s" % args.bench_out,
+              file=sys.stderr)
+        return EXIT_OK
+
+    supervisor = ClusterSupervisor(
+        shards=args.shards, host=args.host, port=args.port,
+        workers=args.workers, worker_mode=args.worker_mode,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+        cache_dir=args.cache_dir or None,
+        admin_port=args.admin_port)
+    supervisor.start()
+
+    def _graceful(_signum, _frame):
+        threading.Thread(target=supervisor.shutdown,
+                         daemon=True).start()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _graceful)
+    print("repro-cluster %s: %d shard(s) on %s (admin %s)"
+          % (__version__, supervisor.shards, supervisor.url,
+             supervisor.admin_url), file=sys.stderr)
+    for url in supervisor.shard_urls:
+        print("repro-cluster: shard direct %s" % url, file=sys.stderr)
+    supervisor.wait_stopped()
+    clean = supervisor.shutdown()  # idempotent: reports drain status
+    print("repro-cluster: %s"
+          % ("drained clean" if clean else "unclean shutdown"),
+          file=sys.stderr)
+    return EXIT_OK if clean else EXIT_INTERNAL
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -590,9 +692,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     loadgen_parser = commands.add_parser(
         "loadgen", help="drive benchmark traffic at a compile service")
-    loadgen_parser.add_argument("--url", required=True,
+    loadgen_parser.add_argument("--url",
                                 help="service base URL, e.g. "
-                                     "http://127.0.0.1:8377")
+                                     "http://127.0.0.1:8377 (optional "
+                                     "when --cluster/--shard is given)")
     loadgen_parser.add_argument("--requests", type=int, default=50,
                                 metavar="N",
                                 help="total requests to send (default 50)")
@@ -619,7 +722,84 @@ def build_parser() -> argparse.ArgumentParser:
                                      "benchmarks/results/loadgen.json)")
     loadgen_parser.add_argument("--json", action="store_true",
                                 help="also print the report to stdout")
+    loadgen_parser.add_argument("--qps", type=float, metavar="RATE",
+                                help="open-loop arrivals at RATE qps "
+                                     "(seeded Poisson; default: closed "
+                                     "loop)")
+    loadgen_parser.add_argument("--seed", type=int, default=0,
+                                metavar="N",
+                                help="arrival-process seed (default 0)")
+    loadgen_parser.add_argument("--slo", metavar="SPEC",
+                                help="grade the run, e.g. "
+                                     "'p99<50ms@200qps' (comma-separated "
+                                     "clauses; failing exits 1)")
+    loadgen_parser.add_argument("--cluster", metavar="ADMIN_URL",
+                                help="resolve live shard direct URLs "
+                                     "from a cluster admin /healthz and "
+                                     "route with consistent hashing")
+    loadgen_parser.add_argument("--shard", action="append", metavar="URL",
+                                help="explicit shard direct URL "
+                                     "(repeatable; alternative to "
+                                     "--cluster)")
     loadgen_parser.set_defaults(handler=_cmd_loadgen)
+
+    cluster_parser = commands.add_parser(
+        "cluster", help="pre-fork N compile-service shards on one "
+                        "SO_REUSEPORT address")
+    cluster_parser.add_argument("--shards", type=int, default=2,
+                                metavar="N",
+                                help="shard process count (default 2)")
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument("--port", type=int, default=8377,
+                                help="shared listen port (0 picks a "
+                                     "free one)")
+    cluster_parser.add_argument("--admin-port", type=int, default=0,
+                                metavar="PORT",
+                                help="supervisor admin port for "
+                                     "aggregated /metrics and /healthz "
+                                     "(default: ephemeral)")
+    cluster_parser.add_argument("--workers", type=int, default=2,
+                                metavar="N",
+                                help="worker pool size per shard "
+                                     "(default 2)")
+    cluster_parser.add_argument("--worker-mode", default="thread",
+                                choices=["process", "thread", "inline"],
+                                help="per-shard worker mode (default "
+                                     "thread: shards are already "
+                                     "processes)")
+    cluster_parser.add_argument("--queue-limit", type=int, default=32,
+                                metavar="N")
+    cluster_parser.add_argument("--request-timeout", type=float,
+                                default=60.0, metavar="SECONDS")
+    cluster_parser.add_argument("--drain-timeout", type=float,
+                                default=30.0, metavar="SECONDS")
+    cluster_parser.add_argument("--cache-dir", metavar="DIR",
+                                help="shared artifact store directory "
+                                     "(sets REPRO_CACHE_DIR for every "
+                                     "shard)")
+    cluster_parser.add_argument("--faults", metavar="SPEC",
+                                help="arm deterministic fault injection "
+                                     "cluster-wide (docs/RESILIENCE.md)")
+    cluster_parser.add_argument("--bench", action="store_true",
+                                help="run the shard-count x QPS scaling "
+                                     "ladder and record "
+                                     "benchmarks/results/scaling.txt")
+    cluster_parser.add_argument("--bench-shards", action="append",
+                                metavar="N,N,...",
+                                help="ladder shard counts (default "
+                                     "1,2,4,8)")
+    cluster_parser.add_argument("--bench-qps", action="append",
+                                metavar="Q,Q,...",
+                                help="ladder QPS rungs (default "
+                                     "25,50,100)")
+    cluster_parser.add_argument("--bench-requests", type=int, default=60,
+                                metavar="N",
+                                help="requests per ladder cell "
+                                     "(default 60)")
+    cluster_parser.add_argument("--bench-out", metavar="PATH",
+                                default="benchmarks/results/scaling.txt",
+                                help="scaling curve artifact path")
+    cluster_parser.set_defaults(handler=_cmd_cluster)
     return parser
 
 

@@ -1,0 +1,23 @@
+"""Horizontal scale-out: pre-fork SO_REUSEPORT shards, a shared
+cross-process artifact store, and an SLO-gated load generator.
+
+The cluster is N independent :class:`~repro.service.server.
+CompileService` processes bound to one kernel-load-balanced address,
+supervised by :class:`ClusterSupervisor` (restart-on-crash, graceful
+drain, aggregated ``/metrics``).  Shards share one on-disk artifact
+store (``REPRO_CACHE_DIR``) whose fills are cross-process
+single-flight (:mod:`repro.pipeline.cache`), so a cold program
+compiles exactly once cluster-wide.  ``docs/SERVICE.md`` has the
+topology and lifecycle; ``repro cluster --help`` the knobs.
+"""
+
+from .slo import SloParseError, SloSpec, parse_slo
+from .supervisor import ClusterSupervisor, ShardHandle
+
+__all__ = [
+    "ClusterSupervisor",
+    "ShardHandle",
+    "SloParseError",
+    "SloSpec",
+    "parse_slo",
+]

@@ -1,0 +1,138 @@
+"""The shard-count x QPS scaling ladder behind ``repro cluster --bench``.
+
+For each shard count the harness boots a fresh cluster (cold shared
+artifact store in a private directory), drives the standard mixed
+loadgen workload open-loop at each rung of the QPS ladder, and records
+achieved throughput and latency percentiles.  The curve is appended to
+``benchmarks/results/scaling.txt`` inside a ``# >>> repro:cluster``
+marked section, which ``benchmarks/conftest.write_result`` preserves
+when the elimination-percentage harness rewrites the rest of the file.
+
+Numbers are honest by construction: the header records the machine's
+CPU count, and the single-process row uses the *same* harness with
+``shards=1`` — the speedup column is cluster-vs-one-shard on identical
+workload, arrivals, and cache state.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+SECTION_BEGIN = "# >>> repro:cluster"
+SECTION_END = "# <<< repro:cluster"
+
+
+def run_scaling_point(shards: int, qps: float, requests_total: int,
+                      workers: int = 2, worker_mode: str = "thread",
+                      concurrency: int = 32,
+                      corpus_dir: Optional[str] = None,
+                      arrival_seed: int = 0) -> Dict[str, Any]:
+    """One cell of the curve: a fresh ``shards``-cluster at ``qps``."""
+    from ..service.client import run_loadgen
+    from .supervisor import ClusterSupervisor
+
+    with tempfile.TemporaryDirectory(prefix="repro-scaling-") as cache:
+        supervisor = ClusterSupervisor(
+            shards=shards, port=0, workers=workers,
+            worker_mode=worker_mode, cache_dir=cache,
+            drain_timeout=10.0)
+        supervisor.start()
+        try:
+            report = run_loadgen(
+                supervisor.url, requests_total=requests_total,
+                concurrency=concurrency, corpus_dir=corpus_dir,
+                qps=qps, arrival_seed=arrival_seed,
+                shard_urls=supervisor.shard_urls)
+        finally:
+            supervisor.shutdown()
+    doc = report.as_dict()
+    return {
+        "shards": shards,
+        "qps_target": qps,
+        "requests": doc["requests"],
+        "throughput_rps": doc["throughput_rps"],
+        "p50_s": doc["latency_seconds"]["p50"],
+        "p99_s": doc["latency_seconds"]["p99"],
+        "transport_errors": doc["by_status"].get("transport-error", 0),
+        "unaccounted": doc["unaccounted"],
+    }
+
+
+def run_scaling_ladder(shard_counts: Sequence[int] = (1, 2, 4, 8),
+                       qps_ladder: Sequence[float] = (25.0, 50.0, 100.0),
+                       requests_total: int = 60,
+                       workers: int = 2, worker_mode: str = "thread",
+                       concurrency: int = 32,
+                       corpus_dir: Optional[str] = None,
+                       log=None) -> List[Dict[str, Any]]:
+    """The full curve, one :func:`run_scaling_point` per cell."""
+    points = []
+    for shards in shard_counts:
+        for qps in qps_ladder:
+            if log is not None:
+                log("scaling: %d shard(s) @ %.0f qps..." % (shards, qps))
+            points.append(run_scaling_point(
+                shards, qps, requests_total, workers=workers,
+                worker_mode=worker_mode, concurrency=concurrency,
+                corpus_dir=corpus_dir))
+    return points
+
+
+def render_section(points: List[Dict[str, Any]]) -> str:
+    """The marked scaling.txt section for ``points``."""
+    lines = [
+        SECTION_BEGIN,
+        "# cluster scaling: shards x target QPS "
+        "(open-loop mixed workload, shared artifact store)",
+        "# host: %d cpu core(s); recorded %s"
+        % (os.cpu_count() or 1,
+           time.strftime("%Y-%m-%d", time.gmtime())),
+        "shards  target_qps  achieved_rps   p50_ms   p99_ms  errors",
+    ]
+    base_rps: Dict[float, float] = {}
+    for point in points:
+        if point["shards"] == 1:
+            base_rps[point["qps_target"]] = point["throughput_rps"]
+    for point in points:
+        line = ("%6d  %10.0f  %12.1f  %7.1f  %7.1f  %6d"
+                % (point["shards"], point["qps_target"],
+                   point["throughput_rps"], 1000.0 * point["p50_s"],
+                   1000.0 * point["p99_s"],
+                   point["transport_errors"] + point["unaccounted"]))
+        base = base_rps.get(point["qps_target"])
+        if base and point["shards"] > 1:
+            line += "  (%.2fx vs 1 shard)" % (point["throughput_rps"]
+                                              / base)
+        lines.append(line)
+    lines.append(SECTION_END)
+    return "\n".join(lines)
+
+
+def record_section(path: str, section: str) -> None:
+    """Replace (or append) the marked cluster section in ``path``."""
+    lines: List[str] = []
+    if os.path.exists(path):
+        skipping = False
+        with open(path) as handle:
+            for line in handle:
+                if line.startswith(SECTION_BEGIN):
+                    skipping = True
+                    continue
+                if line.startswith(SECTION_END):
+                    skipping = False
+                    continue
+                if not skipping:
+                    lines.append(line.rstrip("\n"))
+    while lines and not lines[-1]:
+        lines.pop()
+    text = "\n".join(lines)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        if text:
+            handle.write(text + "\n\n")
+        handle.write(section + "\n")

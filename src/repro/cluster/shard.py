@@ -1,0 +1,91 @@
+"""The per-process entry point of one cluster shard.
+
+A shard is simply the existing :class:`~repro.service.server.
+CompileService` booted with ``reuse_port=True``: every shard binds its
+*own* listening socket to the cluster's shared ``(host, port)`` and
+the kernel load-balances incoming connections across them.  Nothing is
+inherited through the fork — no shared fds, no shared locks — which is
+what makes a crashed shard restartable in isolation.
+
+On top of the shared address each shard opens one private ephemeral
+"direct" listener (:meth:`CompileService.listen_also`): the supervisor
+scrapes per-shard ``/metrics`` there, and the consistent-hashing
+client uses it for shard affinity.  The direct port is reported back
+to the supervisor over a one-shot pipe as the readiness handshake.
+
+The shard shares the cluster's artifact store by setting
+``REPRO_CACHE_DIR`` and **resetting** the process-wide cache
+singletons: a fork-started child inherits the parent's warm in-memory
+caches, which would silently defeat the cross-process single-flight
+the cluster tests assert on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+from typing import Any, Dict
+
+#: Exit code a shard reports after a clean SIGTERM drain.
+SHARD_CLEAN_EXIT = 0
+
+
+def shard_main(config: Dict[str, Any], ready_conn: Any) -> None:
+    """Run one shard until SIGTERM; the child-process ``main()``.
+
+    ``config`` is a plain dict (spawn-safe) of ``CompileService``
+    parameters plus ``shard_id``/``cache_dir``/``host``/``port``.
+    ``ready_conn`` is the supervisor's pipe end: exactly one readiness
+    message ``{"shard_id", "pid", "direct_host", "direct_port"}`` is
+    sent once the sockets are bound, then the pipe is closed.
+    """
+    from .. import faults
+    from ..pipeline.cache import (reset_shared_backend_cache,
+                                  reset_shared_cache)
+    from ..service import CompileService
+
+    if config.get("cache_dir"):
+        os.environ["REPRO_CACHE_DIR"] = config["cache_dir"]
+    # Fork-started children inherit warm singletons; drop them so this
+    # shard's caches are its own (and pick up the cache dir just set).
+    reset_shared_cache()
+    reset_shared_backend_cache()
+    faults.arm_from_env()
+
+    service = CompileService(
+        host=config.get("host", "127.0.0.1"),
+        port=config["port"],
+        workers=config.get("workers", 2),
+        worker_mode=config.get("worker_mode", "thread"),
+        queue_limit=config.get("queue_limit", 32),
+        request_timeout=config.get("request_timeout", 60.0),
+        drain_timeout=config.get("drain_timeout", 30.0),
+        reuse_port=True,
+        shard_id=config["shard_id"])
+    direct_host, direct_port = service.listen_also(
+        config.get("host", "127.0.0.1"), 0)
+
+    def _graceful(_signum: int, _frame: Any) -> None:
+        # shutdown() blocks until the accept loop (this thread) exits,
+        # so it must run on a helper thread.
+        threading.Thread(target=service.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the supervisor's ^C
+
+    try:
+        ready_conn.send({"shard_id": config["shard_id"],
+                         "pid": os.getpid(),
+                         "direct_host": direct_host,
+                         "direct_port": direct_port})
+        ready_conn.close()
+    except (OSError, BrokenPipeError):  # supervisor died already
+        service.shutdown(drain_timeout=0.0)
+        sys.exit(1)
+
+    service.serve_forever()
+    drained = service.wait_stopped(
+        timeout=config.get("drain_timeout", 30.0) + 10.0)
+    sys.exit(SHARD_CLEAN_EXIT if drained else 1)

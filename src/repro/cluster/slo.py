@@ -1,0 +1,123 @@
+"""The SLO grammar the loadgen report is graded against.
+
+A spec is a comma-separated list of latency clauses::
+
+    p99<50ms@200qps
+    p50<5ms, p99<80ms@100qps, max<1s
+
+Each clause is ``metric op limit unit [@rate qps]`` where
+
+* ``metric`` is one of ``p50`` / ``p95`` / ``p99`` / ``max`` / ``mean``
+  (the fields of the report's ``latency_seconds`` block),
+* ``op`` is ``<`` or ``<=``,
+* ``unit`` is ``ms`` or ``s``,
+* the optional ``@rate qps`` part additionally requires the run to
+  have *achieved* that throughput (with a small tolerance,
+  :data:`QPS_TOLERANCE`, absorbing scheduler jitter) — a latency bound
+  is meaningless if the cluster silently shed the offered load.
+
+Parsing is strict: an unknown metric, a missing unit, or trailing
+garbage raises :class:`SloParseError` at the CLI boundary instead of
+silently grading nothing.  The evaluated verdict is a plain dict that
+lands verbatim in the ``repro.loadgen.v1`` artifact under ``"slo"``,
+and the loadgen exit code reflects ``passed``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+#: Fraction of the stated ``@qps`` rate the run must actually achieve.
+QPS_TOLERANCE = 0.9
+
+_METRICS = ("p50", "p95", "p99", "max", "mean")
+
+_CLAUSE = re.compile(
+    r"^\s*(?P<metric>p50|p95|p99|max|mean)\s*"
+    r"(?P<op><=?)\s*"
+    r"(?P<limit>\d+(?:\.\d+)?)\s*"
+    r"(?P<unit>ms|s)\s*"
+    r"(?:@\s*(?P<qps>\d+(?:\.\d+)?)\s*qps)?\s*$")
+
+
+class SloParseError(ValueError):
+    """A malformed SLO spec string."""
+
+
+class SloClause:
+    """One parsed latency assertion."""
+
+    __slots__ = ("metric", "op", "limit_seconds", "min_qps", "text")
+
+    def __init__(self, metric: str, op: str, limit_seconds: float,
+                 min_qps: Optional[float], text: str) -> None:
+        self.metric = metric
+        self.op = op
+        self.limit_seconds = limit_seconds
+        self.min_qps = min_qps
+        self.text = text
+
+    def evaluate(self, latency_seconds: Dict[str, float],
+                 achieved_qps: float) -> Dict[str, Any]:
+        actual = float(latency_seconds.get(self.metric, float("inf")))
+        if self.op == "<":
+            latency_ok = actual < self.limit_seconds
+        else:
+            latency_ok = actual <= self.limit_seconds
+        qps_ok = True
+        if self.min_qps is not None:
+            qps_ok = achieved_qps >= QPS_TOLERANCE * self.min_qps
+        return {
+            "clause": self.text,
+            "metric": self.metric,
+            "limit_seconds": self.limit_seconds,
+            "actual_seconds": actual,
+            "latency_ok": latency_ok,
+            "min_qps": self.min_qps,
+            "achieved_qps": achieved_qps,
+            "qps_ok": qps_ok,
+            "passed": latency_ok and qps_ok,
+        }
+
+
+class SloSpec:
+    """A parsed SLO: every clause must hold for the spec to pass."""
+
+    def __init__(self, spec: str, clauses: List[SloClause]) -> None:
+        self.spec = spec
+        self.clauses = clauses
+
+    def evaluate(self, latency_seconds: Dict[str, float],
+                 achieved_qps: float) -> Dict[str, Any]:
+        checks = [clause.evaluate(latency_seconds, achieved_qps)
+                  for clause in self.clauses]
+        return {
+            "spec": self.spec,
+            "passed": all(check["passed"] for check in checks),
+            "checks": checks,
+        }
+
+    def __repr__(self) -> str:
+        return "SloSpec(%r)" % self.spec
+
+
+def parse_slo(spec: str) -> SloSpec:
+    """Parse ``spec`` or raise :class:`SloParseError`."""
+    if not spec or not spec.strip():
+        raise SloParseError("empty SLO spec")
+    clauses = []
+    for raw in spec.split(","):
+        match = _CLAUSE.match(raw)
+        if match is None:
+            raise SloParseError(
+                "bad SLO clause %r (expected e.g. 'p99<50ms@200qps'; "
+                "metrics: %s)" % (raw.strip(), "/".join(_METRICS)))
+        limit = float(match.group("limit"))
+        if match.group("unit") == "ms":
+            limit /= 1000.0
+        qps = match.group("qps")
+        clauses.append(SloClause(
+            match.group("metric"), match.group("op"), limit,
+            float(qps) if qps is not None else None, raw.strip()))
+    return SloSpec(spec.strip(), clauses)

@@ -14,11 +14,17 @@ Fault points (the complete, closed set):
                           and every rebuild)
 ``diskcache.write``       publishing a frontend/backend disk-cache entry
 ``diskcache.read``        loading a frontend/backend disk-cache entry
+``cache.lock``            acquiring the cross-process per-key file lock
+                          that makes disk-cache fills cluster-wide
+                          single-flight (a firing degrades the fill to
+                          lock-less duplicate work, never a wrong result)
 ``service.accept``        admission of a ``/compile`` / ``/tables`` request
 ``backend.compile``       translating a module to Python
                           (:func:`~repro.backend.pybackend.compile_to_python`)
 ``frontend.parse``        parsing source text
                           (:func:`~repro.frontend.parser.parse_source`)
+``cluster.spawn``         the cluster supervisor spawning (or respawning)
+                          a shard process
 ========================  ====================================================
 
 Arming is driven by a spec string — the ``REPRO_FAULTS`` environment
@@ -85,9 +91,11 @@ FAULT_POINTS = (
     "workerpool.spawn",
     "diskcache.write",
     "diskcache.read",
+    "cache.lock",
     "service.accept",
     "backend.compile",
     "frontend.parse",
+    "cluster.spawn",
 )
 
 ACTIONS = ("raise", "corrupt", "delay", "kill")

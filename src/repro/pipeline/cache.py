@@ -32,6 +32,21 @@ The in-memory layer is LRU-bounded when ``max_entries`` is given
 guarded by a lock so the service's thread-mode workers can share one
 cache.
 
+With a disk layer configured, cache fills are additionally
+**cluster-wide single-flight**: before compiling a missed key the
+cache takes a per-key advisory file lock (``fcntl.flock`` on a
+``<entry>.lock`` sidecar), re-checks the disk entry once the lock is
+held (another process may have published it while we waited), and only
+then compiles and publishes.  A cold key hammered by every shard of a
+:mod:`repro.cluster` deployment therefore compiles exactly once
+cluster-wide.  The lock is strictly an optimization gate: any failure
+to take it — missing ``fcntl`` (non-POSIX), an unwritable or corrupt
+lock path, a holder that outlives ``REPRO_CACHE_LOCK_TIMEOUT``
+seconds, or an armed ``cache.lock`` fault — degrades to lock-less
+duplicate work, never to a failed or wrong compile.  Lock files are
+never unlinked (an unlink racing a fresh open would split the lock
+across two inodes and readmit the double-compile).
+
 :class:`BackendCache` is the same idea one stage later: it memoizes
 the *translated* Python back-end module per ``(module fingerprint,
 engine version)`` key, so service workers and ``--jobs`` pools skip
@@ -62,8 +77,23 @@ from ..ir.function import Module
 from .driver import module_size, run_frontend
 from .trace import PipelineTrace
 
+try:  # POSIX only; the lock degrades to duplicate work without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 #: Environment variable enabling the on-disk layer for the default cache.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable bounding how long a fill waits on another
+#: process's in-progress compile before degrading to duplicate work.
+CACHE_LOCK_TIMEOUT_ENV = "REPRO_CACHE_LOCK_TIMEOUT"
+
+#: Default cross-process fill-lock wait (seconds); compiles on this
+#: workload are sub-second, so 30s only triggers on a wedged holder.
+CACHE_LOCK_TIMEOUT_DEFAULT = 30.0
+
+_LOCK_POLL_SECONDS = 0.01
 
 #: Environment variable bounding the in-memory layer of the default
 #: cache (unset or non-positive = unbounded).
@@ -110,6 +140,96 @@ def _unseal_entry(data: bytes) -> Optional[bytes]:
     if hashlib.sha256(blob).digest() != data[len(_DISK_MAGIC):header]:
         return None
     return blob
+
+
+def _lock_timeout() -> float:
+    try:
+        timeout = float(os.environ.get(CACHE_LOCK_TIMEOUT_ENV, ""))
+    except ValueError:
+        return CACHE_LOCK_TIMEOUT_DEFAULT
+    return timeout if timeout > 0 else CACHE_LOCK_TIMEOUT_DEFAULT
+
+
+class _FillLock:
+    """Cross-process single-flight gate for one disk-cache key.
+
+    Advisory ``flock`` on a ``<entry path>.lock`` sidecar: the first
+    process to reach a cold key holds the exclusive lock for the
+    duration of compile+publish; concurrent fillers of the same key
+    block in :meth:`acquire` and, once through, re-read the freshly
+    published entry instead of recompiling.  ``held`` reports whether
+    the lock was actually taken — *every* failure mode (no ``fcntl``,
+    unwritable directory, a directory squatting on the lock path, an
+    injected ``cache.lock`` fault, a holder that outlives the timeout)
+    leaves ``held`` False and the caller simply compiles redundantly.
+    The kernel drops ``flock`` locks when the holder dies, so a
+    crashed compiler never wedges the cluster; the sidecar file itself
+    is never unlinked (see the module docstring for why).
+    """
+
+    __slots__ = ("path", "timeout", "held", "waited", "_fd")
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        self.path = path
+        self.timeout = timeout if timeout is not None else _lock_timeout()
+        self.held = False
+        #: True when another process held the lock when we arrived —
+        #: after acquiring, the caller should expect a published entry.
+        self.waited = False
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> bool:
+        if fcntl is None:
+            return False
+        try:
+            faults.fire("cache.lock")
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            deadline = time.monotonic() + self.timeout
+            while True:
+                try:
+                    fcntl.flock(self._fd,
+                                fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self.held = True
+                    return True
+                except OSError:
+                    self.waited = True
+                    if time.monotonic() >= deadline:
+                        break
+                    time.sleep(_LOCK_POLL_SECONDS)
+        except (OSError, ValueError, faults.FaultError):
+            pass  # degrade: compile without the lock
+        if not self.held and self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+        return False
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        try:
+            if self.held:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        try:
+            os.close(self._fd)
+        except OSError:
+            pass
+        self._fd = None
+        self.held = False
+
+    def __enter__(self) -> "_FillLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
 
 
 class CacheStats:
@@ -207,6 +327,12 @@ class FrontendCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        #: Fills that found another process's compile in progress and
+        #: waited on the cross-process lock instead of duplicating it.
+        self.lock_waits = 0
+        #: Fills that could not take the lock (timeout, I/O failure,
+        #: armed ``cache.lock`` fault) and compiled redundantly.
+        self.lock_degraded = 0
         #: Number of times the frontend passes actually executed — the
         #: counter the "at most once per program per table run"
         #: acceptance test asserts on.
@@ -303,6 +429,23 @@ class FrontendCache:
                     self._memory.popitem(last=False)
                     self.evictions += 1
 
+    def _fill(self, key: Tuple[str, bool, bool], source: str,
+              insert_checks: bool, rotate_loops: bool,
+              trace: Optional[PipelineTrace]) -> _CacheEntry:
+        """Compile ``source`` and publish it to both layers (miss path)."""
+        compile_trace = PipelineTrace()
+        module = run_frontend(source, insert_checks=insert_checks,
+                              rotate_loops=rotate_loops, ssa=True,
+                              trace=compile_trace)
+        entry = _CacheEntry(module, compile_trace)
+        self._memory_put(key, entry)
+        self.misses += 1
+        self.frontend_compiles += 1
+        self._store_disk(key, entry.blob)
+        if trace is not None:
+            trace.extend(compile_trace)
+        return entry
+
     # -- the public API ------------------------------------------------
 
     def frontend(self, source: str, insert_checks: bool = True,
@@ -311,24 +454,37 @@ class FrontendCache:
         """A fresh deep copy of the cached frontend module for
         ``source``, compiling (and caching) it on first request."""
         key = self.key(source, insert_checks, rotate_loops)
+        fresh = False
         entry = self._memory_get(key)
         if entry is None:
             entry = self._load_disk(key)
             if entry is not None:
                 self._memory_put(key, entry)
-        if entry is None:
-            compile_trace = PipelineTrace()
-            module = run_frontend(source, insert_checks=insert_checks,
-                                  rotate_loops=rotate_loops, ssa=True,
-                                  trace=compile_trace)
-            entry = _CacheEntry(module, compile_trace)
-            self._memory_put(key, entry)
-            self.misses += 1
-            self.frontend_compiles += 1
-            self._store_disk(key, entry.blob)
-            if trace is not None:
-                trace.extend(compile_trace)
-        else:
+        if entry is None and self.disk_dir:
+            # Cross-process single-flight: take the per-key fill lock,
+            # then re-check the disk — another process may have
+            # published the entry while we waited for the holder.
+            lock = _FillLock(self._disk_path(key) + ".lock")
+            try:
+                if lock.acquire():
+                    if lock.waited:
+                        self.lock_waits += 1
+                        entry = self._load_disk(key)
+                        if entry is not None:
+                            self._memory_put(key, entry)
+                else:
+                    self.lock_degraded += 1
+                if entry is None:
+                    entry = self._fill(key, source, insert_checks,
+                                       rotate_loops, trace)
+                    fresh = True
+            finally:
+                lock.release()
+        elif entry is None:
+            entry = self._fill(key, source, insert_checks, rotate_loops,
+                               trace)
+            fresh = True
+        if not fresh:
             self.hits += 1
             if trace is not None:
                 trace.record("frontend", 0.0, size_after=entry.size,
@@ -417,6 +573,9 @@ class BackendCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        #: Cross-process fill-lock outcomes (see FrontendCache).
+        self.lock_waits = 0
+        self.lock_degraded = 0
         #: Number of times the destruct+translate pass actually ran.
         self.translations = 0
         self._lock = threading.Lock()
@@ -522,16 +681,38 @@ class BackendCache:
             if trace is not None:
                 trace.record("backend", 0.0, cached=True)
             return compiled
-        self.misses += 1
-        start = time.perf_counter()
-        compiled = self._translate(module, engine)
-        self.translations += 1
-        if trace is not None:
-            trace.record("backend", time.perf_counter() - start,
-                         size_after=module_size(compiled.module),
-                         counters={"key": key})
-        self._memory_put(key, compiled)
-        self._store_disk(key, compiled)
+        lock: Optional[_FillLock] = None
+        if self.disk_dir:
+            # Cross-process single-flight (see FrontendCache.frontend):
+            # one translation per cold key cluster-wide.
+            lock = _FillLock(self._disk_path(key) + ".lock")
+            if lock.acquire():
+                if lock.waited:
+                    self.lock_waits += 1
+                    compiled = self._load_disk(key, engine)
+                    if compiled is not None:
+                        lock.release()
+                        self._memory_put(key, compiled)
+                        self.hits += 1
+                        if trace is not None:
+                            trace.record("backend", 0.0, cached=True)
+                        return compiled
+            else:
+                self.lock_degraded += 1
+        try:
+            self.misses += 1
+            start = time.perf_counter()
+            compiled = self._translate(module, engine)
+            self.translations += 1
+            if trace is not None:
+                trace.record("backend", time.perf_counter() - start,
+                             size_after=module_size(compiled.module),
+                             counters={"key": key})
+            self._memory_put(key, compiled)
+            self._store_disk(key, compiled)
+        finally:
+            if lock is not None:
+                lock.release()
         return compiled
 
     @staticmethod

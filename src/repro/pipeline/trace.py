@@ -133,7 +133,21 @@ class PipelineTrace:
 
     def frontend_was_cached(self) -> bool:
         """True when this compilation reused a cached frontend module."""
-        return any(e.cached for e in self.events)
+        return any(e.cached for e in self.events
+                   if e.name != "backend")
+
+    def backend_was_cached(self) -> Optional[bool]:
+        """Whether the backend translation was served from cache.
+
+        ``None`` when this run never touched the backend cache (the
+        interpreter engine, or a dump request); otherwise the cached
+        flag of the last ``backend`` event.  Cluster tests count cold
+        compiles across shards with this.
+        """
+        for event in reversed(self.events):
+            if event.name == "backend":
+                return bool(event.cached)
+        return None
 
     def __iter__(self) -> Iterator[PassEvent]:
         return iter(self.events)

@@ -153,6 +153,7 @@ def run_to_dict(config_label: str, counters, output: List[Any],
                 optimize_stats: Any = None,
                 trace: Any = None,
                 frontend_cached: bool = False,
+                backend_cached: Any = None,
                 engine: str = "interp") -> Dict[str, Any]:
     """One program execution (``repro run --json`` and the service's
     ``run`` responses share this layout — the golden-file test locks
@@ -174,6 +175,9 @@ def run_to_dict(config_label: str, counters, output: List[Any],
         "counters": counters.snapshot() if counters is not None else {},
         "trap": str(trap) if trap is not None else None,
         "frontend_cached": bool(frontend_cached),
+        # None: this run never touched the backend cache (interp
+        # engine); True/False: translation was served cached / ran cold.
+        "backend_cached": backend_cached,
     }
     if optimize_stats is not None:
         doc["optimizer"] = {

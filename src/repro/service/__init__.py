@@ -26,7 +26,8 @@ Everything is standard library only -- no third-party dependencies.
 """
 
 from .client import (LoadgenReport, RetryPolicy, ServiceClient,
-                     run_loadgen)
+                     ShardedServiceClient, canonical_payload_key,
+                     rendezvous_rank, run_loadgen)
 from .jobs import (CompileRequest, ServiceError, execute_request,
                    request_key)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
@@ -35,5 +36,7 @@ from .workers import WorkerPool
 
 __all__ = ["CompileRequest", "CompileService", "Counter", "Gauge",
            "Histogram", "LoadgenReport", "MetricsRegistry",
-           "RetryPolicy", "ServiceClient", "ServiceError", "WorkerPool",
-           "execute_request", "percentile", "request_key", "run_loadgen"]
+           "RetryPolicy", "ServiceClient", "ServiceError",
+           "ShardedServiceClient", "WorkerPool",
+           "canonical_payload_key", "execute_request", "percentile",
+           "rendezvous_rank", "request_key", "run_loadgen"]

@@ -20,14 +20,17 @@ The report is written as a ``repro.loadgen.v1`` JSON artifact
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import json
 import os
 import random
+import threading
 import time
-import urllib.error
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple)
+from urllib.parse import urlsplit
 
 from ..reporting.jsonout import LOADGEN_SCHEMA
 from .metrics import percentile
@@ -121,6 +124,16 @@ class ServiceClient:
     With a :class:`RetryPolicy` (``retry=``), :meth:`post_with_retry`
     retries safe failures with backoff; the default ``retry=None``
     keeps every request single-shot.
+
+    Connections are **reused**: one keep-alive
+    ``http.client.HTTPConnection`` per thread (the server speaks
+    HTTP/1.1 with ``Content-Length``), so loadgen stops paying a TCP
+    handshake per request — the p50 the SLO gate grades is request
+    latency, not connect latency.  A request that fails on a *reused*
+    socket is transparently retried once on a fresh connection (the
+    server may have closed the idle keep-alive side); a failure on a
+    fresh connection propagates, because the server is actually
+    unreachable.  ``reconnects`` counts the stale-socket replays.
     """
 
     def __init__(self, base_url: str, timeout: float = 120.0,
@@ -130,26 +143,70 @@ class ServiceClient:
         self.retry = retry
         #: retries performed by :meth:`post_with_retry` (observability).
         self.retries = 0
+        #: stale keep-alive sockets replaced mid-run (observability).
+        self.reconnects = 0
+        split = urlsplit(self.base_url)
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port if split.port is not None else 80
+        self._local = threading.local()
+
+    # -- connection management -----------------------------------------
+
+    def _connection(self, timeout: float) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(self._host, self._port,
+                                              timeout=timeout)
+            self._local.conn = conn
+        else:
+            conn.timeout = timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout)
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+            self._local.conn = None
+
+    def close(self) -> None:
+        """Drop this thread's keep-alive connection (if any)."""
+        self._drop_connection()
 
     def _request_full(self, method: str, path: str,
                       payload: Optional[Dict[str, Any]] = None,
                       timeout: Optional[float] = None
                       ) -> Tuple[int, bytes, Mapping[str, str]]:
-        url = self.base_url + path
         data = None
-        headers = {}
+        headers: Dict[str, str] = {}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers,
-                                         method=method)
         budget = self.timeout if timeout is None else timeout
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=budget) as response:
-                return response.status, response.read(), response.headers
-        except urllib.error.HTTPError as error:
-            return error.code, error.read(), error.headers
+        for attempt in (0, 1):
+            conn = self._connection(budget)
+            reused = conn.sock is not None
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                body = response.read()
+                if response.will_close:
+                    self._drop_connection()
+                return response.status, body, response.headers
+            except (http.client.HTTPException, OSError):
+                self._drop_connection()
+                # Only a *reused* socket earns the one fresh-connection
+                # replay: the server may have closed the idle keep-alive
+                # side between requests.  A fresh connect that fails
+                # means the server is genuinely unreachable.
+                if attempt or not reused:
+                    raise
+                self.reconnects += 1
+        raise AssertionError("unreachable")
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None
@@ -263,6 +320,108 @@ class ServiceClient:
         return self.post("/shutdown", {})[0]
 
 
+# -- shard routing ----------------------------------------------------
+
+
+def canonical_payload_key(payload: Mapping[str, Any]) -> str:
+    """The stable request hash shard routing keys on.
+
+    sha256 of the canonical (sorted-keys) JSON of the compile payload,
+    ignoring client-side bookkeeping fields — so the same program
+    always ranks the same shard and lands in warm in-memory caches.
+    """
+    routed = {k: v for k, v in payload.items()
+              if k not in ("tag", "sequence")}
+    blob = json.dumps(routed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def rendezvous_rank(key: str, targets: Sequence[str]) -> List[str]:
+    """Targets ordered by highest-random-weight (rendezvous) score.
+
+    Every client ranks ``targets`` identically for a given ``key``
+    with no coordination, and removing one target only remaps the keys
+    that preferred it — the property that keeps the surviving shards'
+    caches warm when the supervisor restarts a crashed one.
+    """
+    scored = []
+    for target in targets:
+        digest = hashlib.sha256(
+            ("%s|%s" % (key, target)).encode("utf-8")).digest()
+        scored.append((digest, target))
+    scored.sort(reverse=True)
+    return [target for _, target in scored]
+
+
+class ShardedServiceClient:
+    """Routes each compile request to its rendezvous-preferred shard.
+
+    ``shard_urls`` are the per-shard *direct* URLs a cluster reports
+    (each shard also serves the shared SO_REUSEPORT port, but that
+    address load-balances in the kernel — affinity needs the direct
+    listeners).  A transport failure on the preferred shard falls back
+    to the next-ranked shard, and so on; only when every shard is
+    unreachable does the error propagate.  ``fallbacks`` counts
+    requests that were not served by their first-choice shard.
+    """
+
+    def __init__(self, shard_urls: Iterable[str], timeout: float = 120.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self.shard_urls = [url.rstrip("/") for url in shard_urls]
+        if not self.shard_urls:
+            raise ValueError("at least one shard URL is required")
+        self.clients = {url: ServiceClient(url, timeout=timeout,
+                                           retry=retry)
+                        for url in self.shard_urls}
+        self._fallback_lock = threading.Lock()
+        self.fallbacks = 0
+
+    def client_for(self, payload: Mapping[str, Any]) -> ServiceClient:
+        """The preferred shard's client for ``payload`` (no fallback)."""
+        ranked = rendezvous_rank(canonical_payload_key(payload),
+                                 self.shard_urls)
+        return self.clients[ranked[0]]
+
+    def post(self, path: str,
+             payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        """POST to the preferred shard, falling back down the ranking
+        on transport failure."""
+        ranked = rendezvous_rank(canonical_payload_key(payload),
+                                 self.shard_urls)
+        last_error: Optional[Exception] = None
+        for position, url in enumerate(ranked):
+            if position:
+                with self._fallback_lock:
+                    self.fallbacks += 1
+            try:
+                return self.clients[url].post(path, payload)
+            except (OSError, http.client.HTTPException) as error:
+                last_error = error
+        assert last_error is not None
+        raise last_error
+
+    def post_json(self, path: str,
+                  payload: Dict[str, Any]) -> Tuple[int, Any]:
+        status, body = self.post(path, payload)
+        return status, json.loads(body.decode("utf-8"))
+
+    def metrics_values(self) -> Dict[str, float]:
+        """Summed ``/metrics`` across every reachable shard."""
+        totals: Dict[str, float] = {}
+        for url in self.shard_urls:
+            try:
+                for name, value in \
+                        self.clients[url].metrics_values().items():
+                    totals[name] = totals.get(name, 0.0) + value
+            except (OSError, http.client.HTTPException):
+                continue
+        return totals
+
+    def close(self) -> None:
+        for client in self.clients.values():
+            client.close()
+
+
 # -- workload construction --------------------------------------------
 
 
@@ -343,6 +502,14 @@ class LoadgenReport:
         self.wall_seconds = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: open-loop target arrival rate (None = closed loop).
+        self.qps_target: Optional[float] = None
+        #: per-shard direct URLs when the run was sharded.
+        self.shard_urls: List[str] = []
+        #: requests a sharded run served off their preferred shard.
+        self.fallbacks = 0
+        #: parsed SLO (``repro.cluster.slo.SloSpec``) to grade with.
+        self.slo_spec: Optional[Any] = None
 
     @property
     def total(self) -> int:
@@ -369,10 +536,28 @@ class LoadgenReport:
         completed = sum(count for status, count in by_status.items()
                         if status != "transport-error")
         submitted = self.submitted if self.submitted else self.total
+        throughput = (self.total / self.wall_seconds
+                      if self.wall_seconds else 0.0)
+        latency_doc = {
+            "p50": percentile(latencies, 50),
+            "p95": percentile(latencies, 95),
+            "p99": percentile(latencies, 99),
+            "max": max(latencies) if latencies else 0.0,
+            "mean": (sum(latencies) / len(latencies)
+                     if latencies else 0.0),
+        }
+        slo_doc = None
+        if self.slo_spec is not None:
+            slo_doc = self.slo_spec.evaluate(latency_doc, throughput)
         return {
             "schema": LOADGEN_SCHEMA,
             "url": self.url,
             "concurrency": self.concurrency,
+            "qps_target": self.qps_target,
+            "open_loop": self.qps_target is not None,
+            "shards": len(self.shard_urls),
+            "fallbacks": self.fallbacks,
+            "slo": slo_doc,
             "requests": self.total,
             "submitted": submitted,
             "completed": completed,
@@ -380,18 +565,10 @@ class LoadgenReport:
             # silent drops" proof — 0 on every healthy run
             "unaccounted": max(0, submitted - self.total),
             "wall_seconds": self.wall_seconds,
-            "throughput_rps": (self.total / self.wall_seconds
-                               if self.wall_seconds else 0.0),
+            "throughput_rps": throughput,
             "by_status": by_status,
             "by_tag": self._by_tag(),
-            "latency_seconds": {
-                "p50": percentile(latencies, 50),
-                "p95": percentile(latencies, 95),
-                "p99": percentile(latencies, 99),
-                "max": max(latencies) if latencies else 0.0,
-                "mean": (sum(latencies) / len(latencies)
-                         if latencies else 0.0),
-            },
+            "latency_seconds": latency_doc,
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -411,7 +588,7 @@ class LoadgenReport:
     def summary(self) -> str:
         doc = self.as_dict()
         lat = doc["latency_seconds"]
-        return ("loadgen: %d requests @ %d clients in %.2fs "
+        text = ("loadgen: %d requests @ %d clients in %.2fs "
                 "(%.1f req/s)\n"
                 "  status: %s\n"
                 "  latency p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n"
@@ -423,10 +600,26 @@ class LoadgenReport:
                    lat["p50"], lat["p95"], lat["p99"], lat["max"],
                    self.cache_hits, self.cache_misses,
                    100.0 * self.cache_hit_rate))
+        if doc["open_loop"]:
+            text += "\n  open loop: target %.1f qps" % doc["qps_target"]
+        if doc["shards"]:
+            text += "\n  shards: %d (%d fallback requests)" % (
+                doc["shards"], doc["fallbacks"])
+        if doc["slo"] is not None:
+            text += "\n  slo %r: %s" % (
+                doc["slo"]["spec"],
+                "PASS" if doc["slo"]["passed"] else "FAIL")
+        return text
+
+    @property
+    def slo_passed(self) -> Optional[bool]:
+        """SLO verdict (None when the run was not graded)."""
+        if self.slo_spec is None:
+            return None
+        return bool(self.as_dict()["slo"]["passed"])
 
 
-def _fire(client: ServiceClient,
-          request: Dict[str, Any]) -> Dict[str, Any]:
+def _fire(client: Any, request: Dict[str, Any]) -> Dict[str, Any]:
     """One request -> one fully-accounted result row."""
     payload = {k: v for k, v in request.items()
                if k not in ("tag", "sequence")}
@@ -466,37 +659,77 @@ def run_loadgen(url: str, requests_total: int = 50, concurrency: int = 8,
                 small: bool = True, corpus_dir: Optional[str] = None,
                 include_trap: bool = True, include_malformed: bool = True,
                 timeout: float = 120.0,
-                out_path: Optional[str] = None) -> LoadgenReport:
+                out_path: Optional[str] = None,
+                qps: Optional[float] = None, arrival_seed: int = 0,
+                slo: Optional[Any] = None,
+                shard_urls: Optional[Sequence[str]] = None
+                ) -> LoadgenReport:
     """Drive ``requests_total`` mixed requests at ``concurrency``.
 
     Every request produces exactly one result row (HTTP status, or
     ``transport-error``); the report's ``unaccounted`` field is the
     proof of zero silent drops.  With ``out_path`` the JSON artifact
     is written there (parent directories created).
+
+    ``qps`` switches from the closed loop (next request leaves when a
+    worker frees up) to an **open loop**: arrivals are scheduled by a
+    seeded exponential (Poisson) process at the target rate and
+    submitted on schedule regardless of how many are still in flight —
+    the arrival pattern a latency SLO is defined against.  ``slo`` (a
+    spec string like ``"p99<50ms@200qps"`` or a parsed
+    :class:`~repro.cluster.slo.SloSpec`) grades the report; the
+    verdict lands in the JSON artifact and ``report.slo_passed``.
+    ``shard_urls`` routes each request to its rendezvous-preferred
+    shard (falling back on transport failure) and aggregates cache
+    metrics across all shards.
     """
-    client = ServiceClient(url, timeout=timeout)
+    client: Any
+    if shard_urls:
+        client = ShardedServiceClient(shard_urls, timeout=timeout)
+    else:
+        client = ServiceClient(url, timeout=timeout)
     workload = build_workload(requests_total, small=small,
                               corpus_dir=corpus_dir,
                               include_trap=include_trap,
                               include_malformed=include_malformed)
     report = LoadgenReport(url, concurrency)
     report.submitted = len(workload)
+    report.qps_target = qps
+    report.shard_urls = list(shard_urls or [])
+    if slo is not None:
+        from ..cluster.slo import parse_slo
+        report.slo_spec = parse_slo(slo) if isinstance(slo, str) else slo
     try:
         hits_before, misses_before = _cache_counters(
             client.metrics_values())
     except OSError:
         hits_before = misses_before = 0.0
 
+    offsets: Optional[List[float]] = None
+    if qps is not None and qps > 0:
+        rng = random.Random(arrival_seed)
+        clock = 0.0
+        offsets = []
+        for _ in workload:
+            clock += rng.expovariate(qps)
+            offsets.append(clock)
+
     started = time.perf_counter()
     with ThreadPoolExecutor(max_workers=max(1, concurrency)) as pool:
-        futures = [pool.submit(_fire, client, request)
-                   for request in workload]
+        futures = []
+        for index, request in enumerate(workload):
+            if offsets is not None:
+                pause = offsets[index] - (time.perf_counter() - started)
+                if pause > 0:
+                    time.sleep(pause)
+            futures.append(pool.submit(_fire, client, request))
         for future in futures:
             try:
                 report.results.append(future.result())
             except Exception:  # _fire never raises; belt and braces
                 pass  # surfaces as a non-zero "unaccounted" count
     report.wall_seconds = time.perf_counter() - started
+    report.fallbacks = getattr(client, "fallbacks", 0)
 
     try:
         hits_after, misses_after = _cache_counters(client.metrics_values())

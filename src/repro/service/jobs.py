@@ -232,7 +232,9 @@ def _execute_program(request: CompileRequest) -> Envelope:
     stats = program.total_stats() if request.optimize else None
     body = run_to_dict(request.options().label(), counters, output,
                        trap=trap, optimize_stats=stats, trace=trace,
-                       frontend_cached=cached, engine=request.engine)
+                       frontend_cached=cached,
+                       backend_cached=trace.backend_was_cached(),
+                       engine=request.engine)
     return 200, body
 
 

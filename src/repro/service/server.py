@@ -29,12 +29,15 @@ Endpoints: ``POST /compile``, ``POST /tables``, ``GET /healthz``,
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import socket
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .. import __version__, faults
 from ..reporting.jsonout import SERVICE_ERROR_SCHEMA
@@ -55,6 +58,44 @@ class _Server(ThreadingHTTPServer):
     # semaphore (429), never at the TCP layer.
     request_queue_size = 128
 
+    def __init__(self, server_address, handler_class,
+                 reuse_port: bool = False) -> None:
+        # server_bind runs inside super().__init__, so the flag must be
+        # set first.
+        self._reuse_port = reuse_port
+        self._open_connections: set = set()
+        self._connections_lock = threading.Lock()
+        super().__init__(server_address, handler_class)
+
+    def process_request_thread(self, request, client_address) -> None:
+        # Track accepted sockets so shutdown can sever idle keep-alive
+        # connections whose handler threads are parked in readline().
+        with self._connections_lock:
+            self._open_connections.add(request)
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._connections_lock:
+                self._open_connections.discard(request)
+
+    def close_open_connections(self) -> None:
+        with self._connections_lock:
+            pending = list(self._open_connections)
+        for request in pending:
+            with contextlib.suppress(OSError):
+                request.shutdown(socket.SHUT_RDWR)
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not available on this "
+                              "platform; run a single shard instead")
+            # Each cluster shard binds its *own* socket to the shared
+            # port; the kernel load-balances accepts across them.
+            self.socket.setsockopt(socket.SOL_SOCKET,
+                                   socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
 
 class CompileService:
     """The long-lived compile server (accept loop + worker pool)."""
@@ -65,8 +106,13 @@ class CompileService:
                  drain_timeout: float = 30.0,
                  registry: Optional[MetricsRegistry] = None,
                  pool: Optional[WorkerPool] = None,
-                 clock=None) -> None:
+                 clock=None, reuse_port: bool = False,
+                 shard_id: Optional[int] = None) -> None:
         self.queue_limit = max(1, queue_limit)
+        #: Cluster shard number (None outside a cluster); surfaced in
+        #: ``/healthz`` so the supervisor and tests can tell shards
+        #: apart behind one SO_REUSEPORT address.
+        self.shard_id = shard_id
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
         self.metrics = registry if registry is not None else MetricsRegistry()
@@ -115,15 +161,27 @@ class CompileService:
             "Requests answered 504 after exceeding the deadline")
         self._traps = m.counter(
             "repro_traps_total", "Run requests whose program trapped")
+        self._backend_compiles = m.counter(
+            "repro_backend_compiles_total",
+            "Run requests whose backend module was actually translated "
+            "(a cold artifact-store key) rather than served cached")
         self._queue_depth = m.gauge(
             "repro_queue_depth", "Admitted requests currently in flight")
         self._worker_restarts = m.gauge(
             "repro_worker_restarts_total", "Worker pool rebuilds")
 
-        self.pool.on_coalesce = self._coalesced.inc
+        # on_coalesce fires synchronously on the follower's handler
+        # thread, so a thread-local flag tells _observe_body that this
+        # request shared another flight's body (its backend_cached
+        # field describes the leader's work, not a second compile).
+        self._request_state = threading.local()
+        self.pool.on_coalesce = self._on_coalesce
 
-        handler = _make_handler(self)
-        self.httpd = _Server((host, port), handler)
+        self._handler = _make_handler(self)
+        self.httpd = _Server((host, port), self._handler,
+                             reuse_port=reuse_port)
+        self._extra_servers: List[_Server] = []
+        self._extra_threads: List[threading.Thread] = []
 
     # -- lifecycle -----------------------------------------------------
 
@@ -142,6 +200,25 @@ class CompileService:
             target=self.httpd.serve_forever, name="repro-serve",
             daemon=True)
         self._serve_thread.start()
+
+    def listen_also(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Serve the same endpoints on an extra private listener.
+
+        Cluster shards share one SO_REUSEPORT address — any request may
+        land on any shard — so each shard additionally listens on its
+        own ephemeral "direct" port.  The supervisor scrapes per-shard
+        ``/metrics`` there, and the consistent-hashing client targets
+        it for shard affinity.  Served on a daemon thread; stopped by
+        :meth:`shutdown`.  Returns the bound ``(host, port)``.
+        """
+        extra = _Server((host, port), self._handler)
+        thread = threading.Thread(target=extra.serve_forever,
+                                  name="repro-serve-direct", daemon=True)
+        thread.start()
+        self._extra_servers.append(extra)
+        self._extra_threads.append(thread)
+        return extra.server_address[:2]
 
     def serve_forever(self) -> None:
         """Run the accept loop on this thread until ``shutdown()``."""
@@ -169,6 +246,17 @@ class CompileService:
         # handler threads and signal handlers are fine.
         self.httpd.shutdown()
         self.httpd.server_close()
+        # In-flight work has drained; sever lingering keep-alive
+        # connections so clients cannot reach a stopped server through
+        # a socket accepted before the drain began.
+        self.httpd.close_open_connections()
+        for extra in self._extra_servers:
+            extra.shutdown()
+            extra.server_close()
+            extra.close_open_connections()
+        for thread in self._extra_threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
         self._stopped.set()
         if self._serve_thread is not None \
                 and self._serve_thread is not threading.current_thread():
@@ -228,6 +316,7 @@ class CompileService:
         except ServiceError as error:
             return error.status, error.body()
         key = request_key(request)
+        self._request_state.coalesced = False
         try:
             status, body = self.pool.result(request.payload(), key=key,
                                             timeout=self.request_timeout)
@@ -243,6 +332,10 @@ class CompileService:
         self._worker_restarts.set(self.pool.restarts)
         self._observe_body(status, body)
         return status, body
+
+    def _on_coalesce(self) -> None:
+        self._coalesced.inc()
+        self._request_state.coalesced = True
 
     def _observe_body(self, status: int, body: Dict[str, Any]) -> None:
         if not isinstance(body, dict) or status != 200:
@@ -260,6 +353,9 @@ class CompileService:
             execute = phases.get("execute")
             if isinstance(engine, str) and isinstance(execute, (int, float)):
                 self._execute_seconds.labels(engine).observe(execute)
+        if (body.get("backend_cached") is False
+                and not getattr(self._request_state, "coalesced", False)):
+            self._backend_compiles.inc()
         if body.get("trap"):
             self._traps.inc()
 
@@ -273,15 +369,19 @@ class CompileService:
     def health(self) -> Dict[str, Any]:
         with self._inflight_lock:
             inflight = self._inflight
+        uptime = self._clock() - self._started_monotonic
         return {
             "status": "draining" if self._draining.is_set() else "ok",
             "version": __version__,
-            "uptime_seconds": self._clock() - self._started_monotonic,
+            "uptime_seconds": uptime,
+            "uptime_s": uptime,
             "started_unix": self._started_wall,
             "in_flight": inflight,
             "queue_limit": self.queue_limit,
             "worker_mode": self.pool.mode,
             "workers": self.pool.workers,
+            "shard_id": self.shard_id,
+            "pid": os.getpid(),
             "faults": faults.describe(),
         }
 
@@ -358,8 +458,12 @@ def _make_handler(service: CompileService):
         def do_POST(self) -> None:
             started = time.perf_counter()
             path = self.path.split("?", 1)[0]
+            # Consume the body on every path: with HTTP/1.1 keep-alive
+            # an unread body would be parsed as the next request line.
+            body = self._read_body()
+            if body is None:
+                self.close_connection = True
             if path in ("/compile", "/tables"):
-                body = self._read_body()
                 if body is None:
                     status, doc = 413, {"schema": SERVICE_ERROR_SCHEMA,
                                         "error": "missing or oversized "

@@ -1,0 +1,68 @@
+"""Shard affinity: canonical request keys and rendezvous ranking."""
+
+from __future__ import annotations
+
+from repro.service import canonical_payload_key, rendezvous_rank
+
+
+TARGETS = ["http://127.0.0.1:9001", "http://127.0.0.1:9002",
+           "http://127.0.0.1:9003", "http://127.0.0.1:9004"]
+
+
+class TestCanonicalKey:
+    def test_deterministic(self):
+        payload = {"action": "run", "source": "program p\nend program\n"}
+        assert canonical_payload_key(payload) == \
+            canonical_payload_key(dict(payload))
+
+    def test_key_order_irrelevant(self):
+        a = {"action": "run", "source": "x", "inputs": {"n": 3}}
+        b = {"inputs": {"n": 3}, "source": "x", "action": "run"}
+        assert canonical_payload_key(a) == canonical_payload_key(b)
+
+    def test_loadgen_bookkeeping_excluded(self):
+        # tag and sequence identify the *request instance*, not the
+        # work — two replays of one program must share a shard
+        base = {"action": "run", "source": "x"}
+        tagged = dict(base, tag="bench:x", sequence=17)
+        assert canonical_payload_key(base) == canonical_payload_key(tagged)
+
+    def test_distinct_work_distinct_keys(self):
+        a = canonical_payload_key({"action": "run", "source": "x"})
+        b = canonical_payload_key({"action": "run", "source": "y"})
+        assert a != b
+
+
+class TestRendezvousRank:
+    def test_full_permutation(self):
+        ranked = rendezvous_rank("some-key", TARGETS)
+        assert sorted(ranked) == sorted(TARGETS)
+
+    def test_deterministic_and_order_independent(self):
+        ranked = rendezvous_rank("some-key", TARGETS)
+        assert rendezvous_rank("some-key", list(reversed(TARGETS))) == \
+            ranked
+        assert rendezvous_rank("some-key", TARGETS) == ranked
+
+    def test_removal_only_remaps_orphans(self):
+        # HRW's defining property: dropping one target moves only the
+        # keys that preferred it — everyone else keeps their shard
+        keys = ["key-%d" % i for i in range(64)]
+        before = {k: rendezvous_rank(k, TARGETS)[0] for k in keys}
+        removed = TARGETS[0]
+        survivors = TARGETS[1:]
+        for key in keys:
+            after = rendezvous_rank(key, survivors)[0]
+            if before[key] != removed:
+                assert after == before[key]
+
+    def test_spread_is_not_degenerate(self):
+        # sha256 mixing: 256 keys over 4 targets should hit them all
+        owners = {rendezvous_rank("key-%d" % i, TARGETS)[0]
+                  for i in range(256)}
+        assert owners == set(TARGETS)
+
+    def test_fallback_order_is_the_tail(self):
+        ranked = rendezvous_rank("k", TARGETS)
+        assert len(ranked) == len(TARGETS)
+        assert len(set(ranked)) == len(TARGETS)

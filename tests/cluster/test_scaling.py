@@ -1,0 +1,81 @@
+"""The scaling-curve renderer and its marked-section bookkeeping."""
+
+from __future__ import annotations
+
+from repro.cluster.scaling import (SECTION_BEGIN, SECTION_END,
+                                   record_section, render_section)
+
+
+def _point(shards, qps, rps):
+    return {"shards": shards, "qps_target": qps, "requests": 60,
+            "throughput_rps": rps, "p50_s": 0.004, "p99_s": 0.020,
+            "transport_errors": 0, "unaccounted": 0}
+
+
+POINTS = [_point(1, 50.0, 20.0), _point(2, 50.0, 41.0),
+          _point(4, 50.0, 49.5)]
+
+
+class TestRender:
+    def test_section_is_marked_and_tabular(self):
+        section = render_section(POINTS)
+        lines = section.splitlines()
+        assert lines[0] == SECTION_BEGIN
+        assert lines[-1] == SECTION_END
+        assert any("shards" in line and "p99_ms" in line
+                   for line in lines)
+        assert len([line for line in lines
+                    if not line.startswith("#")
+                    and "shards" not in line]) == len(POINTS)
+
+    def test_speedup_is_relative_to_one_shard(self):
+        section = render_section(POINTS)
+        assert "(2.05x vs 1 shard)" in section
+        assert "(2.48x vs 1 shard)" in section
+        one_shard_row = [line for line in section.splitlines()
+                         if line.strip().startswith("1 ")][0]
+        assert "vs 1 shard" not in one_shard_row
+
+    def test_cpu_count_recorded(self):
+        assert "cpu core" in render_section(POINTS)
+
+
+class TestRecord:
+    def test_creates_file_with_section(self, tmp_path):
+        path = tmp_path / "scaling.txt"
+        record_section(str(path), render_section(POINTS))
+        text = path.read_text()
+        assert text.count(SECTION_BEGIN) == 1
+        assert text.count(SECTION_END) == 1
+
+    def test_replaces_only_its_own_section(self, tmp_path):
+        path = tmp_path / "scaling.txt"
+        path.write_text("elimination harness output\nrow row row\n")
+        record_section(str(path), render_section(POINTS))
+        record_section(str(path), render_section(POINTS[:1]))
+        text = path.read_text()
+        assert text.startswith("elimination harness output")
+        assert "row row row" in text
+        assert text.count(SECTION_BEGIN) == 1  # replaced, not stacked
+        assert "(2.05x" not in text  # old rows gone
+
+    def test_survives_the_benchmark_writer(self, tmp_path):
+        # benchmarks/conftest.write_result rewrites everything outside
+        # marked sections; emulate its contract here
+        path = tmp_path / "scaling.txt"
+        record_section(str(path), render_section(POINTS))
+        before = path.read_text()
+        preserved = []
+        keep = False
+        for line in before.splitlines():
+            if line.startswith("# >>> repro:"):
+                keep = True
+            if keep:
+                preserved.append(line)
+            if line.startswith("# <<< repro:"):
+                keep = False
+        path.write_text("fresh harness text\n\n"
+                        + "\n".join(preserved) + "\n")
+        text = path.read_text()
+        assert text.count(SECTION_BEGIN) == 1
+        assert "fresh harness text" in text

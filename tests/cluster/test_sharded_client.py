@@ -1,0 +1,115 @@
+"""The consistent-hashing client: affinity, fallback, aggregation.
+
+These tests use two standalone single-process services as "shards" —
+shard routing is purely client-side, so nothing here needs
+SO_REUSEPORT or real forked shard processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (ServiceClient, ShardedServiceClient,
+                           canonical_payload_key, rendezvous_rank)
+
+from ..conftest import ReservedPorts, make_service
+
+GOOD = """\
+program routed
+  integer :: i
+  real :: a(10)
+  do i = 1, 10
+    a(i) = real(i)
+  end do
+  print a(10)
+end program
+"""
+
+
+def _payload_preferring(target, urls):
+    """A run payload whose rendezvous rank puts ``target`` first."""
+    for n in range(1, 64):
+        payload = {"action": "run", "source": GOOD, "inputs": {"n": n}}
+        key = canonical_payload_key(payload)
+        if rendezvous_rank(key, urls)[0] == target:
+            return payload
+    raise AssertionError("no payload preferred %r" % target)
+
+
+@pytest.fixture
+def two_services():
+    first, second = make_service(), make_service()
+    yield first, second
+    first.shutdown()
+    second.shutdown()
+
+
+class TestAffinity:
+    def test_same_payload_same_shard(self, two_services):
+        urls = [svc.url for svc in two_services]
+        client = ShardedServiceClient(urls, timeout=30.0)
+        try:
+            payload = {"action": "run", "source": GOOD}
+            first = client.client_for(payload)
+            assert all(client.client_for(dict(payload)) is first
+                       for _ in range(5))
+        finally:
+            client.close()
+
+    def test_requests_land_on_the_preferred_shard(self, two_services):
+        first, second = two_services
+        urls = [first.url, second.url]
+        client = ShardedServiceClient(urls, timeout=30.0)
+        try:
+            payload = _payload_preferring(second.url, urls)
+            status, doc = client.post_json("/compile", payload)
+            assert status == 200
+            values = ServiceClient(second.url).metrics_values()
+            assert values.get("repro_requests_total"
+                              '{endpoint="/compile",status="200"}') == 1.0
+            assert client.fallbacks == 0
+        finally:
+            client.close()
+
+
+class TestFallback:
+    def test_dead_preferred_shard_falls_back(self, two_services):
+        live = two_services[0]
+        with ReservedPorts(1) as reserved:
+            dead = "http://127.0.0.1:%d" % reserved.ports[0]
+            urls = [live.url, dead]
+            client = ShardedServiceClient(urls, timeout=5.0)
+            try:
+                payload = _payload_preferring(dead, urls)
+                status, doc = client.post_json("/compile", payload)
+                assert status == 200
+                assert doc["ok"] in (True, False)
+                assert client.fallbacks == 1
+            finally:
+                client.close()
+
+    def test_all_shards_dead_raises(self):
+        with ReservedPorts(2) as reserved:
+            urls = ["http://127.0.0.1:%d" % port
+                    for port in reserved.ports]
+            client = ShardedServiceClient(urls, timeout=2.0)
+            with pytest.raises(OSError):
+                client.post_json("/compile",
+                                 {"action": "run", "source": GOOD})
+
+
+class TestAggregation:
+    def test_metrics_values_sum_across_shards(self, two_services):
+        first, second = two_services
+        for svc in (first, second):
+            ServiceClient(svc.url, timeout=30.0).post_json(
+                "/compile", {"action": "run", "source": GOOD})
+        client = ShardedServiceClient([first.url, second.url],
+                                      timeout=30.0)
+        try:
+            values = client.metrics_values()
+            key = ('repro_requests_total'
+                   '{endpoint="/compile",status="200"}')
+            assert values.get(key) == 2.0
+        finally:
+            client.close()

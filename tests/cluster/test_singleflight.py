@@ -1,0 +1,78 @@
+"""The acceptance property of the shared artifact store: a cold
+program compiles exactly once cluster-wide.
+
+Four shard processes share one ``REPRO_CACHE_DIR``.  The same program
+is sent to every shard's direct listener simultaneously; the per-key
+``flock`` in the cache layer must serialize the fills so exactly one
+shard translates (``repro_backend_compiles_total`` = 1 in the
+aggregated metrics) while the rest wait and load the published
+artifact.
+"""
+
+from __future__ import annotations
+
+import socket
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cluster import ClusterSupervisor
+from repro.service import ServiceClient
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT not available on this platform")
+
+COLD_PROGRAM = """
+program coldstart
+  integer :: i
+  real :: a(100)
+  do i = 1, 100
+    a(i) = real(i) * 1.5
+  end do
+  print a(100)
+end program
+"""
+
+
+def test_cold_program_compiles_exactly_once_across_four_shards():
+    with tempfile.TemporaryDirectory(prefix="repro-sf-") as cache:
+        supervisor = ClusterSupervisor(
+            shards=4, port=0, workers=2, worker_mode="thread",
+            cache_dir=cache, drain_timeout=10.0)
+        supervisor.start()
+        try:
+            payload = {"action": "run", "source": COLD_PROGRAM,
+                       "engine": "compiled"}
+
+            def fire(url):
+                client = ServiceClient(url, timeout=120.0)
+                try:
+                    return client.post_json("/compile", dict(payload))
+                finally:
+                    client.close()
+
+            # one request per shard, released together: every shard is
+            # cold, so without the cross-process lock each would
+            # translate its own copy
+            with ThreadPoolExecutor(len(supervisor.shard_urls)) as pool:
+                results = list(pool.map(fire, supervisor.shard_urls))
+
+            assert all(status == 200 for status, _ in results)
+            assert all(doc["ok"] is True for _, doc in results)
+            # every response agrees on the program's output
+            outputs = {tuple(doc["output"]) for _, doc in results}
+            assert len(outputs) == 1
+            cold = [doc["backend_cached"] for _, doc in results]
+            assert cold.count(False) == 1, cold
+            assert cold.count(True) == len(results) - 1, cold
+
+            values = ServiceClient(
+                supervisor.admin_url).metrics_values()
+            compiles = sum(
+                value for name, value in values.items()
+                if name.startswith("repro_backend_compiles_total"))
+            assert compiles == 1.0
+        finally:
+            assert supervisor.shutdown() is True

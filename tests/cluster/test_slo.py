@@ -1,0 +1,103 @@
+"""The SLO grammar: strict parsing and honest grading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SloParseError, parse_slo
+from repro.cluster.slo import QPS_TOLERANCE
+
+
+LATENCY = {"p50": 0.004, "p95": 0.020, "p99": 0.040,
+           "max": 0.090, "mean": 0.007}
+
+
+class TestParsing:
+    def test_single_clause_with_qps(self):
+        spec = parse_slo("p99<50ms@200qps")
+        (clause,) = spec.clauses
+        assert clause.metric == "p99"
+        assert clause.op == "<"
+        assert clause.limit_seconds == pytest.approx(0.05)
+        assert clause.min_qps == 200.0
+
+    def test_multiple_clauses(self):
+        spec = parse_slo("p50<5ms, p99<=80ms@100qps, max<1s")
+        assert [c.metric for c in spec.clauses] == ["p50", "p99", "max"]
+        assert spec.clauses[1].op == "<="
+        assert spec.clauses[2].limit_seconds == 1.0
+        assert spec.clauses[0].min_qps is None
+
+    def test_seconds_and_fractional_limits(self):
+        (clause,) = parse_slo("mean<=0.5s").clauses
+        assert clause.limit_seconds == 0.5
+
+    def test_whitespace_tolerated(self):
+        spec = parse_slo("  p95 < 25 ms @ 50 qps ")
+        assert spec.clauses[0].min_qps == 50.0
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "p10<50ms",          # unknown metric
+        "p99>50ms",          # only upper bounds make sense
+        "p99<50",            # missing unit
+        "p99<50ms@qps",      # rate without a number
+        "p99<50ms@100",      # rate without the qps suffix
+        "p99<50ms garbage",  # trailing junk
+        "p99<50ms,,p50<1ms",  # empty clause
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(SloParseError):
+            parse_slo(bad)
+
+    def test_parse_error_is_value_error(self):
+        # the CLI catches ValueError at the argument boundary
+        assert issubclass(SloParseError, ValueError)
+
+
+class TestGrading:
+    def test_passing_spec(self):
+        verdict = parse_slo("p99<50ms@200qps").evaluate(LATENCY, 210.0)
+        assert verdict["passed"] is True
+        (check,) = verdict["checks"]
+        assert check["latency_ok"] is True
+        assert check["qps_ok"] is True
+
+    def test_latency_violation_fails(self):
+        verdict = parse_slo("p99<30ms").evaluate(LATENCY, 500.0)
+        assert verdict["passed"] is False
+        assert verdict["checks"][0]["latency_ok"] is False
+
+    def test_strict_vs_inclusive_bound(self):
+        assert parse_slo("p99<40ms").evaluate(
+            LATENCY, 0.0)["passed"] is False
+        assert parse_slo("p99<=40ms").evaluate(
+            LATENCY, 0.0)["passed"] is True
+
+    def test_qps_tolerance_boundary(self):
+        spec = parse_slo("p99<50ms@200qps")
+        floor = QPS_TOLERANCE * 200.0
+        assert spec.evaluate(LATENCY, floor)["passed"] is True
+        assert spec.evaluate(LATENCY, floor - 1.0)["passed"] is False
+        failing = spec.evaluate(LATENCY, floor - 1.0)["checks"][0]
+        assert failing["latency_ok"] is True  # shed load, not slow
+        assert failing["qps_ok"] is False
+
+    def test_all_clauses_must_hold(self):
+        spec = parse_slo("p50<5ms, p99<30ms")
+        verdict = spec.evaluate(LATENCY, 100.0)
+        assert verdict["passed"] is False
+        assert [c["passed"] for c in verdict["checks"]] == [True, False]
+
+    def test_missing_metric_is_a_failure_not_a_pass(self):
+        verdict = parse_slo("p99<1s").evaluate({}, 100.0)
+        assert verdict["passed"] is False
+        assert verdict["checks"][0]["actual_seconds"] == float("inf")
+
+    def test_verdict_is_json_shaped(self):
+        import json
+
+        verdict = parse_slo("p99<50ms@10qps").evaluate(LATENCY, 12.0)
+        round_tripped = json.loads(json.dumps(verdict))
+        assert round_tripped["spec"] == "p99<50ms@10qps"

@@ -16,18 +16,59 @@ from repro.ir.lowering import LoweringOptions, lower_source_file
 from repro.ssa.construct import construct_ssa
 
 
-def free_tcp_port():
-    """An ephemeral 127.0.0.1 port.
+class ReservedPorts:
+    """N distinct ephemeral 127.0.0.1 ports, atomically reserved.
 
-    Prefer passing ``port=0`` and reading the bound address back
-    (:func:`make_service` does); this is for the rare case where the
-    port number must be known before the server exists.  The socket is
-    closed before returning, so a race is possible but vanishingly
-    rare with the kernel's ephemeral range.
+    The old ``free_tcp_port()`` helper closed its probe socket before
+    returning the number, leaving a window in which the kernel could
+    hand the same port to a parallel test (a classic time-of-check /
+    time-of-use race).  This helper instead *keeps every reservation
+    socket bound* — the kernel cannot reallocate a held port — until
+    :meth:`release`, called at the moment of handoff.
+
+    Two usage modes:
+
+    * held (no release): a bound-but-not-listening socket refuses
+      connections, so a "nothing listens here" URL is race-free for
+      the whole ``with`` block;
+    * handoff: ``release()`` (or leaving the block) closes the
+      sockets right before the caller binds them itself, shrinking
+      the race window from "since the probe" to "one syscall".
+
+    Prefer ``port=0`` + reading the bound address back
+    (:func:`make_service` does) whenever the consumer can bind first.
     """
-    with contextlib.closing(socket.socket()) as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
+
+    def __init__(self, count: int = 1):
+        self.ports = []
+        self._socks = []
+        try:
+            for _ in range(count):
+                sock = socket.socket()
+                self._socks.append(sock)
+                sock.bind(("127.0.0.1", 0))
+                self.ports.append(sock.getsockname()[1])
+        except BaseException:
+            self.release()
+            raise
+
+    def release(self) -> None:
+        while self._socks:
+            with contextlib.suppress(OSError):
+                self._socks.pop().close()
+
+    def __enter__(self) -> "ReservedPorts":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def free_tcp_port():
+    """An ephemeral 127.0.0.1 port (released on return — prefer
+    :class:`ReservedPorts` held open, or ``port=0``, when possible)."""
+    with ReservedPorts(1) as reserved:
+        return reserved.ports[0]
 
 
 def make_service(**kwargs):

@@ -257,14 +257,16 @@ class TestConcurrentDiskWriters:
         assert errors == []
         leftovers = [p.name for p in tmp_path.iterdir() if ".tmp." in p.name]
         assert leftovers == []
-        entries = [p for p in tmp_path.iterdir()]
+        entries = [p for p in tmp_path.iterdir()
+                   if not p.name.endswith(".lock")]
         assert len(entries) == 1  # one key -> one published entry
 
     def test_truncated_entry_is_a_miss(self, loop_program, tmp_path):
         disk = str(tmp_path)
         one = FrontendCache(disk_dir=disk)
         one.frontend(loop_program)
-        (entry,) = list(tmp_path.iterdir())
+        (entry,) = [p for p in tmp_path.iterdir()
+                   if not p.name.endswith(".lock")]
         blob = entry.read_bytes()
         entry.write_bytes(blob[:len(blob) // 2])
         two = FrontendCache(disk_dir=disk)
@@ -277,7 +279,8 @@ class TestConcurrentDiskWriters:
         disk = str(tmp_path)
         one = FrontendCache(disk_dir=disk)
         one.frontend(loop_program)
-        (entry,) = list(tmp_path.iterdir())
+        (entry,) = [p for p in tmp_path.iterdir()
+                   if not p.name.endswith(".lock")]
         entry.write_bytes(b"")
         two = FrontendCache(disk_dir=disk)
         two.frontend(loop_program)
@@ -289,7 +292,8 @@ class TestConcurrentDiskWriters:
         disk = str(tmp_path)
         one = FrontendCache(disk_dir=disk)
         one.frontend(loop_program)
-        (entry,) = list(tmp_path.iterdir())
+        (entry,) = [p for p in tmp_path.iterdir()
+                   if not p.name.endswith(".lock")]
         entry.write_bytes(pickle.dumps({"not": "a module"}))
         two = FrontendCache(disk_dir=disk)
         two.frontend(loop_program)

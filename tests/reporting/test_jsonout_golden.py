@@ -4,7 +4,9 @@ The documents under ``tests/reporting/golden/`` are the published
 contract: the service's responses and the CLI's ``--json`` output must
 stay field-compatible release over release.  A failure here means a
 consumer-visible schema change — either fix the regression or bump the
-schema version string AND regenerate the golden deliberately.
+schema version string AND regenerate the golden deliberately.  Purely
+*additive* optional fields keep the version string (consumers ignore
+unknown keys) but still require a deliberate golden regeneration.
 """
 
 import contextlib
@@ -42,6 +44,8 @@ def normalize_run(doc):
     if doc.get("phases"):
         doc["phases"] = {key: 0.0 for key in doc["phases"]}
     doc["frontend_cached"] = False  # depends on shared-cache warmth
+    if doc.get("backend_cached") is not None:
+        doc["backend_cached"] = False  # likewise (compiled engines only)
     return doc
 
 

@@ -12,7 +12,7 @@ from repro import faults
 from repro.service import RetryPolicy, ServiceClient, WorkerPool
 from repro.service.client import TRAP_SOURCE
 
-from ..conftest import free_tcp_port, make_service
+from ..conftest import ReservedPorts, make_service
 
 pytestmark = pytest.mark.resilience
 
@@ -158,14 +158,17 @@ class TestScriptedRetries:
 
 class TestRetriesAgainstRealService:
     def test_transport_errors_retried_then_reraised(self):
-        # a port we just proved nothing listens on
-        url = "http://127.0.0.1:%d" % free_tcp_port()
-        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
-        client = ServiceClient(url, timeout=5.0, retry=policy)
-        with pytest.raises(OSError):
-            client.post_with_retry("/compile",
-                                   {"action": "run", "source": "x"})
-        assert client.retries == 2
+        # a held, bound-but-not-listening socket refuses connections
+        # for the whole block — no close-then-reuse race
+        with ReservedPorts(1) as reserved:
+            url = "http://127.0.0.1:%d" % reserved.ports[0]
+            policy = RetryPolicy(max_attempts=3, base_delay=0.01,
+                                 jitter=0.0)
+            client = ServiceClient(url, timeout=5.0, retry=policy)
+            with pytest.raises(OSError):
+                client.post_with_retry("/compile",
+                                       {"action": "run", "source": "x"})
+            assert client.retries == 2
 
     def test_trap_result_is_never_retried(self):
         svc = make_service()

@@ -1,0 +1,160 @@
+"""HTTP keep-alive in ServiceClient: reuse, reconnect, and close.
+
+The client keeps one ``http.client`` connection per thread and replays
+a request on a fresh socket exactly once when a *reused* socket turns
+out to be stale (the server may close idle keep-alive connections at
+any time).  A failure on a freshly-opened socket propagates — the
+server is genuinely unreachable and retrying would only mask it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import ServiceClient
+
+from ..conftest import ReservedPorts, make_service
+
+
+class _ScriptedServer:
+    """A raw HTTP/1.1 server serving ``per_connection`` responses on
+    each accepted connection, then closing it server-side."""
+
+    def __init__(self, per_connection: int = 1,
+                 close_header: bool = False) -> None:
+        self.per_connection = per_connection
+        self.close_header = close_header
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.url = "http://127.0.0.1:%d" % self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                for _ in range(self.per_connection):
+                    if not self._one_exchange(conn):
+                        break
+
+    def _one_exchange(self, conn: socket.socket) -> bool:
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return False
+            data += chunk
+        head, rest = data.split(b"\r\n\r\n", 1)
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(rest) < length:
+            rest += conn.recv(65536)
+        body = b'{"ok": true}'
+        headers = [b"HTTP/1.1 200 OK",
+                   b"Content-Type: application/json",
+                   b"Content-Length: " + str(len(body)).encode("ascii")]
+        if self.close_header:
+            headers.append(b"Connection: close")
+        conn.sendall(b"\r\n".join(headers) + b"\r\n\r\n" + body)
+        return True
+
+    def stop(self) -> None:
+        self._sock.close()
+
+
+class TestConnectionReuse:
+    def test_sequential_requests_share_one_socket(self):
+        service = make_service()
+        try:
+            client = ServiceClient(service.url, timeout=30.0)
+            client.healthz()
+            first_sock = client._local.conn.sock
+            assert first_sock is not None
+            client.healthz()
+            client.healthz()
+            assert client._local.conn.sock is first_sock
+            assert client.reconnects == 0
+        finally:
+            client.close()
+            service.shutdown()
+
+    def test_stale_keepalive_reconnects_exactly_once(self):
+        server = _ScriptedServer(per_connection=1)
+        try:
+            client = ServiceClient(server.url, timeout=5.0)
+            assert client.get_json("/x")[0] == 200
+            # server closed the socket after that response; the next
+            # request finds the reused socket stale and replays once
+            assert client.get_json("/x")[0] == 200
+            assert client.reconnects == 1
+            assert server.connections == 2
+        finally:
+            server.stop()
+
+    def test_connection_close_header_drops_socket(self):
+        server = _ScriptedServer(per_connection=1, close_header=True)
+        try:
+            client = ServiceClient(server.url, timeout=5.0)
+            assert client.get_json("/x")[0] == 200
+            assert client.get_json("/x")[0] == 200
+            # honoring Connection: close is a planned reconnect, not a
+            # stale-socket replay
+            assert client.reconnects == 0
+            assert server.connections == 2
+        finally:
+            server.stop()
+
+    def test_fresh_connection_failure_propagates(self):
+        with ReservedPorts(1) as reserved:
+            url = "http://127.0.0.1:%d" % reserved.ports[0]
+            client = ServiceClient(url, timeout=2.0)
+            with pytest.raises(OSError):
+                client.get("/healthz")
+            assert client.reconnects == 0
+
+    def test_threads_get_independent_connections(self):
+        service = make_service()
+        try:
+            client = ServiceClient(service.url, timeout=30.0)
+            socks = {}
+
+            def probe(name):
+                client.healthz()
+                socks[name] = client._local.conn.sock
+
+            threads = [threading.Thread(target=probe, args=(i,))
+                       for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            client.healthz()
+            socks["main"] = client._local.conn.sock
+            assert len(set(map(id, socks.values()))) == 3
+        finally:
+            client.close()
+            service.shutdown()
+
+    def test_close_forgets_the_socket(self):
+        service = make_service()
+        try:
+            client = ServiceClient(service.url, timeout=30.0)
+            client.healthz()
+            client.close()
+            assert getattr(client._local, "conn", None) is None
+            client.healthz()  # and reconnecting afterwards still works
+        finally:
+            client.close()
+            service.shutdown()

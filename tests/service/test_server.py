@@ -5,6 +5,7 @@ the suite stays fast; the CI smoke job exercises the process mode
 end-to-end.
 """
 
+import os
 import threading
 import time
 
@@ -46,6 +47,23 @@ class TestEndpoints:
         assert health["status"] == "ok"
         assert health["in_flight"] == 0
         assert health["worker_mode"] == "thread"
+
+    def test_healthz_identity_fields(self, client):
+        # the cluster supervisor and its hashing client key on these
+        health = client.healthz()
+        assert health["shard_id"] is None  # standalone service
+        assert health["pid"] == os.getpid()
+        assert isinstance(health["uptime_s"], float)
+        assert health["uptime_s"] >= 0.0
+        assert health["uptime_s"] == health["uptime_seconds"]
+
+    def test_healthz_reports_shard_id(self):
+        svc = make_service(shard_id=3)
+        try:
+            health = ServiceClient(svc.url, timeout=30.0).healthz()
+            assert health["shard_id"] == 3
+        finally:
+            svc.shutdown()
 
     def test_version(self, client):
         import repro
