@@ -17,6 +17,8 @@
   algorithms that insert checks.
 """
 
+import time
+
 import pytest
 
 from repro.benchsuite import all_programs
@@ -144,6 +146,108 @@ def test_spec_vs_lls_and_all(benchmark, programs, results_dir):
     # and wins outright somewhere: fully covered loops run check-free
     assert any(row[Scheme.SPEC] > row[Scheme.LLS] + 1e-9
                for row in rows.values())
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_lospre_vs_every_scheme(benchmark, programs, results_dir):
+    """Profile-guided lospre (LO) against the full scheme ladder.
+
+    LO trains an edge profile under LLS on the same inputs, computes a
+    per-fact min cut over the profile-weighted later-region edges, and
+    ships whichever of {no insertions, LCM-latest, the cuts} a
+    fold-aware simulation of the elimination pass prices cheapest at
+    the observed counts (ties keep latest).  That selection makes LO
+    never run more checks than LLS -- the no-insertions candidate *is*
+    the LLS residual placement -- and on spec77 LCM-latest beats the
+    residual heuristic outright with zero cuts fired.  The second axis
+    is wall clock: LO pays for the training run plus the max-flow
+    solve, recorded per program next to LLS's cost.
+    """
+    scheme_ladder = (Scheme.NI, Scheme.CS, Scheme.LNI, Scheme.SE,
+                     Scheme.LI, Scheme.LLS, Scheme.SPEC, Scheme.ALL,
+                     Scheme.LO)
+    baselines = {
+        p.name: measure_baseline(p.name, p.source, p.inputs).dynamic_checks
+        for p in programs
+    }
+
+    def run_comparison():
+        rows = {}
+        seconds = {}
+        for program in programs:
+            row = {}
+            for scheme in scheme_ladder:
+                start = time.perf_counter()
+                cell = measure_scheme(
+                    program.name, program.source,
+                    OptimizerOptions(scheme=scheme),
+                    baselines[program.name], program.inputs)
+                seconds[(program.name, scheme)] = \
+                    time.perf_counter() - start
+                row[scheme] = cell
+            rows[program.name] = row
+        return rows, seconds
+
+    rows, seconds = benchmark.pedantic(run_comparison, rounds=1,
+                                       iterations=1)
+
+    # all-engine counter parity: the LO placement must count the same
+    # dynamic checks under the interpreter, the threaded Python
+    # back-end, and the specialized flat back-end
+    parity = {}
+    for program in programs:
+        counts = {}
+        for engine in ("interp", "compiled", "specialized"):
+            cell = measure_scheme(
+                program.name, program.source,
+                OptimizerOptions(scheme=Scheme.LO),
+                baselines[program.name], program.inputs, engine=engine)
+            counts[engine] = cell.dynamic_checks
+        parity[program.name] = counts
+
+    header = ("program",) + tuple(s.name for s in scheme_ladder)
+    lines = ["LO (profile-guided lospre min-cut placement) vs the "
+             "scheme ladder",
+             "",
+             "dynamic checks remaining (% eliminated vs unoptimized)",
+             ("%-10s" + " %8s" * len(scheme_ladder)) % header]
+    for name, row in rows.items():
+        lines.append(("%-10s" + " %8.2f" * len(scheme_ladder))
+                     % ((name,) + tuple(row[s].percent_eliminated
+                                        for s in scheme_ladder)))
+    lines += ["",
+              "wall-clock seconds per cell (LO includes profile "
+              "training)",
+              "%-10s %10s %10s %10s" % ("program", "LLS", "LO",
+                                        "LO/LLS")]
+    for program in programs:
+        lls_s = seconds[(program.name, Scheme.LLS)]
+        lo_s = seconds[(program.name, Scheme.LO)]
+        lines.append("%-10s %10.4f %10.4f %10.2f"
+                     % (program.name, lls_s, lo_s,
+                        lo_s / lls_s if lls_s else float("inf")))
+    lines += ["",
+              "LO dynamic checks by engine (parity)",
+              "%-10s %10s %10s %12s" % ("program", "interp", "compiled",
+                                        "specialized")]
+    for name, counts in parity.items():
+        lines.append("%-10s %10d %10d %12d"
+                     % (name, counts["interp"], counts["compiled"],
+                        counts["specialized"]))
+    write_result(results_dir, "extension_lospre.txt", "\n".join(lines))
+
+    for name, row in rows.items():
+        # the acceptance bar: LO never runs more checks than LLS
+        assert row[Scheme.LO].dynamic_checks \
+            <= row[Scheme.LLS].dynamic_checks, name
+    # and somewhere the LCM-latest candidate beats the LLS residual
+    # heuristic outright (spec77, with zero cuts fired)
+    assert any(row[Scheme.LO].dynamic_checks
+               < row[Scheme.LLS].dynamic_checks
+               for row in rows.values())
+    for name, counts in parity.items():
+        assert counts["interp"] == counts["compiled"] \
+            == counts["specialized"], name
 
 
 WHILE_HEAVY = """

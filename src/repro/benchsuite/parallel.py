@@ -63,7 +63,8 @@ ProgramResult = Tuple[BaselineMeasurement, Cells, Cells, Dict[str, int]]
 
 
 def run_program(name: str, small: bool = False,
-                engine: str = "interp") -> ProgramResult:
+                engine: str = "interp",
+                profile_mode: str = "auto") -> ProgramResult:
     """Measure one program under every table configuration.
 
     This is the process-pool task: module-level so it pickles, keyed
@@ -87,7 +88,8 @@ def run_program(name: str, small: bool = False,
             options = OptimizerOptions(scheme=scheme, kind=kind)
             table2[(options.label(), name)] = measure_scheme(
                 name, program.source, options, baseline.dynamic_checks,
-                inputs, engine=engine, cache=cache)
+                inputs, engine=engine, cache=cache,
+                profile_mode=profile_mode)
     table3: Cells = {}
     for kind in (CheckKind.PRX, CheckKind.INX):
         for scheme, mode in TABLE3_ROWS:
@@ -99,14 +101,15 @@ def run_program(name: str, small: bool = False,
     return baseline, table2, table3, cache.stats()
 
 
-def _run_pool(names: List[str], small: bool, jobs: int,
-              engine: str) -> List[Optional[ProgramResult]]:
+def _run_pool(names: List[str], small: bool, jobs: int, engine: str,
+              profile_mode: str) -> List[Optional[ProgramResult]]:
     """One result per name, in order; ``None`` where a task failed."""
     from concurrent.futures import ProcessPoolExecutor
 
     results: List[Optional[ProgramResult]] = [None] * len(names)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(run_program, name, small, engine)
+        futures = [pool.submit(run_program, name, small, engine,
+                               profile_mode)
                    for name in names]
         for index, future in enumerate(futures):
             results[index] = future.result()
@@ -115,19 +118,22 @@ def _run_pool(names: List[str], small: bool, jobs: int,
 
 def run_suite(programs: Optional[Iterable[BenchmarkProgram]] = None,
               small: bool = False, jobs: int = 1,
-              engine: str = "interp") -> SuiteResult:
+              engine: str = "interp",
+              profile_mode: str = "auto") -> SuiteResult:
     """Run Tables 1-3 for the suite, ``jobs`` programs at a time.
 
     ``jobs <= 1`` runs serially in-process.  Pool failures degrade to
     serial execution with a note on stderr; results are identical
     either way — and identical for either ``engine``.
+    ``profile_mode`` controls the LO column's self-training (see
+    :func:`repro.pipeline.stats.measure_scheme`).
     """
     names = [p.name for p in (programs or all_programs())]
     results: List[Optional[ProgramResult]] = [None] * len(names)
     used_pool = False
     if jobs > 1 and len(names) > 1:
         try:
-            results = _run_pool(names, small, jobs, engine)
+            results = _run_pool(names, small, jobs, engine, profile_mode)
             used_pool = True
         except Exception as error:  # pool machinery, not measurement
             print("warning: process pool failed (%s: %s); "
@@ -136,7 +142,8 @@ def run_suite(programs: Optional[Iterable[BenchmarkProgram]] = None,
             results = [None] * len(names)
     for index, name in enumerate(names):
         if results[index] is None:
-            results[index] = run_program(name, small, engine)
+            results[index] = run_program(name, small, engine,
+                                         profile_mode)
 
     rows: List[BaselineMeasurement] = []
     table2: Cells = {}
@@ -156,19 +163,20 @@ def run_suite(programs: Optional[Iterable[BenchmarkProgram]] = None,
 
 
 def compare_scheme(source: str, kind_name: str, scheme_name: str,
-                   baseline_checks: int,
-                   inputs: Dict[str, float]) -> SchemeMeasurement:
+                   baseline_checks: int, inputs: Dict[str, float],
+                   profile_mode: str = "auto") -> SchemeMeasurement:
     """Process-pool task for one ``compare`` row (module-level for
     pickling; enums travel by name)."""
     options = OptimizerOptions(scheme=Scheme[scheme_name],
                                kind=CheckKind[kind_name])
     return measure_scheme("<file>", source, options, baseline_checks,
-                          inputs)
+                          inputs, profile_mode=profile_mode)
 
 
 def run_compare(source: str, kind: CheckKind, baseline_checks: int,
-                inputs: Dict[str, float],
-                jobs: int = 1) -> List[Tuple[Scheme, SchemeMeasurement]]:
+                inputs: Dict[str, float], jobs: int = 1,
+                profile_mode: str = "auto"
+                ) -> List[Tuple[Scheme, SchemeMeasurement]]:
     """One ``compare`` cell per scheme, in :class:`Scheme` order."""
     schemes = list(Scheme)
     cells: List[Optional[SchemeMeasurement]] = [None] * len(schemes)
@@ -178,7 +186,8 @@ def run_compare(source: str, kind: CheckKind, baseline_checks: int,
 
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = [pool.submit(compare_scheme, source, kind.name,
-                                       scheme.name, baseline_checks, inputs)
+                                       scheme.name, baseline_checks,
+                                       inputs, profile_mode)
                            for scheme in schemes]
                 for index, future in enumerate(futures):
                     cells[index] = future.result()
@@ -190,5 +199,6 @@ def run_compare(source: str, kind: CheckKind, baseline_checks: int,
     for index, scheme in enumerate(schemes):
         if cells[index] is None:
             cells[index] = compare_scheme(source, kind.name, scheme.name,
-                                          baseline_checks, inputs)
+                                          baseline_checks, inputs,
+                                          profile_mode)
     return list(zip(schemes, cells))

@@ -25,10 +25,12 @@ from ..pipeline.stats import (BaselineMeasurement, SchemeMeasurement,
 from .registry import BenchmarkProgram, all_programs
 
 # Table 2 runs the seven paper schemes plus the speculative
-# loop-versioning extension for both check kinds.
+# loop-versioning and profile-guided lospre extensions for both check
+# kinds.  LO self-trains its edge profile (under LLS, same inputs)
+# inside measure_scheme unless the caller turns profiles off.
 TABLE2_SCHEMES: Tuple[Scheme, ...] = (
     Scheme.NI, Scheme.CS, Scheme.LNI, Scheme.SE,
-    Scheme.LI, Scheme.LLS, Scheme.ALL, Scheme.SPEC,
+    Scheme.LI, Scheme.LLS, Scheme.ALL, Scheme.SPEC, Scheme.LO,
 )
 
 # Table 3 compares implication modes on NI, SE, and LLS.
@@ -77,7 +79,8 @@ def run_table2(programs: Optional[Iterable[BenchmarkProgram]] = None,
                small: bool = False,
                cache: Optional[FrontendCache] = None,
                baselines: Optional[Mapping[str, BaselineMeasurement]] = None,
-               engine: str = "interp"
+               engine: str = "interp",
+               profile_mode: str = "auto"
                ) -> Dict[Tuple[str, str], SchemeMeasurement]:
     """Percent of checks eliminated per (kind-scheme, program)."""
     cache = _resolve_cache(cache)
@@ -90,7 +93,8 @@ def run_table2(programs: Optional[Iterable[BenchmarkProgram]] = None,
                 options = OptimizerOptions(scheme=scheme, kind=kind)
                 cell = measure_scheme(program.name, program.source, options,
                                       baseline.dynamic_checks, inputs,
-                                      engine=engine, cache=cache)
+                                      engine=engine, cache=cache,
+                                      profile_mode=profile_mode)
                 results[(options.label(), program.name)] = cell
     return results
 
@@ -256,7 +260,8 @@ def run_bench(programs: Optional[Iterable[BenchmarkProgram]] = None,
               options: Optional[OptimizerOptions] = None,
               max_steps: int = 50_000_000,
               cache: Optional[FrontendCache] = None,
-              backend_cache=None) -> BenchResult:
+              backend_cache=None,
+              profile_mode: str = "auto") -> BenchResult:
     """Engine comparison mode: wall-clock per program per engine.
 
     Each program is compiled once (under ``options``, default LLS/PRX)
@@ -280,7 +285,17 @@ def run_bench(programs: Optional[Iterable[BenchmarkProgram]] = None,
     result = BenchResult(options.label(), small, repeats, tuple(engines))
     for program in programs or all_programs():
         inputs = program.test_inputs if small else program.inputs
-        compiled = compile_source(program.source, options, cache=cache)
+        program_options = options
+        if (options.scheme is Scheme.LO and options.profile is None
+                and profile_mode == "auto"):
+            from ..pipeline.profile import train_profile
+
+            program_options = OptimizerOptions(
+                options.scheme, options.kind, options.implication,
+                profile=train_profile(program.source, options, inputs,
+                                      max_steps=max_steps, cache=cache))
+        compiled = compile_source(program.source, program_options,
+                                  cache=cache)
         row = BenchProgramResult(program.name)
         # interleave the engines' timed repeats in rounds: a localized
         # machine-load spike then lands in every engine's sample set

@@ -40,6 +40,15 @@ class Scheme(enum.Enum):
     # trap).  Everything the guard cannot cover degrades to LLS
     # placement.
     SPEC = "SPEC"
+    # extension: lifetime-optimal speculative PRE (lospre).  Runs the
+    # LLS preheader pass, then replaces LCM's LATER postponement with a
+    # per-fact min-cut over the down-safe region, weighted by per-edge
+    # execution counts from a training profile
+    # (``OptimizerOptions.profile``).  A check is speculated onto a
+    # cold edge only when the profile-weighted dynamic count strictly
+    # drops; with no profile the uniform cost function reproduces the
+    # LCM latest placement, so LO is always runnable.
+    LO = "LO"
 
 
 class CheckKind(enum.Enum):
@@ -62,10 +71,16 @@ class OptimizerOptions:
 
     def __init__(self, scheme: Scheme = Scheme.LLS,
                  kind: CheckKind = CheckKind.PRX,
-                 implication: ImplicationMode = ImplicationMode.ALL) -> None:
+                 implication: ImplicationMode = ImplicationMode.ALL,
+                 profile=None) -> None:
         self.scheme = scheme
         self.kind = kind
         self.implication = implication
+        # Optional EdgeProfile supplying the LO scheme's edge-cost
+        # function.  Not part of ``label()``: the profile changes the
+        # placement, not the scheme's identity; artifact-sensitive
+        # cache keys carry its fingerprint separately.
+        self.profile = profile
 
     def label(self) -> str:
         """A short identifier such as ``PRX-LLS`` or ``INX-SE'``."""

@@ -64,47 +64,63 @@ def safe_earliest_insertions(analysis: CheckAnalysis,
             if system.earliest(edge)}
 
 
+class LaterSystem:
+    """The solved LATER postponement system.
+
+    Factored out of :func:`latest_insertions` so the profile-guided
+    lospre pass (:mod:`repro.checks.lospre`) can reuse the solved
+    ``laterin`` sets and ``edge_later`` predicate: its min-cut runs
+    over exactly this postponement region.
+    """
+
+    def __init__(self, analysis: CheckAnalysis,
+                 edge_gen: Optional[EdgeGen] = None) -> None:
+        self.analysis = analysis
+        self.system = _PlacementSystem(analysis, edge_gen)
+        self.edges = self.system.edges
+        self.earliest: Dict[Edge, FrozenSet[int]] = {
+            edge: self.system.earliest(edge) for edge in self.edges}
+        preds = analysis.preds
+        universe = analysis.all_ids
+        self.antloc = analysis.antloc
+
+        self.laterin: Dict[BasicBlock, FrozenSet[int]] = {
+            block: universe for block in analysis.rpo}
+        changed = True
+        while changed:
+            changed = False
+            for block in analysis.rpo:
+                incoming_edges: List[Edge] = [(None, block)] \
+                    if block is analysis.function.entry else []
+                incoming_edges.extend((p, block) for p in preds[block])
+                pieces = [self.edge_later(e) for e in incoming_edges]
+                merged = frozenset.intersection(*pieces) if pieces else EMPTY
+                if merged != self.laterin[block]:
+                    self.laterin[block] = merged
+                    changed = True
+
+    def edge_later(self, edge: Edge) -> FrozenSet[int]:
+        pred, _ = edge
+        facts = self.earliest[edge]
+        if pred is not None:
+            facts = facts | (self.laterin[pred] - self.antloc[pred])
+        return facts
+
+    def insertions(self) -> Dict[Edge, FrozenSet[int]]:
+        """The classic LCM latest insertion sets, per edge."""
+        insertions: Dict[Edge, FrozenSet[int]] = {}
+        for edge in self.edges:
+            facts = self.edge_later(edge) - self.laterin[edge[1]]
+            if facts:
+                insertions[edge] = facts
+        return insertions
+
+
 def latest_insertions(analysis: CheckAnalysis,
                       edge_gen: Optional[EdgeGen] = None
                       ) -> Dict[Edge, FrozenSet[int]]:
     """The latest (LATER-system) insertion sets, per edge."""
-    system = _PlacementSystem(analysis, edge_gen)
-    earliest: Dict[Edge, FrozenSet[int]] = {
-        edge: system.earliest(edge) for edge in system.edges}
-    preds = analysis.preds
-    universe = analysis.all_ids
-    antloc = analysis.antloc
-
-    laterin: Dict[BasicBlock, FrozenSet[int]] = {
-        block: universe for block in analysis.rpo}
-    later: Dict[Edge, FrozenSet[int]] = {
-        edge: universe for edge in earliest}
-
-    def edge_later(edge: Edge) -> FrozenSet[int]:
-        pred, _ = edge
-        facts = earliest[edge]
-        if pred is not None:
-            facts = facts | (laterin[pred] - antloc[pred])
-        return facts
-
-    changed = True
-    while changed:
-        changed = False
-        for block in analysis.rpo:
-            incoming_edges: List[Edge] = [(None, block)] \
-                if block is analysis.function.entry else []
-            incoming_edges.extend((p, block) for p in preds[block])
-            pieces = [edge_later(e) for e in incoming_edges]
-            merged = frozenset.intersection(*pieces) if pieces else EMPTY
-            if merged != laterin[block]:
-                laterin[block] = merged
-                changed = True
-    insertions: Dict[Edge, FrozenSet[int]] = {}
-    for edge in system.edges:
-        facts = edge_later(edge) - laterin[edge[1]]
-        if facts:
-            insertions[edge] = facts
-    return insertions
+    return LaterSystem(analysis, edge_gen).insertions()
 
 
 def apply_insertions(analysis: CheckAnalysis, env: AffineEnv,

@@ -51,6 +51,8 @@ class OptimizeStats:
         self.inx_rewritten = 0
         #: loops versioned by the SPEC scheme (fast/slow clones)
         self.speculated = 0
+        #: facts whose lospre min cut strictly beat the latest placement
+        self.lospre_cuts = 0
         self.trap_reports: List[str] = []
 
     def merge(self, other: "OptimizeStats") -> None:
@@ -63,6 +65,7 @@ class OptimizeStats:
         self.compile_time += other.compile_time
         self.inx_rewritten += other.inx_rewritten
         self.speculated += other.speculated
+        self.lospre_cuts += other.lospre_cuts
         self.trap_reports.extend(other.trap_reports)
 
     def __repr__(self) -> str:
@@ -148,6 +151,14 @@ class RangeCheckOptimizer:
             self._run_preheader(substitute_linear=True)
             self._refresh_analyses()
             self._run_lcm(earliest=True)
+        elif scheme is Scheme.LO:
+            # lospre: LLS preheader machinery, then profile-guided
+            # min-cut placement over the LATER region instead of LCM's
+            # unconditional latest edges.  With no profile the pass
+            # degrades to the latest placement verbatim.
+            self._run_preheader(substitute_linear=True)
+            self._refresh_analyses()
+            self._run_lospre()
         elif scheme is Scheme.SPEC:
             # speculative loop versioning first, then LLS placement for
             # every family the envelope guard could not cover (the
@@ -186,6 +197,16 @@ class RangeCheckOptimizer:
         self.stats.inserted += inserter.inserted
         for edge, checks in inserter.edge_gen.items():
             self.edge_gen.setdefault(edge, []).extend(checks)
+
+    def _run_lospre(self) -> None:
+        from .lospre import lospre_insertions
+
+        analysis = self._make_analysis()
+        insertions, cuts = lospre_insertions(analysis, self.edge_gen,
+                                             self.options.profile)
+        self.stats.lospre_cuts += cuts
+        self.stats.inserted += apply_insertions(analysis, self._env,
+                                                insertions)
 
     def _run_spec(self) -> None:
         from .spec import SpeculativeVersioner

@@ -91,6 +91,35 @@ def _options(args: argparse.Namespace) -> OptimizerOptions:
         implication=ImplicationMode[args.implication])
 
 
+def _profile_options(command: str, spec: str, source: str,
+                     inputs: Dict[str, float],
+                     options: OptimizerOptions) -> OptimizerOptions:
+    """Resolve a ``--profile PATH|auto|off`` flag into options.
+
+    ``auto`` trains a fresh profile (LLS, same inputs); a path loads a
+    serialized artifact.  Exit-code-2 contract: a missing, corrupt, or
+    mismatched artifact is a one-line usage error, never a traceback
+    (ProfileError is a ReproError, which ``main`` maps to exit 2; the
+    fingerprint/source validation itself runs inside compile_source).
+    """
+    if not spec or spec == "off":
+        return options
+    if options.scheme is not Scheme.LO:
+        raise _usage_exit("%s: --profile requires --scheme LO (the "
+                          "profile-guided scheme); got %s"
+                          % (command, options.scheme.name))
+    if spec == "auto":
+        from .pipeline.profile import train_profile
+
+        profile = train_profile(source, options, inputs)
+    else:
+        from .pipeline.profile import EdgeProfile
+
+        profile = EdgeProfile.load(spec)
+    return OptimizerOptions(options.scheme, options.kind,
+                            options.implication, profile=profile)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("file", help="mini-Fortran source file")
     parser.add_argument("--scheme", default="LLS",
@@ -110,7 +139,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
     inputs = _parse_inputs(args.input)
-    program = compile_source(source, _options(args),
+    options = _profile_options("run", args.profile, source, inputs,
+                               _options(args))
+    collect_edges = bool(args.profile_out)
+    program = compile_source(source, options,
                              optimize=not args.no_optimize,
                              rotate_loops=args.rotate_loops,
                              verify_ir=args.verify_ir)
@@ -118,11 +150,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = None
     try:
         if args.engine in ("compiled", "specialized"):
-            result = program.run_compiled(inputs, engine=args.engine)
+            result = program.run_compiled(inputs, engine=args.engine,
+                                          collect_edges=collect_edges)
         else:
-            result = program.run(inputs)
+            result = program.run(inputs, collect_edges=collect_edges)
     except RangeTrap as error:
         trap = error
+    if args.profile_out:
+        if trap is None:
+            from .pipeline.profile import profile_from_counters
+
+            profile_from_counters(
+                source, result.counters,
+                kind=options.kind.value,
+                implication=options.implication.value,
+                scheme=options.scheme.value).write(args.profile_out)
+            print("wrote %s" % args.profile_out, file=sys.stderr)
+        else:
+            print("profile not written: the program trapped",
+                  file=sys.stderr)
     if args.json:
         import json
 
@@ -167,7 +213,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     inputs = _parse_inputs(args.input)
     baseline = measure_baseline(args.file, source, inputs)
     cells = run_compare(source, CheckKind[args.kind],
-                        baseline.dynamic_checks, inputs, jobs=args.jobs)
+                        baseline.dynamic_checks, inputs, jobs=args.jobs,
+                        profile_mode=args.profile)
     if args.json:
         import json
 
@@ -203,7 +250,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     from .reporting import (TABLE3_LABELS, render_tables_text,
                             table2_labels, tables_summary_line)
 
-    suite = run_suite(small=args.small, jobs=args.jobs, engine=args.engine)
+    suite = run_suite(small=args.small, jobs=args.jobs, engine=args.engine,
+                      profile_mode=args.profile)
     if args.json:
         import json
 
@@ -261,8 +309,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if out and os.path.exists(out) and not args.force:
         raise _usage_exit("bench: %s already exists "
                           "(pass --force to overwrite)" % out)
+    options = OptimizerOptions(scheme=Scheme[args.scheme],
+                               kind=CheckKind[args.kind])
     result = run_bench(programs, engines=engines, small=args.small,
-                       repeats=args.repeats)
+                       repeats=args.repeats, options=options,
+                       profile_mode=args.profile)
     doc = bench_to_dict(result)
     if out:
         out_dir = os.path.dirname(out)
@@ -543,6 +594,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json", action="store_true",
                             help="emit the machine-readable run document "
                                  "(same schema as the compile service)")
+    run_parser.add_argument("--profile", default="off",
+                            metavar="PATH|auto|off",
+                            help="edge profile guiding --scheme LO: a "
+                                 "--profile-out artifact, 'auto' to "
+                                 "self-train (LLS, same inputs), or "
+                                 "'off' (default)")
+    run_parser.add_argument("--profile-out", metavar="PATH",
+                            help="collect per-edge execution counts "
+                                 "during the run and write the training "
+                                 "artifact to PATH")
     run_parser.set_defaults(handler=_cmd_run)
 
     dump_parser = commands.add_parser("dump", help="print optimized IR")
@@ -562,6 +623,11 @@ def build_parser() -> argparse.ArgumentParser:
                                      "process pool")
     compare_parser.add_argument("--json", action="store_true",
                                 help="emit machine-readable results")
+    compare_parser.add_argument("--profile", default="auto",
+                                choices=["auto", "off"],
+                                help="LO row training: 'auto' (default) "
+                                     "self-trains an edge profile, "
+                                     "'off' degrades LO to LCM-latest")
     compare_parser.set_defaults(handler=_cmd_compare)
 
     explain_parser = commands.add_parser(
@@ -590,6 +656,12 @@ def build_parser() -> argparse.ArgumentParser:
                                     "measurement (interp, compiled, "
                                     "specialized); the rendered tables "
                                     "are identical either way")
+    tables_parser.add_argument("--profile", default="auto",
+                               choices=["auto", "off"],
+                               help="LO column training: 'auto' "
+                                    "(default) self-trains an edge "
+                                    "profile per program, 'off' "
+                                    "degrades LO to LCM-latest")
     tables_parser.set_defaults(handler=_cmd_tables)
 
     bench_parser = commands.add_parser(
@@ -620,6 +692,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "'' disables)")
     bench_parser.add_argument("--force", action="store_true",
                               help="overwrite an existing artifact")
+    bench_parser.add_argument("--scheme", default="LLS",
+                              choices=[s.name for s in Scheme],
+                              help="placement scheme every program is "
+                                   "compiled under (default LLS)")
+    bench_parser.add_argument("--kind", default="PRX",
+                              choices=[k.name for k in CheckKind])
+    bench_parser.add_argument("--profile", default="auto",
+                              choices=["auto", "off"],
+                              help="--scheme LO training: 'auto' "
+                                   "(default) self-trains an edge "
+                                   "profile per program, 'off' degrades "
+                                   "LO to LCM-latest")
     bench_parser.set_defaults(handler=_cmd_bench)
 
     fuzz_parser = commands.add_parser(

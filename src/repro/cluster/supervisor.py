@@ -64,12 +64,20 @@ class ShardHandle:
         self.restarts = 0
         self.exit_code: Optional[int] = None
         self.next_spawn_at = 0.0  # monotonic; backoff gate
+        #: Monotonic instant the shard last reported ready.  Never a
+        #: wall timestamp: uptime is a duration, and an NTP step or DST
+        #: shift between spawn and scrape must not stretch or collapse
+        #: (or negate) it.
+        self.ready_at: Optional[float] = None
 
     @property
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self, now: Optional[float] = None) -> Dict[str, Any]:
+        uptime = None
+        if now is not None and self.ready_at is not None and self.alive:
+            uptime = max(0.0, now - self.ready_at)
         return {
             "shard_id": self.shard_id,
             "pid": self.pid,
@@ -77,6 +85,7 @@ class ShardHandle:
             "restarts": self.restarts,
             "direct_url": self.direct_url,
             "exit_code": self.exit_code,
+            "uptime_s": uptime,
         }
 
 
@@ -92,7 +101,7 @@ class ClusterSupervisor:
                  backoff_base: float = 0.25, backoff_cap: float = 5.0,
                  ready_timeout: float = READY_TIMEOUT_DEFAULT,
                  admin_host: str = "127.0.0.1",
-                 admin_port: int = 0) -> None:
+                 admin_port: int = 0, clock=None) -> None:
         if shards < 1:
             raise ValueError("a cluster needs at least one shard")
         if not hasattr(socket, "SO_REUSEPORT"):
@@ -109,6 +118,11 @@ class ClusterSupervisor:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.ready_timeout = ready_timeout
+        # same contract as CompileService: durations come off the
+        # monotonic clock (injectable for deterministic tests); wall
+        # time is never used for uptime arithmetic
+        self._clock = clock if clock is not None else time.monotonic
+        self._started = self._clock()
         self.restarts_total = 0
         self.spawn_failures = 0
         self.handles = [ShardHandle(i) for i in range(shards)]
@@ -226,6 +240,7 @@ class ClusterSupervisor:
             handle.direct_url = "http://%s:%d" % (ready["direct_host"],
                                                   ready["direct_port"])
             handle.exit_code = None
+            handle.ready_at = self._clock()
         return True
 
     def _monitor(self) -> None:
@@ -314,6 +329,7 @@ class ClusterSupervisor:
 
     def health(self) -> Dict[str, Any]:
         alive = sum(1 for handle in self.handles if handle.alive)
+        now = self._clock()
         return {
             "status": "draining" if self._draining.is_set() else "ok",
             "version": __version__,
@@ -322,9 +338,10 @@ class ClusterSupervisor:
             "url": self.url,
             "shards": len(self.handles),
             "shards_alive": alive,
+            "uptime_s": max(0.0, now - self._started),
             "restarts_total": self.restarts_total,
             "spawn_failures": self.spawn_failures,
-            "shard_status": [handle.as_dict()
+            "shard_status": [handle.as_dict(now)
                              for handle in self.handles],
         }
 
@@ -342,6 +359,11 @@ class ClusterSupervisor:
             "# HELP repro_cluster_restarts_total Shard respawns",
             "# TYPE repro_cluster_restarts_total counter",
             "repro_cluster_restarts_total %d" % self.restarts_total,
+            "# HELP repro_cluster_uptime_seconds Supervisor uptime "
+            "(monotonic)",
+            "# TYPE repro_cluster_uptime_seconds gauge",
+            "repro_cluster_uptime_seconds %.3f"
+            % max(0.0, self._clock() - self._started),
         ]
         for handle in self.handles:
             if handle.direct_url is None or not handle.alive:

@@ -109,3 +109,14 @@ class BoundsAuditError(InterpError):
 
 class CompileTimeTrap(ReproError):
     """A range check was proven to always fail at compile time."""
+
+
+class ProfileError(ReproError):
+    """An edge-profile artifact could not be loaded or does not apply.
+
+    Raised by :mod:`repro.pipeline.profile` when a ``--profile`` file
+    is missing, truncated, corrupt (fingerprint mismatch), built for a
+    different source program, or collected under an incompatible
+    optimizer configuration.  The CLI maps it to a one-line usage
+    error (exit 2) instead of a traceback.
+    """

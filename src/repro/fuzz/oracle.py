@@ -76,7 +76,7 @@ class FuzzFailure:
         #: one of: frontend-error, baseline-audit, baseline-engine,
         #: compile-error, verify-ir, safety, spurious-trap,
         #: missing-trap, output-mismatch, not-prefix, engine-mismatch,
-        #: limit-parity, count-regression, crash
+        #: limit-parity, count-regression, lospre-regression, crash
         self.kind = kind
         self.seed = seed
         self.source = source
@@ -226,6 +226,75 @@ class Oracle:
                                                     engine=engine)
                     if failure is not None:
                         return failure
+
+        # -- profile-guided LO, trained on this very program ----------
+        # The matrix above exercises LO's no-profile degradation; this
+        # pass trains an edge profile (which on trapping programs is
+        # deliberately *inconsistent* — truncated mid-run — the case
+        # where the min cut actually diverges from LCM latest) and
+        # holds trained LO to every baseline invariant plus one more:
+        # it never executes more effective checks than LLS, the scheme
+        # whose placement it refines.
+        if any(options.scheme is Scheme.LO for options in self.configs):
+            for kind in (CheckKind.PRX, CheckKind.INX):
+                failure = self._check_trained_lo(source, seed, inputs,
+                                                 cache, baseline, kind)
+                if failure is not None:
+                    return failure
+        return None
+
+    def _check_trained_lo(self, source: str, seed, inputs,
+                          cache: FrontendCache, baseline: _RunResult,
+                          kind: CheckKind) -> Optional[FuzzFailure]:
+        from ..pipeline.profile import train_profile
+
+        lo_options = OptimizerOptions(scheme=Scheme.LO, kind=kind)
+        label = lo_options.label() + "+profile"
+        profile = train_profile(source, lo_options, inputs,
+                                max_steps=self.max_steps, cache=cache)
+        trained = OptimizerOptions(scheme=Scheme.LO, kind=kind,
+                                   profile=profile)
+        try:
+            program = compile_source(source, trained, cache=cache,
+                                     verify_ir=True)
+        except ReproError as error:
+            fail_kind = "verify-ir" if "after pass" in str(error) \
+                else "compile-error"
+            return FuzzFailure(fail_kind, seed, source, label,
+                               "%s: %s" % (type(error).__name__, error))
+        optimized = _run_interp(program.module, inputs, self.max_steps,
+                                bounds_audit=True)
+        failure = self._compare_with_baseline(baseline, optimized, seed,
+                                              source, label)
+        if failure is not None:
+            return failure
+        if self.engines:
+            for engine in ("compiled", "specialized"):
+                compiled = _run_compiled(program, inputs, self.max_steps,
+                                         engine=engine)
+                failure = self._compare_engines(optimized, compiled, seed,
+                                                source, label,
+                                                engine=engine)
+                if failure is not None:
+                    return failure
+        # the placement-refinement invariant: on non-trapping runs,
+        # trained LO never does more dynamic work than LLS
+        lls = compile_source(source,
+                             OptimizerOptions(scheme=Scheme.LLS, kind=kind),
+                             cache=cache)
+        lls_run = _run_interp(lls.module, inputs, self.max_steps,
+                              bounds_audit=False)
+        if (not optimized.trapped and not lls_run.trapped
+                and optimized.error is None and lls_run.error is None
+                and optimized.counters.effective_checks()
+                > lls_run.counters.effective_checks()):
+            return FuzzFailure(
+                "lospre-regression", seed, source, label,
+                "trained LO executed %d effective checks vs %d under "
+                "LLS (speculation must never increase the "
+                "profile-weighted dynamic count)"
+                % (optimized.counters.effective_checks(),
+                   lls_run.counters.effective_checks()))
         return None
 
     # -- invariants -----------------------------------------------------

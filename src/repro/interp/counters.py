@@ -16,8 +16,8 @@ Table 1.
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Dict
+from collections import Counter, defaultdict
+from typing import Dict, Optional, Tuple
 
 
 class ExecutionCounters:
@@ -25,7 +25,7 @@ class ExecutionCounters:
 
     __slots__ = ("instructions", "checks", "phis", "guarded_checks",
                  "guard_skipped", "spec_guards", "spec_misses",
-                 "by_opcode", "traps")
+                 "by_opcode", "traps", "edges")
 
     def __init__(self) -> None:
         self.instructions = 0
@@ -50,6 +50,27 @@ class ExecutionCounters:
         self.spec_misses = 0
         self.traps = 0
         self.by_opcode: Counter = Counter()
+        # per-edge execution counts, keyed (function, src block, dst
+        # block) with "" as the src of the function-entry pseudo-edge.
+        # None unless the run opted into edge collection: bumping a
+        # dict per branch is pure overhead for the counting the paper
+        # measures, so it stays off the hot path by default.  Kept out
+        # of snapshot(): landing blocks aside, edge sets are an
+        # engine-independent profile artifact, not a parity field.
+        self.edges: Optional[Dict[Tuple[str, str, str], int]] = None
+
+    def enable_edge_collection(self) -> Dict[Tuple[str, str, str], int]:
+        """Arm per-edge counting; returns the mutable edge map."""
+        if self.edges is None:
+            self.edges = defaultdict(int)
+        return self.edges
+
+    def edges_by_function(self) -> Dict[str, Dict[Tuple[str, str], int]]:
+        """Collected edge counts grouped per function (plain dicts)."""
+        grouped: Dict[str, Dict[Tuple[str, str], int]] = {}
+        for (fn, src, dst), count in (self.edges or {}).items():
+            grouped.setdefault(fn, {})[(src, dst)] = count
+        return grouped
 
     def check_ratio(self) -> float:
         """Dynamic checks per non-check instruction (Table 1 ratio)."""

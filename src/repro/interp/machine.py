@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional, Union
 from ..errors import (BoundsAuditError, CallDepthError, InterpError,
                       RangeTrap, StepLimitError)
 from ..ir.basicblock import BasicBlock
+from ..ir.edges import edge_target, is_landing_block
 from ..ir.function import Function, Module
 from ..ir.instructions import (Assign, BinOp, Call, Check, CondJump, Jump,
                                Load, Phi, Print, Return, SpecGuard, Store,
@@ -49,7 +50,8 @@ class Machine:
                  inputs: Optional[Mapping[str, Number]] = None,
                  max_steps: int = 50_000_000,
                  profile: bool = False,
-                 bounds_audit: bool = False) -> None:
+                 bounds_audit: bool = False,
+                 collect_edges: bool = False) -> None:
         if module.main is None:
             raise InterpError("module has no main program")
         self.module = module
@@ -60,6 +62,10 @@ class Machine:
         self._steps = 0
         self._depth = 0
         self.profile = profile
+        # per-edge execution counts (the lospre training profile);
+        # None keeps the dispatch loop branch-free on the default path
+        self._edges = self.counters.enable_edge_collection() \
+            if collect_edges else None
         # the fuzz oracle's safety net: audit every array access against
         # the declared bounds, independently of emitted Check
         # instructions, and raise BoundsAuditError the moment an access
@@ -79,7 +85,15 @@ class Machine:
                                          if param.type is REAL
                                          else int(value))
         self._materialize_arrays(frame)
-        self._run_function(frame)
+        try:
+            self._run_function(frame)
+        except RangeTrap as trap:
+            # parity with the back-end runtimes: a trap carries the
+            # machine state at the instant it fired (counters, partial
+            # output, collected edges), so accounting survives the trap
+            # on every engine
+            trap.runtime = self
+            raise
         return self.counters
 
     # -- frames -------------------------------------------------------------
@@ -124,8 +138,21 @@ class Machine:
     def _run_function(self, frame: _Frame) -> None:
         block = frame.function.entry
         prev: Optional[BasicBlock] = None
+        edges = self._edges
+        if edges is None:
+            while block is not None:
+                block, prev = self._run_block(frame, block, prev)
+            return
+        # edge collection: record each taken CFG edge, attributing
+        # transitions through synthetic landing blocks (destructed
+        # modules) to the original edge so every engine agrees
+        fname = frame.function.name
+        edges[(fname, "", block.name)] += 1
         while block is not None:
-            block, prev = self._run_block(frame, block, prev)
+            nxt, prev = self._run_block(frame, block, prev)
+            if nxt is not None and not is_landing_block(prev):
+                edges[(fname, prev.name, edge_target(nxt).name)] += 1
+            block = nxt
 
     def _run_block(self, frame: _Frame, block: BasicBlock,
                    prev: Optional[BasicBlock]):

@@ -584,15 +584,25 @@ class BackendCache:
     # -- keys ----------------------------------------------------------
 
     @staticmethod
-    def key(module: Module, engine: str = "compiled") -> str:
+    def key(module: Module, engine: str = "compiled",
+            profile_fingerprint: Optional[str] = None) -> str:
         from ..backend.pybackend import ENGINE_VERSION
         from ..backend.specialized import SPECIALIZED_ENGINE_VERSION
 
         digest = hashlib.sha256(
             _module_fingerprint(module).encode("utf-8")).hexdigest()
         if engine == "specialized":
-            return "%s-sp%d" % (digest, SPECIALIZED_ENGINE_VERSION)
-        return "%s-e%d" % (digest, ENGINE_VERSION)
+            key = "%s-sp%d" % (digest, SPECIALIZED_ENGINE_VERSION)
+        else:
+            key = "%s-e%d" % (digest, ENGINE_VERSION)
+        if profile_fingerprint:
+            # Profile-guided modules carry the training profile's
+            # fingerprint: the module fingerprint already reflects the
+            # placement the profile produced, but the explicit suffix
+            # keeps artifacts from different training runs separable
+            # (and auditable) on disk.
+            key = "%s-p%s" % (key, profile_fingerprint[:16])
+        return key
 
     def _disk_path(self, key: str) -> str:
         return os.path.join(self.disk_dir or "",
@@ -654,7 +664,8 @@ class BackendCache:
 
     def compiled(self, module: Module,
                  trace: Optional[PipelineTrace] = None,
-                 engine: str = "compiled"):
+                 engine: str = "compiled",
+                 profile_fingerprint: Optional[str] = None):
         """The translated back-end module for ``module``.
 
         ``engine`` selects the tier: ``"compiled"`` (direct-threaded)
@@ -663,8 +674,10 @@ class BackendCache:
         private clone.  Records one ``backend`` trace event per call —
         ``cached=True`` on a hit, wall time of the
         clone+destruct+translate pipeline on a miss.
+        ``profile_fingerprint`` (for profile-guided modules) becomes
+        part of the key so training runs never share artifacts.
         """
-        key = self.key(module, engine)
+        key = self.key(module, engine, profile_fingerprint)
         with self._lock:
             compiled = self._memory.get(key)
             if compiled is not None:

@@ -120,6 +120,34 @@ def _run_check_optimizer(module: Module, options: OptimizerOptions,
     return stats
 
 
+def _translate_instrumented(module: Module, engine: str):
+    """Destruct+translate a private clone with edge instrumentation.
+
+    The BackendCache is deliberately not consulted: edge bumps change
+    the generated source, and cache keys hash the uninstrumented
+    module fingerprint (default-off collection keeps cached source
+    byte-identical)."""
+    import copy
+    import pickle
+
+    from ..backend.pybackend import compile_to_python
+    from ..backend.specialized import compile_to_specialized
+    from ..ssa.destruct import destruct_ssa
+
+    try:
+        clone = pickle.loads(pickle.dumps(module,
+                                          pickle.HIGHEST_PROTOCOL))
+    except (pickle.PickleError, TypeError, AttributeError,
+            RecursionError):
+        clone = copy.deepcopy(module)
+    if engine == "specialized":
+        return compile_to_specialized(clone, collect_edges=True)
+    for function in clone:
+        if any(block.phis() for block in function.blocks):
+            destruct_ssa(function)
+    return compile_to_python(clone, collect_edges=True)
+
+
 class CompiledProgram:
     """A compiled (and possibly optimized) module, ready to execute.
 
@@ -133,23 +161,32 @@ class CompiledProgram:
 
     def __init__(self, module: Module,
                  optimize_stats: Optional[Dict[str, OptimizeStats]] = None,
-                 trace: Optional[PipelineTrace] = None) -> None:
+                 trace: Optional[PipelineTrace] = None,
+                 options: Optional[OptimizerOptions] = None) -> None:
         self.module = module
         self.optimize_stats = optimize_stats or {}
         self.trace = trace if trace is not None else PipelineTrace()
+        self.options = options
         self._python_modules = {}
 
     def run(self, inputs: Optional[Mapping[str, Number]] = None,
-            max_steps: int = 50_000_000) -> Machine:
-        """Execute the program; returns the machine (counters, output)."""
-        machine = Machine(self.module, inputs, max_steps)
+            max_steps: int = 50_000_000,
+            collect_edges: bool = False) -> Machine:
+        """Execute the program; returns the machine (counters, output).
+
+        ``collect_edges=True`` additionally records per-edge execution
+        counts on ``machine.counters.edges`` (profile training).
+        """
+        machine = Machine(self.module, inputs, max_steps,
+                          collect_edges=collect_edges)
         machine.run()
         return machine
 
     def run_compiled(self, inputs: Optional[Mapping[str, Number]] = None,
                      max_steps: int = 50_000_000,
                      backend_cache: Optional["BackendCache"] = None,
-                     engine: str = "compiled"):
+                     engine: str = "compiled",
+                     collect_edges: bool = False):
         """Execute via a back-end engine (the paper's instrumented-C
         methodology; ~10x faster than interpretation).
 
@@ -171,15 +208,25 @@ class CompiledProgram:
         per-engine memoized translated module.  Returns the back-end
         runtime (``.counters``, ``.output``).
         """
-        compiled = self._python_modules.get(engine)
+        key = engine + (":edges" if collect_edges else "")
+        compiled = self._python_modules.get(key)
         if compiled is None:
-            if backend_cache is None:
-                from ..pipeline.cache import shared_backend_cache
+            if collect_edges:
+                # instrumented modules bypass the BackendCache: edge
+                # bumps change the generated source, and cache keys
+                # hash the module fingerprint alone
+                compiled = _translate_instrumented(self.module, engine)
+            else:
+                if backend_cache is None:
+                    from ..pipeline.cache import shared_backend_cache
 
-                backend_cache = shared_backend_cache()
-            compiled = backend_cache.compiled(
-                self.module, trace=self.trace, engine=engine)
-            self._python_modules[engine] = compiled
+                    backend_cache = shared_backend_cache()
+                profile = getattr(self.options, "profile", None)
+                compiled = backend_cache.compiled(
+                    self.module, trace=self.trace, engine=engine,
+                    profile_fingerprint=(profile.fingerprint
+                                         if profile is not None else None))
+            self._python_modules[key] = compiled
         return compiled.run(inputs, max_steps=max_steps)
 
     def total_stats(self) -> OptimizeStats:
@@ -242,8 +289,14 @@ def compile_source(source: str,
             _verify_after(module, "gvn")
     if not (insert_checks and optimize):
         return CompiledProgram(module, trace=trace)
-    stats = _run_check_optimizer(module, options or OptimizerOptions(),
-                                 trace)
+    options = options or OptimizerOptions()
+    if options.profile is not None:
+        # A stale or foreign training profile must fail loudly before
+        # it silently degrades placement: the artifact records the
+        # source digest and configuration it was trained under.
+        options.profile.validate_for(source, options.kind.value,
+                                     options.implication.value)
+    stats = _run_check_optimizer(module, options, trace)
     if verify_ir:
         _verify_after(module, "check-optimize")
-    return CompiledProgram(module, stats, trace=trace)
+    return CompiledProgram(module, stats, trace=trace, options=options)

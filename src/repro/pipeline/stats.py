@@ -19,7 +19,7 @@ import time
 from typing import Dict, Mapping, Optional, Union
 
 from ..analysis.loops import LoopForest
-from ..checks.config import OptimizerOptions
+from ..checks.config import OptimizerOptions, Scheme
 from ..checks.optimizer import count_checks, optimize_module
 from ..interp.machine import Machine
 from ..ir.function import Module
@@ -184,11 +184,32 @@ def measure_scheme(name: str, source: str, options: OptimizerOptions,
                    inputs: Optional[Mapping[str, Number]] = None,
                    max_steps: int = 50_000_000,
                    engine: str = "interp",
-                   cache: Optional[FrontendCache] = None
-                   ) -> SchemeMeasurement:
-    """Compile under ``options``, run, and fill a Table 2/3 cell."""
+                   cache: Optional[FrontendCache] = None,
+                   profile_mode: str = "auto") -> SchemeMeasurement:
+    """Compile under ``options``, run, and fill a Table 2/3 cell.
+
+    The profile-guided ``LO`` scheme self-trains by default
+    (``profile_mode="auto"``): with no profile attached to
+    ``options``, a training run under LLS on the same inputs collects
+    edge counts first — recorded as a ``train-profile`` trace event
+    and excluded from the optimize/compile timings so scheme compile
+    times stay comparable.  ``profile_mode="off"`` skips training, so
+    LO degrades to its uniform-cost (LCM-latest) placement.
+    """
     cell = SchemeMeasurement(name, options.label())
     cell.baseline_checks = baseline_checks
+
+    if (options.scheme is Scheme.LO and options.profile is None
+            and profile_mode == "auto"):
+        from .profile import train_profile
+
+        with cell.trace.timed("train-profile"):
+            profile = train_profile(source, options, inputs,
+                                    max_steps=max_steps, cache=cache)
+        # a private copy: the caller often shares one options object
+        # across programs, and a training profile is per-program
+        options = OptimizerOptions(options.scheme, options.kind,
+                                   options.implication, profile=profile)
 
     compile_start = time.perf_counter()
     module = build_unoptimized(source, cache, cell.trace)

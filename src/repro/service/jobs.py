@@ -60,7 +60,7 @@ class CompileRequest:
 
     __slots__ = ("action", "source", "scheme", "kind", "implication",
                  "inputs", "engine", "optimize", "rotate_loops",
-                 "verify_ir", "small", "timings")
+                 "verify_ir", "small", "timings", "profile")
 
     def __init__(self, action: str, source: str = "",
                  scheme: str = "LLS", kind: str = "PRX",
@@ -68,7 +68,8 @@ class CompileRequest:
                  inputs: Optional[Dict[str, float]] = None,
                  engine: str = "interp", optimize: bool = True,
                  rotate_loops: bool = False, verify_ir: bool = False,
-                 small: bool = True, timings: bool = False) -> None:
+                 small: bool = True, timings: bool = False,
+                 profile: Any = "off") -> None:
         self.action = action
         self.source = source
         self.scheme = scheme
@@ -81,6 +82,10 @@ class CompileRequest:
         self.verify_ir = verify_ir
         self.small = small
         self.timings = timings
+        #: ``"off"``, ``"auto"`` (self-train in the worker), or a
+        #: serialized EdgeProfile document (a JSON object) guiding the
+        #: LO scheme's min-cut placement.
+        self.profile = profile
 
     # -- validation ----------------------------------------------------
 
@@ -133,9 +138,29 @@ class CompileRequest:
             if not isinstance(value, bool):
                 raise ServiceError(400, "'%s' must be a boolean" % flag)
             flags[flag] = value
+        profile = payload.get("profile", "off")
+        if profile is None:
+            profile = "off"
+        if isinstance(profile, dict):
+            # cheap structural check in the server process: a torn or
+            # hand-edited artifact is a 400, not a burned worker slot
+            from ..errors import ProfileError
+            from ..pipeline.profile import EdgeProfile
+
+            try:
+                EdgeProfile.loads(json.dumps(profile), where="<request>")
+            except ProfileError as error:
+                raise ServiceError(400, "invalid 'profile': %s" % error)
+        elif profile not in ("off", "auto"):
+            raise ServiceError(400, "'profile' must be 'off', 'auto', or "
+                                    "a serialized profile object")
+        if profile != "off" and scheme != "LO":
+            raise ServiceError(400, "'profile' requires scheme LO "
+                                    "(got %r)" % (scheme,))
         return cls(action, source, scheme, kind, implication, clean_inputs,
                    engine, flags["optimize"], flags["rotate_loops"],
-                   flags["verify_ir"], flags["small"], flags["timings"])
+                   flags["verify_ir"], flags["small"], flags["timings"],
+                   profile)
 
     def options(self) -> OptimizerOptions:
         return OptimizerOptions(scheme=Scheme[self.scheme],
@@ -157,6 +182,7 @@ class CompileRequest:
             "verify_ir": self.verify_ir,
             "small": self.small,
             "timings": self.timings,
+            "profile": self.profile,
         }
 
 
@@ -182,8 +208,27 @@ def _execute_program(request: CompileRequest) -> Envelope:
     from ..pipeline.driver import compile_source
     from ..pipeline.trace import PipelineTrace
 
+    options = request.options()
+    if request.profile == "auto":
+        from ..pipeline.profile import train_profile
+
+        options = OptimizerOptions(
+            options.scheme, options.kind, options.implication,
+            profile=train_profile(request.source, options, request.inputs,
+                                  max_steps=MAX_STEPS,
+                                  cache=shared_cache()))
+    elif isinstance(request.profile, dict):
+        from ..pipeline.profile import EdgeProfile
+
+        # source/kind/implication validation happens in compile_source;
+        # a mismatched artifact surfaces as a 422 like other semantic
+        # compile errors
+        options = OptimizerOptions(
+            options.scheme, options.kind, options.implication,
+            profile=EdgeProfile.loads(json.dumps(request.profile),
+                                      where="<request>"))
     trace = PipelineTrace()
-    program = compile_source(request.source, request.options(),
+    program = compile_source(request.source, options,
                              optimize=request.optimize,
                              rotate_loops=request.rotate_loops,
                              verify_ir=request.verify_ir,

@@ -29,15 +29,16 @@ class TestRunProgram:
     def test_covers_both_tables(self):
         baseline, table2, table3, stats = run_program("vortex", small=True)
         assert baseline.dynamic_checks > 0
-        assert len(table2) == 16      # 2 kinds x 8 schemes
+        assert len(table2) == 18      # 2 kinds x 9 schemes
         assert len(table3) == 12      # 2 kinds x 6 rows
         assert all(name == "vortex" for _, name in table2)
 
     def test_frontend_compiled_exactly_once(self):
         _, _, _, stats = run_program("vortex", small=True)
         assert stats["frontend_compiles"] == 1
-        # baseline + 28 cells all hit the single cached frontend
-        assert stats["hits"] == 28
+        # baseline + 30 cells + 2 LO training runs (one per kind) all
+        # hit the single cached frontend
+        assert stats["hits"] == 32
 
 
 class TestRunSuite:

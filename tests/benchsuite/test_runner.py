@@ -33,9 +33,10 @@ class TestRunner:
         assert labels == {"PRX-NI", "PRX-NI'"}
 
     def test_default_scheme_tuple_matches_paper(self):
-        # the paper's seven schemes in order, plus the SPEC extension
+        # the paper's seven schemes in order, plus the SPEC and LO
+        # extensions
         assert [s.value for s in TABLE2_SCHEMES] == \
-            ["NI", "CS", "LNI", "SE", "LI", "LLS", "ALL", "SPEC"]
+            ["NI", "CS", "LNI", "SE", "LI", "LLS", "ALL", "SPEC", "LO"]
 
     def test_table3_rows_match_paper(self):
         labels = [(s.value, m.value) for s, m in TABLE3_ROWS]

@@ -20,10 +20,10 @@ class TestLabels:
             implication=ImplicationMode.CROSS_FAMILY)
         assert lls_prime.label() == "PRX-LLS'"
 
-    def test_ten_schemes(self):
+    def test_eleven_schemes(self):
         values = [s.value for s in Scheme]
         assert values == ["NI", "CS", "LNI", "SE", "LI", "LLS", "ALL",
-                          "MCM", "VR", "SPEC"]
+                          "MCM", "VR", "SPEC", "LO"]
 
     def test_repr_is_informative(self):
         text = repr(OptimizerOptions(scheme=Scheme.ALL))

@@ -106,6 +106,55 @@ class TestServing:
 
 
 @needs_reuseport
+class TestUptime:
+    def test_health_reports_shard_uptime(self, cluster):
+        health = ServiceClient(cluster.admin_url).healthz()
+        assert health["uptime_s"] >= 0.0
+        for shard in health["shard_status"]:
+            assert shard["alive"] is True
+            assert shard["uptime_s"] is not None
+            assert shard["uptime_s"] >= 0.0
+            # a live shard cannot have been up longer than its
+            # supervisor (monotonic instants share one origin)
+            assert shard["uptime_s"] <= health["uptime_s"] + 1e-6
+
+    def test_uptime_survives_wall_clock_step(self, monkeypatch):
+        """Regression: uptime must come off the monotonic clock.
+
+        Fake a 7.5 s monotonic advance while the wall clock steps an
+        hour *backwards* (an NTP correction mid-scrape).  A wall-clock
+        based uptime would report -3592.5 s; the monotonic one reports
+        exactly 7.5 s.
+        """
+        ticks = [1000.0]
+        supervisor = ClusterSupervisor(shards=1, port=0,
+                                       clock=lambda: ticks[0])
+        try:
+            handle = supervisor.handles[0]
+            handle.ready_at = ticks[0]
+
+            class _Alive:  # stands in for a live shard process
+                @staticmethod
+                def is_alive():
+                    return True
+
+            handle.process = _Alive()
+            ticks[0] += 7.5
+            monkeypatch.setattr(time, "time",
+                                lambda: time.monotonic() - 3600.0)
+            health = supervisor.health()
+            assert health["uptime_s"] == pytest.approx(7.5)
+            assert health["shard_status"][0]["uptime_s"] \
+                == pytest.approx(7.5)
+            # a dead shard reports no uptime rather than a stale one
+            handle.process = None
+            assert supervisor.health()["shard_status"][0]["uptime_s"] \
+                is None
+        finally:
+            supervisor._reservation.close()
+
+
+@needs_reuseport
 class TestCrashRestart:
     def test_killed_shard_is_respawned(self):
         supervisor = _boot(backoff_base=0.05, backoff_cap=0.5)

@@ -77,6 +77,37 @@ class TestOracleVerdicts:
         assert "frontend-error" in text and "42" in text
 
 
+class TestTrainedLOShard:
+    """The LO fuzz shard: beyond the matrix pass (which covers the
+    no-profile degradation), any LO config triggers a trained pass that
+    self-trains a profile and asserts LO never runs more
+    profile-weighted dynamic checks than LLS (kind ``lospre-regression``
+    on violation)."""
+
+    def _shard(self):
+        table = config_by_label()
+        return Oracle(configs=[table["PRX-LO"], table["INX-LO"]])
+
+    def test_shard_labels_resolve(self):
+        table = config_by_label()
+        assert "PRX-LO" in table and "INX-LO" in table
+        assert table["PRX-LO"].scheme is Scheme.LO
+
+    def test_clean_program_passes(self):
+        assert self._shard().check(CLEAN, seed=0) is None
+
+    def test_trapping_program_passes(self):
+        # the training run traps too, leaving a truncated profile —
+        # exactly the input class where the min cut actually fires
+        assert self._shard().check(TRAPPING, seed=0) is None
+
+    def test_generated_programs_pass(self):
+        oracle = self._shard()
+        for seed in range(5):
+            failure = oracle.check(generate_program(seed), seed=seed)
+            assert failure is None, failure.describe()
+
+
 class TestLimitParity:
     """Both engines run under the same fuel and depth budgets."""
 

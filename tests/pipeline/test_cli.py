@@ -203,6 +203,61 @@ class TestExitCodeContract:
     def test_missing_file_is_two(self):
         assert main(["run", "/nonexistent/path.f"]) == 2
 
+    def test_profile_without_lo_is_two(self, source_file, capsys):
+        # --profile only makes sense for the profile-guided scheme
+        with pytest.raises(SystemExit) as info:
+            main(["run", source_file, "--scheme", "LLS",
+                  "--profile", "auto"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--profile requires --scheme LO" in err
+
+    def test_profile_missing_file_is_two(self, source_file, capsys):
+        code = main(["run", source_file, "--scheme", "LO",
+                     "--profile", "/nonexistent/edges.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error:")
+
+    def test_profile_corrupt_artifact_is_two(self, source_file,
+                                             tmp_path, capsys):
+        bad = tmp_path / "edges.json"
+        bad.write_text("{not json")
+        code = main(["run", source_file, "--scheme", "LO",
+                     "--profile", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error:" in err
+
+    def test_profile_source_mismatch_is_two(self, source_file,
+                                            tmp_path, capsys):
+        # train on one program, replay against another: the artifact's
+        # source digest no longer matches and must fail loudly
+        out = tmp_path / "edges.json"
+        assert main(["run", source_file, "--scheme", "LO",
+                     "--profile-out", str(out)]) == 0
+        capsys.readouterr()
+        other = tmp_path / "other.f"
+        other.write_text(SOURCE.replace("n = 20", "n = 21"))
+        code = main(["run", str(other), "--scheme", "LO",
+                     "--profile", str(out)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "profile" in err
+
+    def test_profile_roundtrip_is_zero(self, source_file, tmp_path,
+                                       capsys):
+        out = tmp_path / "edges.json"
+        assert main(["run", source_file, "--scheme", "LO",
+                     "--profile-out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["run", source_file, "--scheme", "LO",
+                     "--profile", str(out)]) == 0
+
     def test_internal_is_three(self, monkeypatch):
         import repro.cli as cli
 

@@ -158,8 +158,9 @@ class TestTablesEndpoint:
             original = parallel.run_suite
 
             def small_suite(programs=None, small=False, jobs=1,
-                            engine="interp"):
-                return original(subset, small=small, jobs=1, engine=engine)
+                            engine="interp", profile_mode="auto"):
+                return original(subset, small=small, jobs=1, engine=engine,
+                                profile_mode=profile_mode)
 
             import unittest.mock as mock
 
