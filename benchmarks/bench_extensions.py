@@ -21,8 +21,8 @@ import time
 
 import pytest
 
-from repro.benchsuite import all_programs
-from repro.checks import OptimizerOptions, Scheme
+from repro.benchsuite import all_programs, cross_call_programs
+from repro.checks import CheckKind, OptimizerOptions, Scheme
 from repro.pipeline.driver import compile_source
 from repro.pipeline.stats import measure_baseline, measure_scheme
 
@@ -245,6 +245,96 @@ def test_lospre_vs_every_scheme(benchmark, programs, results_dir):
     assert any(row[Scheme.LO].dynamic_checks
                < row[Scheme.LLS].dynamic_checks
                for row in rows.values())
+    for name, counts in parity.items():
+        assert counts["interp"] == counts["compiled"] \
+            == counts["specialized"], name
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_inline_cross_call(benchmark, results_dir):
+    """Subroutine inlining on the cross-call extension kernels.
+
+    These registry programs are dominated by redundancy that spans a
+    call boundary: a caller-side access covering the callee's, a call
+    issued twice at the same subscript, or an argument-carried bound
+    that only the caller's actuals make provable.  None of it is
+    visible to an intraprocedural optimizer, so the non-inlined
+    configurations are the floor -- and ``--inline`` must strictly
+    beat that floor, under NI (pure elimination over the clones) and
+    LLS (hoisting out of the caller's loops) alike, with exact
+    dynamic-check parity across all three engines.
+    """
+    kernels = cross_call_programs()
+    baselines = {
+        p.name: measure_baseline(p.name, p.source, p.inputs).dynamic_checks
+        for p in kernels
+    }
+
+    def run_comparison():
+        rows = {}
+        for program in kernels:
+            row = {}
+            for scheme in (Scheme.NI, Scheme.LLS):
+                for inline in (False, True):
+                    options = OptimizerOptions(scheme=scheme,
+                                               kind=CheckKind.INX,
+                                               inline=inline)
+                    cell = measure_scheme(
+                        program.name, program.source, options,
+                        baselines[program.name], program.inputs)
+                    row[options.label()] = cell
+            rows[program.name] = row
+        return rows
+
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    # three-engine parity on the inlined placements
+    parity = {}
+    for program in kernels:
+        counts = {}
+        for engine in ("interp", "compiled", "specialized"):
+            cell = measure_scheme(
+                program.name, program.source,
+                OptimizerOptions(scheme=Scheme.NI, kind=CheckKind.INX,
+                                 inline=True),
+                baselines[program.name], program.inputs, engine=engine)
+            counts[engine] = cell.dynamic_checks
+        parity[program.name] = counts
+
+    labels = ("INX-NI", "INX-NI+inl", "INX-LLS", "INX-LLS+inl")
+    lines = ["Subroutine inlining on the cross-call kernels",
+             "",
+             "dynamic checks remaining (baseline = naive checking)",
+             ("%-10s %9s" + " %12s" * len(labels))
+             % (("program", "naive") + labels)]
+    for name, row in rows.items():
+        lines.append(("%-10s %9d" + " %12d" * len(labels))
+                     % ((name, baselines[name])
+                        + tuple(row[l].dynamic_checks for l in labels)))
+    lines += ["",
+              "percent eliminated",
+              ("%-10s" + " %12s" * len(labels)) % (("program",) + labels)]
+    for name, row in rows.items():
+        lines.append(("%-10s" + " %12.2f" * len(labels))
+                     % ((name,)
+                        + tuple(row[l].percent_eliminated for l in labels)))
+    lines += ["",
+              "INX-NI+inl dynamic checks by engine (parity)",
+              "%-10s %10s %10s %12s" % ("program", "interp", "compiled",
+                                        "specialized")]
+    for name, counts in parity.items():
+        lines.append("%-10s %10d %10d %12d"
+                     % (name, counts["interp"], counts["compiled"],
+                        counts["specialized"]))
+    write_result(results_dir, "extension_inline.txt", "\n".join(lines))
+
+    for name, row in rows.items():
+        # the acceptance bar: inlined INX strictly beats its
+        # non-inlined twin on every cross-call kernel, per scheme
+        assert row["INX-NI+inl"].dynamic_checks \
+            < row["INX-NI"].dynamic_checks, name
+        assert row["INX-LLS+inl"].dynamic_checks \
+            < row["INX-LLS"].dynamic_checks, name
     for name, counts in parity.items():
         assert counts["interp"] == counts["compiled"] \
             == counts["specialized"], name

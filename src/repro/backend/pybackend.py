@@ -499,10 +499,11 @@ class _FunctionEmitter:
                 indent += 1
             line(indent, "if (%s) > %d:"
                  % (self._linexpr(inst.linexpr), inst.bound))
+            context = getattr(inst, "context", "")
             line(indent + 1, "_rt.trap(%r)"
-                 % ("range check failed: %s <= %d (array %s, %s bound)"
+                 % ("range check failed: %s <= %d (array %s, %s bound)%s"
                     % (inst.linexpr, inst.bound, inst.array or "?",
-                       inst.kind)))
+                       inst.kind, " %s" % context if context else "")))
             if inst.guards:
                 # mirror the interpreter: a failed guard still counts
                 # the Cond-check as executed work, but the range

@@ -1,0 +1,56 @@
+"""ipsmooth (cross-call extension): caller-seeded stencil smoothing.
+
+Not one of the paper's ten Table 1 programs: this is the first of the
+interprocedural extension kernels (DESIGN.md registry note).  Every
+sweep iteration touches ``a(i)`` in the caller and then immediately
+calls ``put``, whose body touches ``x(j)``/``y(j)`` at the very same
+subscript through the array-reference parameters.  Standalone, the
+callee's checks can never see the caller's: the redundancy is 100%
+cross-call, so inlining (``--inline``) roughly halves the dynamic
+check count while the non-inlined configurations are stuck at the
+per-call price.  Arrays carry symbolic ``1:n`` bounds so the
+canonicalized checks are linear in ``n`` and the symbolic prover tier
+participates.
+"""
+
+from .registry import BenchmarkProgram
+
+SOURCE = """
+program ipsmooth
+  input integer :: n = 64, sweeps = 4
+  integer :: i, s
+  real :: a(1:n), b(1:n)
+  real :: total
+  do i = 1, n
+    a(i) = real(i) * 0.5
+    b(i) = 0.0
+  end do
+  do s = 1, sweeps
+    do i = 1, n
+      a(i) = a(i) * 0.75 + 0.25
+      call put(n, i, a, b)
+    end do
+  end do
+  total = 0.0
+  do i = 1, n
+    total = total + b(i)
+  end do
+  print total
+end program
+
+subroutine put(m, j, x, y)
+  integer :: m, j
+  real :: x(1:m), y(1:m)
+  y(j) = y(j) + x(j) * 0.125
+end subroutine
+"""
+
+PROGRAM = BenchmarkProgram(
+    name="ipsmooth",
+    suite="extension",
+    source=SOURCE,
+    inputs={"n": 64, "sweeps": 4},
+    large_inputs={"n": 96, "sweeps": 12},
+    test_inputs={"n": 8, "sweeps": 2},
+    description=__doc__,
+)

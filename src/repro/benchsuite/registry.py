@@ -52,9 +52,26 @@ def all_programs() -> List[BenchmarkProgram]:
     ]
 
 
+def cross_call_programs() -> List[BenchmarkProgram]:
+    """The interprocedural extension kernels.
+
+    Deliberately *not* part of :func:`all_programs`: the paper tables
+    are generated over the ten Table 1 stand-ins only, and adding rows
+    would churn every table golden.  These programs are dominated by
+    cross-call redundancy and exist to measure ``--inline``.
+    """
+    from . import ipduplex, iphoist, ipsmooth
+
+    return [
+        ipsmooth.PROGRAM,
+        ipduplex.PROGRAM,
+        iphoist.PROGRAM,
+    ]
+
+
 def get_program(name: str) -> BenchmarkProgram:
-    """Find a benchmark by name."""
-    for program in all_programs():
+    """Find a benchmark by name (Table 1 suite or extension kernels)."""
+    for program in all_programs() + cross_call_programs():
         if program.name == name:
             return program
     raise KeyError("unknown benchmark %r" % name)

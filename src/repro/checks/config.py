@@ -72,7 +72,7 @@ class OptimizerOptions:
     def __init__(self, scheme: Scheme = Scheme.LLS,
                  kind: CheckKind = CheckKind.PRX,
                  implication: ImplicationMode = ImplicationMode.ALL,
-                 profile=None) -> None:
+                 profile=None, inline: bool = False) -> None:
         self.scheme = scheme
         self.kind = kind
         self.implication = implication
@@ -81,14 +81,23 @@ class OptimizerOptions:
         # placement, not the scheme's identity; artifact-sensitive
         # cache keys carry its fingerprint separately.
         self.profile = profile
+        # The interprocedural axis: inline eligible subroutine calls
+        # before check canonicalization, so cross-call redundancy is
+        # visible to the placement schemes.  Part of ``label()`` — it
+        # changes which checks exist.
+        self.inline = inline
 
     def label(self) -> str:
-        """A short identifier such as ``PRX-LLS`` or ``INX-SE'``."""
+        """A short identifier such as ``PRX-LLS``, ``INX-SE'``, or
+        ``INX-NI+inl``."""
         prime = {ImplicationMode.ALL: "",
                  ImplicationMode.NONE: "'",
                  ImplicationMode.CROSS_FAMILY: "'"}[self.implication]
-        return "%s-%s%s" % (self.kind.value, self.scheme.value, prime)
+        suffix = "+inl" if self.inline else ""
+        return "%s-%s%s%s" % (self.kind.value, self.scheme.value, prime,
+                              suffix)
 
     def __repr__(self) -> str:
-        return "OptimizerOptions(%s, %s, %s)" % (
-            self.scheme, self.kind, self.implication)
+        return "OptimizerOptions(%s, %s, %s%s)" % (
+            self.scheme, self.kind, self.implication,
+            ", inline" if self.inline else "")

@@ -3,41 +3,84 @@ compile-time evaluation of checks.
 
 A check is redundant when a check at least as strong is *available* at
 its program point (the availability facts are closed under implication,
-so redundancy is a plain membership test).  Compile-time checks --
-those whose range-expression has no symbols -- are either deleted
-(always true) or replaced by an unconditional :class:`Trap` and
-reported (always false).
+so redundancy is a plain membership test).  With ``prove=True`` a
+second, semantic tier handles what the syntactic tier cannot: the
+available canonical checks become hypotheses for the linear-inequality
+prover (:mod:`repro.symbolic.prover`), which decides cross-family
+consequences such as ``i - n <= 0`` from ``i - j <= 0`` and
+``j - n <= 0`` -- the shape that argument-carried symbolic bounds
+produce after inlining.  Compile-time checks -- those whose
+range-expression has no symbols -- are either deleted (always true) or
+replaced by an unconditional :class:`Trap` and reported (always
+false).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..ir.function import Function
 from ..ir.instructions import Check, Trap
+from ..symbolic.prover import entails
 from .canonical import CanonicalCheck
 from .dataflow import CheckAnalysis, EdgeGen
 
 
 def eliminate_redundant(analysis: CheckAnalysis,
-                        edge_gen: Optional[EdgeGen] = None) -> int:
+                        edge_gen: Optional[EdgeGen] = None,
+                        prove: bool = False) -> Tuple[int, int]:
     """Delete every check that is available at its own site.
 
-    Returns the number of deleted checks.
+    Returns ``(removed, proved)``: checks deleted by the syntactic
+    membership test, and checks additionally discharged by the linear
+    prover (0 unless ``prove``).  Deleting a proved check is sound for
+    the same reason the syntactic tier is: the hypotheses are checks
+    that definitely executed (or are themselves implied by ones that
+    did), and entailment is transitive, so every deleted check could
+    never have trapped.
     """
     avin, _ = analysis.availability(edge_gen)
     removed = 0
+    proved = 0
+    verdicts: Dict[Tuple[FrozenSet[int], int], bool] = {}
     for block in analysis.rpo:
         doomed: List[Check] = []
         for _, check, facts in analysis.facts_before_checks(
                 block, avin[block]):
-            check_id = analysis.universe.id_of(CanonicalCheck.of(check))
+            canonical = CanonicalCheck.of(check)
+            check_id = analysis.universe.id_of(canonical)
             if check_id is not None and check_id in facts:
                 doomed.append(check)
+                removed += 1
+            elif prove and facts and _prove_check(
+                    analysis, facts, canonical, check_id, verdicts):
+                doomed.append(check)
+                proved += 1
         for check in doomed:
             block.remove(check)
-            removed += 1
-    return removed
+    return removed, proved
+
+
+def _prove_check(analysis: CheckAnalysis, facts, canonical: CanonicalCheck,
+                 check_id: Optional[int],
+                 verdicts: Dict[Tuple[FrozenSet[int], int], bool]) -> bool:
+    """Ask the prover whether the available facts entail ``canonical``.
+
+    Verdicts are memoized per ``(fact set, check id)`` -- loop-resident
+    checks are revisited with identical fact sets many times.
+    """
+    if check_id is None:
+        return False
+    key = (frozenset(facts), check_id)
+    verdict = verdicts.get(key)
+    if verdict is None:
+        hypotheses = []
+        for fact_id in facts:
+            fact = analysis.universe.check_of(fact_id)
+            hypotheses.append((fact.linexpr, fact.bound))
+        verdict = entails(hypotheses, (canonical.linexpr, canonical.bound))
+        verdicts[key] = verdict
+    return verdict
 
 
 def fold_compile_time(function: Function) -> Tuple[int, List[str]]:

@@ -26,7 +26,7 @@ from ..ir.function import Function, Module
 from ..ir.instructions import Check
 from ..ir.verify import verify_function
 from .cig import CheckImplicationGraph, ImplicationStore
-from .config import CheckKind, OptimizerOptions, Scheme
+from .config import CheckKind, ImplicationMode, OptimizerOptions, Scheme
 from .dataflow import CheckAnalysis, EdgeGen
 from .eliminate import eliminate_redundant, fold_compile_time
 from .family import universe_from_function
@@ -49,6 +49,9 @@ class OptimizeStats:
         self.eliminated = 0
         self.compile_time = 0
         self.inx_rewritten = 0
+        #: checks discharged by the linear-inequality prover (a subset
+        #: of ``eliminated``; the rest fell to the syntactic tier)
+        self.proved = 0
         #: loops versioned by the SPEC scheme (fast/slow clones)
         self.speculated = 0
         #: facts whose lospre min cut strictly beat the latest placement
@@ -64,6 +67,7 @@ class OptimizeStats:
         self.eliminated += other.eliminated
         self.compile_time += other.compile_time
         self.inx_rewritten += other.inx_rewritten
+        self.proved += other.proved
         self.speculated += other.speculated
         self.lospre_cuts += other.lospre_cuts
         self.trap_reports.extend(other.trap_reports)
@@ -172,7 +176,20 @@ class RangeCheckOptimizer:
         # Scheme.NI: no insertion
 
         analysis = self._make_analysis()
-        self.stats.eliminated = eliminate_redundant(analysis, self.edge_gen)
+        # The semantic tier only runs on interprocedural (+inl)
+        # configurations: that is what it exists for (argument-carried
+        # symbolic bounds), and keeping it off elsewhere preserves the
+        # paper's syntactic results exactly -- integer tightening can
+        # legitimately out-prove Figure 1's availability step (e.g.
+        # -2n <= -5 entails -2n <= -6 for integer n).  It also rides
+        # the implication switch: the primed ablations (NI'/SE') must
+        # not quietly regain implications through the prover.
+        prove = (getattr(options, "inline", False)
+                 and options.implication is not ImplicationMode.NONE)
+        removed, proved = eliminate_redundant(analysis, self.edge_gen,
+                                              prove=prove)
+        self.stats.eliminated = removed + proved
+        self.stats.proved = proved
         folded, reports = fold_compile_time(function)
         self.stats.compile_time = folded
         self.stats.trap_reports = reports

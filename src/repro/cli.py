@@ -88,7 +88,8 @@ def _options(args: argparse.Namespace) -> OptimizerOptions:
     return OptimizerOptions(
         scheme=Scheme[args.scheme],
         kind=CheckKind[args.kind],
-        implication=ImplicationMode[args.implication])
+        implication=ImplicationMode[args.implication],
+        inline=getattr(args, "inline", False))
 
 
 def _profile_options(command: str, spec: str, source: str,
@@ -117,7 +118,8 @@ def _profile_options(command: str, spec: str, source: str,
 
         profile = EdgeProfile.load(spec)
     return OptimizerOptions(options.scheme, options.kind,
-                            options.implication, profile=profile)
+                            options.implication, profile=profile,
+                            inline=options.inline)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -128,6 +130,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=[k.name for k in CheckKind])
     parser.add_argument("--implication", default="ALL",
                         choices=[m.name for m in ImplicationMode])
+    parser.add_argument("--inline", action="store_true",
+                        help="inline eligible subroutine calls before "
+                             "check optimization (interprocedural "
+                             "elimination)")
     parser.add_argument("--rotate-loops", action="store_true",
                         help="apply loop rotation before optimization")
     parser.add_argument("--verify-ir", action="store_true",

@@ -10,7 +10,7 @@ and persists minimized failures to the regression corpus.
 
 from .generator import GeneratorConfig, ProgramGenerator, generate_program
 from .oracle import (FuzzFailure, Oracle, all_configurations,
-                     config_by_label)
+                     config_by_label, inline_configurations)
 from .runner import (CampaignResult, fuzz_one, read_corpus, run_campaign,
                      shrink_failure, write_corpus_entry)
 from .shrink import make_predicate, shrink
@@ -18,6 +18,7 @@ from .shrink import make_predicate, shrink
 __all__ = [
     "CampaignResult", "FuzzFailure", "GeneratorConfig", "Oracle",
     "ProgramGenerator", "all_configurations", "config_by_label",
-    "fuzz_one", "generate_program", "make_predicate", "read_corpus",
-    "run_campaign", "shrink", "shrink_failure", "write_corpus_entry",
+    "fuzz_one", "generate_program", "inline_configurations",
+    "make_predicate", "read_corpus", "run_campaign", "shrink",
+    "shrink_failure", "write_corpus_entry",
 ]

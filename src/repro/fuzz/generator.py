@@ -13,6 +13,10 @@ subscripts:
   (check families with nontrivial implications);
 * conditionals, ``exit``/``cycle``, ``while`` loops;
 * zero-trip and single-trip loops (the guard cases of Cond-checks);
+* subroutines taking an array by reference with a symbolic
+  (argument-carried) bound plus scalar parameters, called from
+  arbitrary statement positions -- the cross-call redundancy that only
+  the ``+inl`` configurations can eliminate;
 * a tunable fraction of deliberately out-of-bounds accesses, so the
   differential oracle sees both trapping and clean executions.
 
@@ -35,7 +39,9 @@ class GeneratorConfig:
                  max_arrays: int = 3,
                  oob_fraction: float = 0.06,
                  while_fraction: float = 0.15,
-                 n_range: Tuple[int, int] = (4, 9)) -> None:
+                 n_range: Tuple[int, int] = (4, 9),
+                 max_subroutines: int = 2,
+                 call_fraction: float = 0.3) -> None:
         self.max_depth = max_depth
         self.max_statements = max_statements
         self.max_arrays = max_arrays
@@ -44,6 +50,10 @@ class GeneratorConfig:
         self.oob_fraction = oob_fraction
         self.while_fraction = while_fraction
         self.n_range = n_range
+        #: upper bound on emitted subroutines (0 disables calls)
+        self.max_subroutines = max_subroutines
+        #: probability that an access-shaped statement is a call instead
+        self.call_fraction = call_fraction
 
 
 class _ArrayDecl:
@@ -76,6 +86,26 @@ class _LoopVar:
         self.high = high
 
 
+class _Subroutine:
+    """One emitted subroutine and the call-site contract it implies.
+
+    Every call passes ``n`` as ``m`` (so generation-time planning can
+    use the concrete default of ``n``) and its dedicated array as
+    ``x``; the ``j`` argument is in bounds for the body's direct
+    ``x(j)`` access exactly when it lies in ``[j_low, j_high]``.
+    """
+
+    def __init__(self, name: str, array: _ArrayDecl, j_low: int,
+                 j_high: int, direct: bool, lines: List[str]) -> None:
+        self.name = name
+        self.array = array
+        self.j_low = j_low
+        self.j_high = j_high
+        #: whether the body performs the plain ``x(j)`` access
+        self.direct = direct
+        self.lines = lines
+
+
 class ProgramGenerator:
     """Generates one program per :meth:`generate` call."""
 
@@ -88,6 +118,7 @@ class ProgramGenerator:
         self.n_value = 0
         self._var_counter = 0
         self._loop_vars: List[str] = []
+        self._subs: List[_Subroutine] = []
 
     # -- entry point -------------------------------------------------
 
@@ -105,6 +136,11 @@ class ProgramGenerator:
         for index in range(rng.randint(1, cfg.max_arrays)):
             self.arrays.append(self._make_array("a%d" % index))
 
+        self._subs = []
+        if cfg.max_subroutines:
+            for index in range(rng.randint(0, cfg.max_subroutines)):
+                self._subs.append(self._make_subroutine(index))
+
         body: List[str] = []
         scope: List[_LoopVar] = []
         self._gen_block(body, 1, depth=0, scope=scope)
@@ -119,6 +155,8 @@ class ProgramGenerator:
             self._emit(1, "integer :: " + array.decl_text())
         self.lines.extend(body)
         self._emit(0, "end program")
+        for sub in self._subs:
+            self.lines.extend(sub.lines)
         self._loop_vars = []
         return "\n".join(self.lines) + "\n"
 
@@ -133,12 +171,17 @@ class ProgramGenerator:
         self._loop_vars.append(name)
         return name
 
-    def _make_array(self, name: str) -> _ArrayDecl:
+    def _make_array(self, name: str, rank: Optional[int] = None,
+                    prefer_symbolic: bool = False) -> _ArrayDecl:
         rng = self.rng
-        rank = rng.choice([1, 1, 1, 2, 2, 3])
+        if rank is None:
+            rank = rng.choice([1, 1, 1, 2, 2, 3])
         dims: List[Tuple[str, str, int, int]] = []
         for _ in range(rank):
-            style = rng.randrange(4)
+            if prefer_symbolic and rng.random() < 0.8:
+                style = rng.choice([2, 3])
+            else:
+                style = rng.randrange(4)
             if style == 0:        # a(K): bounds 1:K
                 high = rng.randint(6, 12)
                 dims.append(("1", str(high), 1, high))
@@ -153,6 +196,64 @@ class ProgramGenerator:
                 high_text = "n+%d" % extra if extra else "n"
                 dims.append(("0", high_text, 0, self.n_value + extra))
         return _ArrayDecl(name, dims)
+
+    def _make_subroutine(self, index: int) -> _Subroutine:
+        """One inline-eligible subroutine plus its dedicated array.
+
+        The array lives in main (so intraprocedural accesses and call
+        arguments hit the same check families) and is passed by
+        reference; its symbolic bound ``n`` becomes the scalar
+        parameter ``m``, reproducing the paper's adjustable-array
+        idiom ``real :: a(1:n)``.  The body has no local arrays and no
+        calls, so every emitted subroutine is inline-eligible.
+        """
+        rng = self.rng
+        array = self._make_array("c%d" % index, rank=1,
+                                 prefer_symbolic=True)
+        self.arrays.append(array)
+        low_text, high_text, low, high = array.dims[0]
+        bound_low = low_text.replace("n", "m")
+        bound_high = high_text.replace("n", "m")
+        if bound_low == "1":
+            dims_text = bound_high
+        else:
+            dims_text = "%s:%s" % (bound_low, bound_high)
+        name = "sub%d" % index
+        lines = [
+            "subroutine %s(m, j, x)" % name,
+            "  integer :: m, j, k",
+            "  integer :: x(%s)" % dims_text,
+        ]
+        # the k loop runs 1..m; every call passes n, so k takes the
+        # concrete values 1..n_value and offsets can be planned
+        oob = rng.random() < self.config.oob_fraction
+        value_low, value_high = 1, self.n_value
+        if oob:
+            offset: Optional[int] = high - value_low + rng.randint(1, 2)
+        else:
+            min_offset = low - value_low
+            max_offset = high - value_high
+            offset = (rng.randint(min_offset, max_offset)
+                      if min_offset <= max_offset else None)
+        if offset is None:
+            subscript = str(rng.randint(low, high))
+        elif offset > 0:
+            subscript = "k+%d" % offset
+        elif offset < 0:
+            subscript = "k-%d" % -offset
+        else:
+            subscript = "k"
+        lines.append("  do k = 1, m")
+        lines.append("    x(%s) = k + j" % subscript)
+        if rng.random() < 0.7:
+            # a same-family repeat: pure cross-call INX/implication food
+            lines.append("    x(%s) = x(%s) + m" % (subscript, subscript))
+        lines.append("  end do")
+        direct = rng.random() < 0.6
+        if direct:
+            lines.append("  x(j) = x(j) + 1")
+        lines.append("end subroutine")
+        return _Subroutine(name, array, low, high, direct, lines)
 
     # -- statement generation ------------------------------------------
 
@@ -176,7 +277,10 @@ class ProgramGenerator:
         elif can_nest and roll < 0.60:
             self._gen_if(out, indent, depth, scope)
         elif roll < 0.90 and self.arrays:
-            self._gen_access(out, indent, scope)
+            if self._subs and rng.random() < self.config.call_fraction:
+                self._gen_call(out, indent, scope)
+            else:
+                self._gen_access(out, indent, scope)
         else:
             self._gen_print(out, indent, scope)
 
@@ -336,6 +440,35 @@ class ProgramGenerator:
                 return "%s * %d" % (var, rng.randint(1, 3))
             return "max(%s, %d)" % (var, rng.randint(0, 3))
         return str(rng.randint(-5, 20))
+
+    def _gen_call(self, out: List[str], indent: int,
+                  scope: List[_LoopVar]) -> None:
+        """A ``call sub(n, j, c)`` site honoring the sub's contract."""
+        rng = self.rng
+        sub = rng.choice(self._subs)
+        j_low, j_high = sub.j_low, sub.j_high
+        if sub.direct and rng.random() < self.config.oob_fraction:
+            # deliberately violate the x(j) contract
+            j_expr = str(j_high + rng.randint(1, 3)
+                         if rng.random() < 0.5
+                         else j_low - rng.randint(1, 3))
+        elif sub.direct:
+            candidates = [v for v in scope
+                          if v.low >= j_low and v.high <= j_high]
+            if candidates and rng.random() < 0.7:
+                j_expr = rng.choice(candidates).name
+            else:
+                j_expr = str(rng.randint(j_low, j_high))
+        elif scope and rng.random() < 0.5:
+            j_expr = rng.choice(scope).name
+        else:
+            j_expr = str(rng.randint(-3, 9))
+        site = "call %s(n, %s, %s)" % (sub.name, j_expr, sub.array.name)
+        out.append("  " * indent + site)
+        if rng.random() < 0.4:
+            # back-to-back identical calls: the purest cross-call
+            # redundancy, invisible without inlining
+            out.append("  " * indent + site)
 
     def _gen_print(self, out: List[str], indent: int,
                    scope: List[_LoopVar]) -> None:

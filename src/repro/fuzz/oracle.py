@@ -55,15 +55,31 @@ def all_configurations() -> List[OptimizerOptions]:
                                              ImplicationMode)]
 
 
+#: schemes whose ``+inl`` variant the oracle exercises: the pure
+#: eliminator (where the paired inline invariant is provable) plus the
+#: two preheader-insertion schemes the paper's tables lead with
+INLINE_SCHEMES = (Scheme.NI, Scheme.LLS, Scheme.ALL)
+
+
+def inline_configurations() -> List[OptimizerOptions]:
+    """The interprocedural (``+inl``) points: inline-on variants of
+    :data:`INLINE_SCHEMES` under full implication, both check kinds."""
+    return [OptimizerOptions(scheme=s, kind=k,
+                             implication=ImplicationMode.ALL, inline=True)
+            for s, k in itertools.product(INLINE_SCHEMES, CheckKind)]
+
+
 def config_by_label() -> Dict[str, OptimizerOptions]:
     """Label -> options for every distinct configuration label.
 
     Labels are not injective over the full matrix (``PRX-NI'`` is both
     NONE and CROSS_FAMILY); the first configuration in matrix order
-    wins, which matches the tables' usage.
+    wins, which matches the tables' usage.  The ``+inl`` labels of
+    :func:`inline_configurations` resolve too (fuzz shards select them
+    with ``--configs PRX-NI+inl`` etc.).
     """
     table: Dict[str, OptimizerOptions] = {}
-    for options in all_configurations():
+    for options in all_configurations() + inline_configurations():
         table.setdefault(options.label(), options)
     return table
 
@@ -76,7 +92,8 @@ class FuzzFailure:
         #: one of: frontend-error, baseline-audit, baseline-engine,
         #: compile-error, verify-ir, safety, spurious-trap,
         #: missing-trap, output-mismatch, not-prefix, engine-mismatch,
-        #: limit-parity, count-regression, lospre-regression, crash
+        #: limit-parity, count-regression, lospre-regression,
+        #: inline-regression, crash
         self.kind = kind
         self.seed = seed
         self.source = source
@@ -147,7 +164,7 @@ class Oracle:
                  engines: bool = True, cache_dir: Optional[str] = None,
                  faults_spec: Optional[str] = None) -> None:
         self.configs = configs if configs is not None \
-            else all_configurations()
+            else all_configurations() + inline_configurations()
         self.max_steps = max_steps
         #: also run the Python back-end and require engine agreement
         self.engines = engines
@@ -201,6 +218,7 @@ class Oracle:
                     return failure
 
         # -- every optimizer configuration ----------------------------
+        clean_effective: Dict[str, int] = {}
         for options in self.configs:
             label = options.label()
             try:
@@ -217,6 +235,10 @@ class Oracle:
                                                   seed, source, label)
             if failure is not None:
                 return failure
+            if (not optimized.trapped and optimized.error is None
+                    and optimized.audit_error is None):
+                clean_effective[label] = \
+                    optimized.counters.effective_checks()
             if self.engines:
                 for engine in ("compiled", "specialized"):
                     compiled = _run_compiled(program, inputs,
@@ -226,6 +248,10 @@ class Oracle:
                                                     engine=engine)
                     if failure is not None:
                         return failure
+
+        failure = self._check_inline_pairs(clean_effective, seed, source)
+        if failure is not None:
+            return failure
 
         # -- profile-guided LO, trained on this very program ----------
         # The matrix above exercises LO's no-profile degradation; this
@@ -295,6 +321,41 @@ class Oracle:
                 "profile-weighted dynamic count)"
                 % (optimized.counters.effective_checks(),
                    lls_run.counters.effective_checks()))
+        return None
+
+    def _check_inline_pairs(self, clean_effective: Dict[str, int],
+                            seed, source) -> Optional[FuzzFailure]:
+        """The cross-call elimination invariant for paired configs.
+
+        For the pure-elimination NI scheme, inlining can only *add*
+        facts: every check of a standalone callee reappears in each
+        clone region with at least the facts it had standalone, and
+        caller-side facts survive the splice (cloned names are fresh,
+        arrays are aliased not copied, so no caller symbol is killed).
+        Hence on a clean run the inlined configuration must never
+        execute more effective checks than its non-inlined twin.  The
+        hoisting schemes (LLS/ALL) get no such guarantee -- inlining
+        changes the loop nests that placement reasons about -- so only
+        NI pairs are compared.
+        """
+        for options in self.configs:
+            if not getattr(options, "inline", False) \
+                    or options.scheme is not Scheme.NI:
+                continue
+            label = options.label()
+            base_label = label.replace("+inl", "")
+            if label not in clean_effective \
+                    or base_label not in clean_effective:
+                continue  # either run trapped/errored: nothing to pair
+            inlined = clean_effective[label]
+            baseline = clean_effective[base_label]
+            if inlined > baseline:
+                return FuzzFailure(
+                    "inline-regression", seed, source, label,
+                    "inlined run executed %d effective checks vs %d "
+                    "under %s (inlining may only expose more facts "
+                    "under NI, never remove them)"
+                    % (inlined, baseline, base_label))
         return None
 
     # -- invariants -----------------------------------------------------

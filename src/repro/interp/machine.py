@@ -269,10 +269,14 @@ class Machine:
         value = self._eval_linear(frame, check.linexpr)
         if value > check.bound:
             self.counters.traps += 1
+            # Inlined checks carry the callee name and original call
+            # line, so the trap reads like the un-inlined program's.
+            context = getattr(check, "context", "")
+            suffix = " %s" % context if context else ""
             raise RangeTrap(
-                "range check failed: %s = %d > %d (array %s, %s bound)"
+                "range check failed: %s = %d > %d (array %s, %s bound)%s"
                 % (check.linexpr, value, check.bound, check.array or "?",
-                   check.kind), str(check))
+                   check.kind, suffix), str(check))
 
     def _run_spec_guard(self, frame: _Frame, inst: SpecGuard) -> bool:
         for guard in inst.pre_guards:

@@ -153,9 +153,10 @@ class IRBuilder:
         self.emit(Store(array, list(indices), as_value(src)))
 
     def call(self, callee: str, args: Sequence[Value] = (),
-             array_args: Sequence[str] = ()) -> None:
+             array_args: Sequence[str] = (), line: int = 0) -> None:
         """Emit a subroutine call; conservatively clears the CSE cache."""
-        self.emit(Call(callee, [as_value(a) for a in args], list(array_args)))
+        self.emit(Call(callee, [as_value(a) for a in args],
+                       list(array_args), line=line))
         self._cse.clear()
         self._cse_by_var.clear()
 

@@ -273,14 +273,23 @@ class Check(Instruction):
     performed only when every guard inequality holds.  A single guard
     typically encodes "the loop executes at least once"; hoisting a
     check out of a nest of loops stacks one guard per loop.
+
+    ``context`` carries call-site provenance for checks the inliner
+    cloned out of a subroutine body (e.g. ``"in f, inlined at line
+    12"``); trap messages append it so a failure names the callee and
+    call line rather than the clone's synthetic block label.  Read it
+    with ``getattr(check, "context", "")`` — instructions unpickled
+    from pre-inline cache entries lack the slot.
     """
 
-    __slots__ = ("linexpr", "bound", "operands", "kind", "array", "guards")
+    __slots__ = ("linexpr", "bound", "operands", "kind", "array", "guards",
+                 "context")
 
     def __init__(self, linexpr: LinearExpr, bound: int,
                  operands: Mapping[str, Var], kind: str = "upper",
                  array: str = "",
-                 guards: Optional[Sequence[Guard]] = None) -> None:
+                 guards: Optional[Sequence[Guard]] = None,
+                 context: str = "") -> None:
         super().__init__()
         if kind not in ("lower", "upper"):
             raise IRError("check kind must be 'lower' or 'upper'")
@@ -290,6 +299,7 @@ class Check(Instruction):
         self.kind = kind
         self.array = array
         self.guards: List[Guard] = list(guards or [])
+        self.context = context
         self._validate()
 
     def _validate(self) -> None:
@@ -325,6 +335,12 @@ class Check(Instruction):
         body = "check (%s <= %d)" % (self.linexpr, self.bound)
         if self.array:
             body += " !%s.%s" % (self.array, self.kind)
+        # context is part of the printed form on purpose: back-end trap
+        # messages embed it, so it must reach the BackendCache
+        # fingerprint (which hashes the printed IR)
+        context = getattr(self, "context", "")
+        if context:
+            body += " @<%s>" % context
         if self.guards:
             conds = " and ".join(str(g) for g in self.guards)
             return "cond-%s if %s" % (body, conds)
@@ -442,17 +458,22 @@ class Call(Instruction):
     """Call a subroutine: scalars by value, arrays by reference (name).
 
     ``array_args`` lists caller array names bound positionally to the
-    callee's array parameters.
+    callee's array parameters.  ``line`` is the source line of the call
+    statement (0 when synthesized); the inliner stamps it into the
+    ``context`` of every check it clones so trap messages can name the
+    call site.  Read it with ``getattr(call, "line", 0)`` —
+    instructions unpickled from pre-inline cache entries lack the slot.
     """
 
-    __slots__ = ("callee", "args", "array_args")
+    __slots__ = ("callee", "args", "array_args", "line")
 
     def __init__(self, callee: str, args: Sequence[Value],
-                 array_args: Sequence[str] = ()) -> None:
+                 array_args: Sequence[str] = (), line: int = 0) -> None:
         super().__init__()
         self.callee = callee
         self.args = list(args)
         self.array_args = list(array_args)
+        self.line = line
 
     def uses(self) -> List[Value]:
         return list(self.args)

@@ -360,7 +360,7 @@ class _UnitLowering:
                 arrays.append(arg.name)
             else:
                 scalars.append(self._expr(arg))
-        self.builder.call(stmt.name, scalars, arrays)
+        self.builder.call(stmt.name, scalars, arrays, line=stmt.line)
 
     # -- expressions ---------------------------------------------------------
 

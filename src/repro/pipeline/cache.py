@@ -338,26 +338,27 @@ class FrontendCache:
         #: acceptance test asserts on.
         self.frontend_compiles = 0
         self._lock = threading.Lock()
-        self._memory: "OrderedDict[Tuple[str, bool, bool], _CacheEntry]" \
+        self._memory: "OrderedDict[Tuple[str, bool, bool, bool], _CacheEntry]" \
             = OrderedDict()
 
     # -- keys ----------------------------------------------------------
 
     @staticmethod
     def key(source: str, insert_checks: bool = True,
-            rotate_loops: bool = False) -> Tuple[str, bool, bool]:
+            rotate_loops: bool = False,
+            inline: bool = False) -> Tuple[str, bool, bool, bool]:
         digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
-        return (digest, insert_checks, rotate_loops)
+        return (digest, insert_checks, rotate_loops, inline)
 
-    def _disk_path(self, key: Tuple[str, bool, bool]) -> str:
-        digest, insert_checks, rotate_loops = key
-        name = "%s-%d%d.frontend.pickle" % (digest, insert_checks,
-                                            rotate_loops)
+    def _disk_path(self, key: Tuple[str, bool, bool, bool]) -> str:
+        digest, insert_checks, rotate_loops, inline = key
+        name = "%s-%d%d%d.frontend.pickle" % (digest, insert_checks,
+                                              rotate_loops, inline)
         return os.path.join(self.disk_dir or "", name)
 
     # -- the on-disk layer ---------------------------------------------
 
-    def _load_disk(self, key: Tuple[str, bool, bool]
+    def _load_disk(self, key: Tuple[str, bool, bool, bool]
                    ) -> Optional[_CacheEntry]:
         if not self.disk_dir:
             return None
@@ -377,7 +378,7 @@ class FrontendCache:
         self.disk_hits += 1
         return _CacheEntry(module)
 
-    def _store_disk(self, key: Tuple[str, bool, bool],
+    def _store_disk(self, key: Tuple[str, bool, bool, bool],
                     blob: Optional[bytes]) -> None:
         """Publish one entry atomically.
 
@@ -411,7 +412,7 @@ class FrontendCache:
 
     # -- the in-memory layer -------------------------------------------
 
-    def _memory_get(self, key: Tuple[str, bool, bool]
+    def _memory_get(self, key: Tuple[str, bool, bool, bool]
                     ) -> Optional[_CacheEntry]:
         with self._lock:
             entry = self._memory.get(key)
@@ -419,7 +420,7 @@ class FrontendCache:
                 self._memory.move_to_end(key)  # LRU refresh
             return entry
 
-    def _memory_put(self, key: Tuple[str, bool, bool],
+    def _memory_put(self, key: Tuple[str, bool, bool, bool],
                     entry: _CacheEntry) -> None:
         with self._lock:
             self._memory[key] = entry
@@ -429,14 +430,14 @@ class FrontendCache:
                     self._memory.popitem(last=False)
                     self.evictions += 1
 
-    def _fill(self, key: Tuple[str, bool, bool], source: str,
-              insert_checks: bool, rotate_loops: bool,
+    def _fill(self, key: Tuple[str, bool, bool, bool], source: str,
+              insert_checks: bool, rotate_loops: bool, inline: bool,
               trace: Optional[PipelineTrace]) -> _CacheEntry:
         """Compile ``source`` and publish it to both layers (miss path)."""
         compile_trace = PipelineTrace()
         module = run_frontend(source, insert_checks=insert_checks,
                               rotate_loops=rotate_loops, ssa=True,
-                              trace=compile_trace)
+                              trace=compile_trace, inline=inline)
         entry = _CacheEntry(module, compile_trace)
         self._memory_put(key, entry)
         self.misses += 1
@@ -450,10 +451,11 @@ class FrontendCache:
 
     def frontend(self, source: str, insert_checks: bool = True,
                  rotate_loops: bool = False,
-                 trace: Optional[PipelineTrace] = None) -> Module:
+                 trace: Optional[PipelineTrace] = None,
+                 inline: bool = False) -> Module:
         """A fresh deep copy of the cached frontend module for
         ``source``, compiling (and caching) it on first request."""
-        key = self.key(source, insert_checks, rotate_loops)
+        key = self.key(source, insert_checks, rotate_loops, inline)
         fresh = False
         entry = self._memory_get(key)
         if entry is None:
@@ -476,13 +478,13 @@ class FrontendCache:
                     self.lock_degraded += 1
                 if entry is None:
                     entry = self._fill(key, source, insert_checks,
-                                       rotate_loops, trace)
+                                       rotate_loops, inline, trace)
                     fresh = True
             finally:
                 lock.release()
         elif entry is None:
             entry = self._fill(key, source, insert_checks, rotate_loops,
-                               trace)
+                               inline, trace)
             fresh = True
         if not fresh:
             self.hits += 1

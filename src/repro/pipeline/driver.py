@@ -54,15 +54,19 @@ def _verify_after(module: Module, pass_name: str) -> None:
 def run_frontend(source: str, insert_checks: bool = True,
                  rotate_loops: bool = False, ssa: bool = True,
                  trace: Optional[PipelineTrace] = None,
-                 verify_ir: bool = False) -> Module:
+                 verify_ir: bool = False,
+                 inline: bool = False) -> Module:
     """The configuration-independent frontend prefix of the pipeline.
 
-    Runs parse -> lower -> [rotate] -> [SSA] and records one trace
-    event per pass.  The returned module has naive checks (when
-    ``insert_checks``) and no optimization applied; it is the artifact
-    :class:`~repro.pipeline.cache.FrontendCache` memoizes.  With
-    ``verify_ir`` the verifier runs after every pass, attributing any
-    malformed IR to the pass that produced it.
+    Runs parse -> lower -> [inline] -> [rotate] -> [SSA] and records
+    one trace event per pass.  The returned module has naive checks
+    (when ``insert_checks``) and no optimization applied; it is the
+    artifact :class:`~repro.pipeline.cache.FrontendCache` memoizes.
+    With ``verify_ir`` the verifier runs after every pass, attributing
+    any malformed IR to the pass that produced it.  ``inline=True``
+    clones eligible subroutine bodies into their callers before SSA,
+    so the check optimizer later sees cross-call redundancy as
+    ordinary intra-procedural redundancy.
     """
     trace = trace if trace is not None else PipelineTrace()
 
@@ -76,6 +80,16 @@ def run_frontend(source: str, insert_checks: bool = True,
                  size_after=module_size(module))
     if verify_ir:
         _verify_after(module, "lower")
+
+    if inline:
+        from ..checks.inline import inline_module
+
+        with trace.timed("inline", module_size(module)) as event:
+            stats = inline_module(module)
+            event.size_after = module_size(module)
+            event.counters = stats.as_dict()
+        if verify_ir:
+            _verify_after(module, "inline")
 
     if rotate_loops:
         from ..ir.rotate import rotate_module
@@ -115,6 +129,7 @@ def _run_check_optimizer(module: Module, options: OptimizerOptions,
             "checks_after": sum(s.checks_after for s in stats.values()),
             "inserted": sum(s.inserted for s in stats.values()),
             "eliminated": sum(s.eliminated for s in stats.values()),
+            "proved": sum(s.proved for s in stats.values()),
             "compile_time": sum(s.compile_time for s in stats.values()),
         }
     return stats
@@ -270,17 +285,26 @@ def compile_source(source: str,
     * ``verify_ir=True`` runs the IR verifier after every pass and
       raises :class:`~repro.errors.IRError` naming the offending pass;
     * otherwise the checks are optimized under ``options``.
+
+    Inlining is an ``options`` axis (``OptimizerOptions.inline``), not
+    a separate parameter: it changes which checks exist, so it belongs
+    to the configuration identity (labels, cache keys) like the
+    scheme/kind/implication axes.
     """
     trace = trace if trace is not None else PipelineTrace()
+    inline = bool(options is not None and
+                  getattr(options, "inline", False))
     if cache is not None and ssa:
         module = cache.frontend(source, insert_checks=insert_checks,
-                                rotate_loops=rotate_loops, trace=trace)
+                                rotate_loops=rotate_loops, trace=trace,
+                                inline=inline)
         if verify_ir:
             _verify_after(module, "frontend(cached)")
     else:
         module = run_frontend(source, insert_checks=insert_checks,
                               rotate_loops=rotate_loops, ssa=ssa,
-                              trace=trace, verify_ir=verify_ir)
+                              trace=trace, verify_ir=verify_ir,
+                              inline=inline)
     if not ssa:
         return CompiledProgram(module, trace=trace)
     if value_number:

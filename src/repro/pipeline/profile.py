@@ -259,8 +259,12 @@ def train_profile(source: str, options=None,
     from .driver import compile_source
 
     options = options or OptimizerOptions()
+    # inline rides along: under +inl the CFG the residual min-cut sees
+    # (and its block names) is the inlined one
     train_options = OptimizerOptions(Scheme.LLS, options.kind,
-                                     options.implication)
+                                     options.implication,
+                                     inline=getattr(options, "inline",
+                                                    False))
     program = compile_source(source, train_options, cache=cache)
     machine = Machine(program.module, inputs, max_steps,
                       collect_edges=True)

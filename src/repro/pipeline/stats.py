@@ -92,15 +92,18 @@ class SchemeMeasurement:
 
 def build_unoptimized(source: str,
                       cache: Optional[FrontendCache] = None,
-                      trace: Optional[PipelineTrace] = None) -> Module:
+                      trace: Optional[PipelineTrace] = None,
+                      inline: bool = False) -> Module:
     """Parse, lower with naive checks, and convert to SSA.
 
     With a ``cache``, this is a deep copy of the shared frontend
-    module rather than a fresh frontend run.
+    module rather than a fresh frontend run.  ``inline=True`` clones
+    eligible subroutine bodies into callers first (a distinct cache
+    key: inlined and non-inlined frontends never alias).
     """
     if cache is not None:
-        return cache.frontend(source, trace=trace)
-    return run_frontend(source, trace=trace)
+        return cache.frontend(source, trace=trace, inline=inline)
+    return run_frontend(source, trace=trace, inline=inline)
 
 
 def count_static(module: Module):
@@ -209,10 +212,12 @@ def measure_scheme(name: str, source: str, options: OptimizerOptions,
         # a private copy: the caller often shares one options object
         # across programs, and a training profile is per-program
         options = OptimizerOptions(options.scheme, options.kind,
-                                   options.implication, profile=profile)
+                                   options.implication, profile=profile,
+                                   inline=options.inline)
 
     compile_start = time.perf_counter()
-    module = build_unoptimized(source, cache, cell.trace)
+    module = build_unoptimized(source, cache, cell.trace,
+                               inline=getattr(options, "inline", False))
     optimize_start = time.perf_counter()
     with cell.trace.timed("check-optimize") as event:
         optimize_module(module, options)
@@ -236,7 +241,8 @@ def verify_same_output(source: str, options: OptimizerOptions,
     baseline = Machine(baseline_module, inputs, max_steps)
     baseline.run()
 
-    module = build_unoptimized(source)
+    module = build_unoptimized(source,
+                               inline=getattr(options, "inline", False))
     optimize_module(module, options)
     optimized = Machine(module, inputs, max_steps)
     optimized.run()

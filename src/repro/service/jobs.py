@@ -60,7 +60,7 @@ class CompileRequest:
 
     __slots__ = ("action", "source", "scheme", "kind", "implication",
                  "inputs", "engine", "optimize", "rotate_loops",
-                 "verify_ir", "small", "timings", "profile")
+                 "verify_ir", "small", "timings", "profile", "inline")
 
     def __init__(self, action: str, source: str = "",
                  scheme: str = "LLS", kind: str = "PRX",
@@ -69,7 +69,7 @@ class CompileRequest:
                  engine: str = "interp", optimize: bool = True,
                  rotate_loops: bool = False, verify_ir: bool = False,
                  small: bool = True, timings: bool = False,
-                 profile: Any = "off") -> None:
+                 profile: Any = "off", inline: bool = False) -> None:
         self.action = action
         self.source = source
         self.scheme = scheme
@@ -86,6 +86,7 @@ class CompileRequest:
         #: serialized EdgeProfile document (a JSON object) guiding the
         #: LO scheme's min-cut placement.
         self.profile = profile
+        self.inline = inline
 
     # -- validation ----------------------------------------------------
 
@@ -133,7 +134,7 @@ class CompileRequest:
         flags = {}
         for flag, default in (("optimize", True), ("rotate_loops", False),
                               ("verify_ir", False), ("small", True),
-                              ("timings", False)):
+                              ("timings", False), ("inline", False)):
             value = payload.get(flag, default)
             if not isinstance(value, bool):
                 raise ServiceError(400, "'%s' must be a boolean" % flag)
@@ -160,12 +161,13 @@ class CompileRequest:
         return cls(action, source, scheme, kind, implication, clean_inputs,
                    engine, flags["optimize"], flags["rotate_loops"],
                    flags["verify_ir"], flags["small"], flags["timings"],
-                   profile)
+                   profile, flags["inline"])
 
     def options(self) -> OptimizerOptions:
         return OptimizerOptions(scheme=Scheme[self.scheme],
                                 kind=CheckKind[self.kind],
-                                implication=ImplicationMode[self.implication])
+                                implication=ImplicationMode[self.implication],
+                                inline=self.inline)
 
     def payload(self) -> Dict[str, Any]:
         """The canonical JSON-ready form (the single-flight identity)."""
@@ -183,6 +185,7 @@ class CompileRequest:
             "small": self.small,
             "timings": self.timings,
             "profile": self.profile,
+            "inline": self.inline,
         }
 
 
@@ -216,7 +219,8 @@ def _execute_program(request: CompileRequest) -> Envelope:
             options.scheme, options.kind, options.implication,
             profile=train_profile(request.source, options, request.inputs,
                                   max_steps=MAX_STEPS,
-                                  cache=shared_cache()))
+                                  cache=shared_cache()),
+            inline=options.inline)
     elif isinstance(request.profile, dict):
         from ..pipeline.profile import EdgeProfile
 
@@ -226,7 +230,8 @@ def _execute_program(request: CompileRequest) -> Envelope:
         options = OptimizerOptions(
             options.scheme, options.kind, options.implication,
             profile=EdgeProfile.loads(json.dumps(request.profile),
-                                      where="<request>"))
+                                      where="<request>"),
+            inline=options.inline)
     trace = PipelineTrace()
     program = compile_source(request.source, options,
                              optimize=request.optimize,

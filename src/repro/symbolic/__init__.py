@@ -8,5 +8,7 @@ These are the building blocks of the canonical range-check form
 
 from .linexpr import LinearExpr, linear_sum
 from .polynomial import Polynomial
+from .prover import entails, infeasible
 
-__all__ = ["LinearExpr", "linear_sum", "Polynomial"]
+__all__ = ["LinearExpr", "linear_sum", "Polynomial", "entails",
+           "infeasible"]

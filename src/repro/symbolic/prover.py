@@ -1,0 +1,162 @@
+"""A small linear-inequality prover over integer models.
+
+The redundancy eliminator's default weapon is syntactic: a check is
+redundant when the *same canonical form* (closed under the implication
+graph's family edges) is available.  Argument-carried symbolic bounds
+defeat it -- after inlining, the facts available at a check site are
+often things like ``i - n <= -1`` while the check itself is
+``i - n <= 0``, which the family machinery already handles, but
+cross-family consequences such as ``i - n <= 0`` from ``i - j <= 0``
+and ``j - n <= 0`` need actual arithmetic.
+
+:func:`entails` decides ``hypotheses |= goal`` for conjunctions of
+linear inequalities ``linexpr <= bound`` over *integer* variables, by
+refutation: the goal ``e <= b`` follows exactly when the system
+``hypotheses AND e >= b + 1`` has no integer solution.  Infeasibility
+is established with Fourier-Motzkin elimination plus integer
+tightening (divide a derived inequality by the gcd of its
+coefficients and floor the bound -- sound because every integer point
+of the original satisfies the tightened form).
+
+Fourier-Motzkin is complete over the rationals and the tightening
+only strengthens, so the prover is *sound* for integer models: it
+never reports entailment that a concrete integer assignment could
+violate.  It is deliberately incomplete -- elimination is capped
+(``MAX_SYMBOLS``, ``MAX_INEQUALITIES``) and a capped run simply
+answers "not proved".  The property tests in ``tests/symbolic``
+hammer the soundness direction against brute-force integer sampling.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .linexpr import LinearExpr
+
+#: An inequality ``linexpr <= bound``.
+Inequality = Tuple[LinearExpr, int]
+
+#: Give up (answer "not proved") beyond this many distinct symbols.
+MAX_SYMBOLS = 12
+#: Give up when an elimination step would exceed this system size.
+MAX_INEQUALITIES = 512
+
+_Row = Tuple[Dict[str, int], int]
+
+
+def _tighten(terms: Dict[str, int], bound: int) -> _Row:
+    """Normalize ``sum(c*x) <= bound`` by the gcd of the coefficients.
+
+    With ``g = gcd(|c|)`` every integer solution satisfies
+    ``sum((c/g)*x) <= floor(bound / g)``; Python's ``//`` floors, so
+    the tightened row is sound for integer models (and strictly
+    stronger than rational division whenever ``g`` does not divide
+    ``bound``).
+    """
+    if not terms:
+        return terms, bound
+    g = 0
+    for coeff in terms.values():
+        g = gcd(g, abs(coeff))
+    if g > 1:
+        terms = {sym: coeff // g for sym, coeff in terms.items()}
+        bound = bound // g
+    return terms, bound
+
+
+def _add_row(rows: Dict[Tuple[Tuple[str, int], ...], int],
+             terms: Dict[str, int], bound: int) -> Optional[bool]:
+    """Insert a row, keeping only the strongest bound per term vector.
+
+    Returns True when the row is a constant contradiction (``0 <= c``
+    with ``c < 0``), None otherwise.
+    """
+    terms, bound = _tighten(terms, bound)
+    if not terms:
+        return True if bound < 0 else None
+    key = tuple(sorted(terms.items()))
+    seen = rows.get(key)
+    if seen is None or bound < seen:
+        rows[key] = bound
+    return None
+
+
+def infeasible(inequalities: Iterable[Inequality]) -> bool:
+    """True when the conjunction has **no** integer solution.
+
+    False means "a solution may exist" -- either one does, or the
+    elimination hit a cap.  Only the True answer is load-bearing.
+    """
+    rows: Dict[Tuple[Tuple[str, int], ...], int] = {}
+    for linexpr, bound in inequalities:
+        if _add_row(rows, dict(linexpr.terms),
+                    bound - linexpr.const):
+            return True
+
+    symbols = sorted({sym for key in rows for sym, _ in key})
+    if len(symbols) > MAX_SYMBOLS:
+        return False
+
+    while rows:
+        symbols = sorted({sym for key in rows for sym, _ in key})
+        if not symbols:
+            return False
+        # eliminate the symbol with the cheapest pos x neg product
+        def cost(sym: str) -> int:
+            pos = sum(1 for key in rows
+                      if dict(key).get(sym, 0) > 0)
+            neg = sum(1 for key in rows
+                      if dict(key).get(sym, 0) < 0)
+            return pos * neg
+        victim = min(symbols, key=cost)
+
+        pos: List[_Row] = []
+        neg: List[_Row] = []
+        rest: Dict[Tuple[Tuple[str, int], ...], int] = {}
+        for key, bound in rows.items():
+            terms = dict(key)
+            coeff = terms.get(victim, 0)
+            if coeff > 0:
+                pos.append((terms, bound))
+            elif coeff < 0:
+                neg.append((terms, bound))
+            else:
+                rest[key] = bound
+
+        if len(rest) + len(pos) * len(neg) > MAX_INEQUALITIES:
+            return False
+
+        rows = rest
+        for pterms, pbound in pos:
+            a = pterms[victim]
+            for nterms, nbound in neg:
+                c = -nterms[victim]
+                # c*(a*x + p) <= c*pb  and  a*(-c*x + n) <= a*nb
+                # sum eliminates x:  c*p + a*n <= c*pb + a*nb
+                combined: Dict[str, int] = {}
+                for sym, coeff in pterms.items():
+                    if sym != victim:
+                        combined[sym] = combined.get(sym, 0) + c * coeff
+                for sym, coeff in nterms.items():
+                    if sym != victim:
+                        combined[sym] = combined.get(sym, 0) + a * coeff
+                combined = {s: v for s, v in combined.items() if v != 0}
+                if _add_row(rows, combined, c * pbound + a * nbound):
+                    return True
+    return False
+
+
+def entails(hypotheses: Sequence[Inequality], goal: Inequality) -> bool:
+    """Does the conjunction of ``hypotheses`` imply ``goal``?
+
+    All inequalities read ``linexpr <= bound`` over integer-valued
+    symbols.  Decided by refuting ``hypotheses AND not goal`` where
+    the integer negation of ``e <= b`` is ``-e <= -(b + 1)``.
+    Sound, incomplete (False means "not proved", never "disproved").
+    """
+    goal_expr, goal_bound = goal
+    if goal_expr.is_constant():
+        return goal_expr.const <= goal_bound
+    negated: Inequality = (-goal_expr, -(goal_bound + 1))
+    return infeasible(list(hypotheses) + [negated])

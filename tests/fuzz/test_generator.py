@@ -34,10 +34,23 @@ class TestWellFormedness:
         source = generate_program(3)
         lines = source.splitlines()
         assert lines[0] == "program fuzz"
-        assert lines[-1] == "end program"
+        # generated subroutines are appended after the main program
+        assert lines[-1] in ("end program", "end subroutine")
+        assert "end program" in lines
         assert any(line.strip().startswith("input integer :: n")
                    for line in lines)
         assert any("print" in line for line in lines)
+
+    def test_subroutines_emitted(self):
+        sub_seeds = [seed for seed in SEEDS
+                     if "subroutine" in generate_program(seed)]
+        call_seeds = [seed for seed in SEEDS
+                      if "call " in generate_program(seed)]
+        # the interprocedural plane must actually be exercised
+        assert len(sub_seeds) > len(SEEDS) // 2
+        assert call_seeds
+        source = generate_program(sub_seeds[0])
+        parse_source(source)
 
     def test_config_bounds_respected(self):
         import re

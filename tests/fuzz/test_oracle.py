@@ -3,7 +3,8 @@
 from repro.checks.config import (CheckKind, ImplicationMode, OptimizerOptions,
                                  Scheme)
 from repro.fuzz import (Oracle, all_configurations, config_by_label,
-                        generate_program)
+                        generate_program, inline_configurations)
+from repro.fuzz.oracle import INLINE_SCHEMES
 
 CLEAN = """
 program p
@@ -106,6 +107,110 @@ class TestTrainedLOShard:
         for seed in range(5):
             failure = oracle.check(generate_program(seed), seed=seed)
             assert failure is None, failure.describe()
+
+
+CROSS_CALL = """
+program p
+  input integer :: n = 6
+  integer :: i
+  real :: a(1:n)
+  do i = 1, n
+    a(i) = real(i)
+    call put(n, i, a)
+  end do
+  print a(1)
+end program
+
+subroutine put(m, j, x)
+  integer :: m, j
+  real :: x(1:m)
+  x(j) = x(j) + 1.0
+end subroutine
+"""
+
+CROSS_CALL_TRAP = CROSS_CALL.replace("input integer :: n = 6",
+                                     "input integer :: n = 6, bad = 9") \
+                            .replace("call put(n, i, a)",
+                                     "call put(n, bad, a)")
+
+
+class TestInlineShard:
+    """The inline fuzz shard: paired inline-on/off configurations with
+    the NI-only ``inline-regression`` invariant (inlining may only
+    expose facts under pure elimination, never remove them)."""
+
+    def test_inline_configurations_shape(self):
+        configs = inline_configurations()
+        assert len(configs) == len(INLINE_SCHEMES) * len(CheckKind)
+        for options in configs:
+            assert options.inline
+            assert options.implication is ImplicationMode.ALL
+            assert options.label().endswith("+inl")
+
+    def test_matrix_size_unchanged_by_inline_configs(self):
+        # inline configs ride in a separate list: the paper's full
+        # matrix keeps its exact Scheme x Kind x Implication size
+        assert all(not getattr(o, "inline", False)
+                   for o in all_configurations())
+
+    def test_inline_labels_resolve(self):
+        table = config_by_label()
+        for options in inline_configurations():
+            label = options.label()
+            assert label in table
+            assert table[label].inline
+            # and the non-inlined twin resolves too (the pairing the
+            # regression invariant depends on)
+            assert label.replace("+inl", "") in table
+
+    def test_default_oracle_includes_inline_configs(self):
+        oracle = Oracle()
+        assert any(getattr(o, "inline", False) for o in oracle.configs)
+
+    def _shard(self):
+        table = config_by_label()
+        labels = ["PRX-NI", "INX-NI", "PRX-NI+inl", "INX-NI+inl",
+                  "PRX-LLS+inl", "INX-LLS+inl"]
+        return Oracle(configs=[table[label] for label in labels])
+
+    def test_cross_call_program_passes(self):
+        assert self._shard().check(CROSS_CALL, seed=0) is None
+
+    def test_cross_call_trap_passes(self):
+        # trap parity inline-on vs inline-off is a pass
+        assert self._shard().check(CROSS_CALL_TRAP, seed=0) is None
+
+    def test_generated_programs_pass(self):
+        oracle = self._shard()
+        for seed in range(5):
+            failure = oracle.check(generate_program(seed), seed=seed)
+            assert failure is None, failure.describe()
+
+    def test_regression_invariant_fires(self):
+        # a fabricated effective-count table where the inlined NI run
+        # did MORE work than its twin must be flagged
+        oracle = self._shard()
+        table = config_by_label()
+        failure = oracle._check_inline_pairs(
+            {"INX-NI": 10, "INX-NI+inl": 11}, 7, "<source>")
+        assert failure is not None
+        assert failure.kind == "inline-regression"
+        assert failure.config == "INX-NI+inl"
+
+    def test_regression_invariant_ni_only(self):
+        # LLS pairs are exempt: hoisting reasons about the (changed)
+        # loop nests, so no monotonicity theorem holds
+        oracle = self._shard()
+        failure = oracle._check_inline_pairs(
+            {"INX-LLS": 10, "INX-LLS+inl": 11}, 7, "<source>")
+        assert failure is None
+
+    def test_regression_invariant_skips_unpaired_runs(self):
+        oracle = self._shard()
+        assert oracle._check_inline_pairs(
+            {"INX-NI+inl": 11}, 7, "<source>") is None
+        assert oracle._check_inline_pairs(
+            {"INX-NI": 5, "INX-NI+inl": 5}, 7, "<source>") is None
 
 
 class TestLimitParity:

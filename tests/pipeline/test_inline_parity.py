@@ -1,0 +1,221 @@
+"""The cross-call differential test plane for ``--inline``.
+
+Three-engine dynamic-count parity on call-carrying and
+symbolically-bounded programs, trap equivalence (including the golden
+callee-name + call-line provenance suffix), zero-extent arrays, and
+the BackendCache/FrontendCache identity of inline-on vs inline-off
+compiles.
+"""
+
+import pytest
+
+from repro.benchsuite import cross_call_programs
+from repro.checks.config import CheckKind, OptimizerOptions, Scheme
+from repro.errors import RangeTrap
+from repro.interp.machine import Machine
+from repro.pipeline import BackendCache, FrontendCache, compile_source
+
+ENGINES = ("compiled", "specialized")
+
+TRAPPING = """
+program p
+  input integer :: n = 5, bad = 9
+  integer :: i
+  real :: a(1:n)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  call put(n, bad, a)
+  print a(1)
+end program
+
+subroutine put(m, j, x)
+  integer :: m, j
+  real :: x(1:m)
+  x(j) = x(j) + 1.0
+end subroutine
+"""
+
+NESTED_TRAP = """
+program p
+  input integer :: n = 5, bad = 9
+  real :: a(1:n)
+  call outer(n, bad, a)
+  print a(1)
+end program
+
+subroutine outer(m, j, x)
+  integer :: m, j
+  real :: x(1:m)
+  call inner(m, j, x)
+end subroutine
+
+subroutine inner(m, j, x)
+  integer :: m, j
+  real :: x(1:m)
+  x(j) = 0.0
+end subroutine
+"""
+
+
+def _interp(program, inputs):
+    machine = Machine(program.module, inputs)
+    try:
+        machine.run()
+    except RangeTrap as trap:
+        return machine.counters, list(machine.output), str(trap)
+    return machine.counters, list(machine.output), None
+
+
+def _engine(program, inputs, engine):
+    try:
+        runtime = program.run_compiled(inputs, engine=engine)
+    except RangeTrap as trap:
+        runtime = trap.runtime
+        return runtime.counters, list(runtime.output), str(trap)
+    return runtime.counters, list(runtime.output), None
+
+
+def _matrix():
+    for scheme in (Scheme.NI, Scheme.LLS, Scheme.ALL):
+        for kind in CheckKind:
+            yield OptimizerOptions(scheme=scheme, kind=kind, inline=True)
+
+
+class TestThreeEngineParity:
+    @pytest.mark.parametrize("name", [p.name for p in cross_call_programs()])
+    def test_cross_call_kernels(self, name):
+        program_def = next(p for p in cross_call_programs()
+                           if p.name == name)
+        for options in _matrix():
+            program = compile_source(program_def.source, options,
+                                     verify_ir=True)
+            counters, output, trap = _interp(program,
+                                             program_def.test_inputs)
+            assert trap is None
+            for engine in ENGINES:
+                e_counters, e_output, e_trap = _engine(
+                    program, program_def.test_inputs, engine)
+                assert e_trap is None
+                assert e_output == output, (name, options.label(), engine)
+                assert e_counters.checks == counters.checks, \
+                    (name, options.label(), engine)
+
+    def test_zero_extent_arrays(self):
+        # n = 0: symbolic bounds make every array empty; the inlined
+        # clones' loops must run zero times in every engine
+        program_def = cross_call_programs()[0]
+        inputs = dict(program_def.test_inputs)
+        inputs["n"] = 0
+        for options in _matrix():
+            program = compile_source(program_def.source, options,
+                                     verify_ir=True)
+            counters, output, trap = _interp(program, inputs)
+            assert trap is None
+            for engine in ENGINES:
+                e_counters, e_output, e_trap = _engine(program, inputs,
+                                                       engine)
+                assert e_trap is None
+                assert e_output == output
+                assert e_counters.checks == counters.checks
+
+
+class TestTrapEquivalence:
+    def test_all_engines_trap_inline_off(self):
+        options = OptimizerOptions(scheme=Scheme.NI, kind=CheckKind.INX)
+        program = compile_source(TRAPPING, options)
+        _, _, trap = _interp(program, {"n": 5, "bad": 9})
+        assert trap is not None
+        for engine in ENGINES:
+            _, _, e_trap = _engine(program, {"n": 5, "bad": 9}, engine)
+            assert e_trap is not None
+
+    def test_golden_trap_provenance(self):
+        """The golden contract of satellite (d): a trap inside an
+        inlined region names the callee and the call line, in every
+        engine, with the caller's symbols in the canonical form."""
+        options = OptimizerOptions(scheme=Scheme.NI, kind=CheckKind.INX,
+                                   inline=True)
+        program = compile_source(TRAPPING, options)
+        _, _, trap = _interp(program, {"n": 5, "bad": 9})
+        assert trap == ("range check failed: bad-n = 4 > 0 "
+                        "(array a, upper bound) in put (call at line 9)")
+        for engine in ENGINES:
+            _, _, e_trap = _engine(program, {"n": 5, "bad": 9}, engine)
+            # the compiled engines report the static form of the
+            # violated check with the same provenance suffix
+            assert e_trap == ("range check failed: bad-n <= 0 "
+                              "(array a, upper bound) in put "
+                              "(call at line 9)")
+
+    def test_trap_without_inline_names_callee_symbols(self):
+        options = OptimizerOptions(scheme=Scheme.NI, kind=CheckKind.INX)
+        program = compile_source(TRAPPING, options)
+        _, _, trap = _interp(program, {"n": 5, "bad": 9})
+        assert trap == ("range check failed: j-m = 4 > 0 "
+                        "(array x, upper bound)")
+
+    def test_nested_inline_keeps_innermost_provenance(self):
+        # the trap happens inside inner's clone: provenance must say
+        # `inner`, not the outer frame the clone was spliced through
+        options = OptimizerOptions(scheme=Scheme.NI, kind=CheckKind.INX,
+                                   inline=True)
+        program = compile_source(NESTED_TRAP, options)
+        _, _, trap = _interp(program, {"n": 5, "bad": 9})
+        assert trap is not None
+        assert "in inner (call at line" in trap
+
+    def test_trap_equivalence_at_call_depth(self):
+        # inline on and off must agree that the program traps, on the
+        # same access, in every engine
+        inputs = {"n": 5, "bad": 9}
+        verdicts = set()
+        for inline in (False, True):
+            options = OptimizerOptions(scheme=Scheme.NI,
+                                       kind=CheckKind.INX, inline=inline)
+            program = compile_source(NESTED_TRAP, options)
+            _, _, trap = _interp(program, inputs)
+            verdicts.add(trap is not None)
+            for engine in ENGINES:
+                _, _, e_trap = _engine(program, inputs, engine)
+                verdicts.add(e_trap is not None)
+        assert verdicts == {True}
+
+
+class TestCacheIdentity:
+    def test_backend_keys_never_collide_across_inline(self):
+        """The BackendCache key is the printed IR: the inlined module
+        (clone blocks, contexts, caller symbols in checks) must never
+        share a compiled entry with the non-inlined one."""
+        for program_def in cross_call_programs():
+            keys = {}
+            for inline in (False, True):
+                options = OptimizerOptions(scheme=Scheme.NI,
+                                           kind=CheckKind.INX,
+                                           inline=inline)
+                program = compile_source(program_def.source, options)
+                keys[inline] = BackendCache.key(program.module)
+            assert keys[False] != keys[True], program_def.name
+
+    def test_frontend_cache_separates_inline_variants(self):
+        cache = FrontendCache()
+        program_def = cross_call_programs()[0]
+        plain = cache.frontend(program_def.source, inline=False)
+        inlined = cache.frontend(program_def.source, inline=True)
+        # distinct artifacts, and each variant is its own hit
+        assert plain is not inlined
+        plain_sizes = sorted(sum(1 for _ in f.instructions())
+                             for f in plain)
+        inlined_sizes = sorted(sum(1 for _ in f.instructions())
+                               for f in inlined)
+        assert plain_sizes != inlined_sizes
+        again = cache.frontend(program_def.source, inline=True)
+        for function, other in zip(inlined, again):
+            assert function.name == other.name
+
+    def test_labels_distinguish_inline(self):
+        plain = OptimizerOptions(scheme=Scheme.NI, kind=CheckKind.INX)
+        inlined = OptimizerOptions(scheme=Scheme.NI, kind=CheckKind.INX,
+                                   inline=True)
+        assert plain.label() == "INX-NI"
+        assert inlined.label() == "INX-NI+inl"

@@ -1,0 +1,228 @@
+"""Unit and property tests for the linear-inequality prover.
+
+The prover's contract is one-sided: a True answer from
+:func:`entails`/:func:`infeasible` is load-bearing (the eliminator
+deletes a check on its word), a False answer is merely "not proved".
+The property campaigns here attack exactly that asymmetry -- every
+positive verdict on a random system is cross-examined against
+brute-force integer enumeration, which must never find a countermodel.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import LinearExpr, entails, infeasible
+from repro.symbolic.prover import MAX_SYMBOLS
+
+#: Seeded-random soundness campaign size (mirrors the interval tests).
+_TRIALS = 200
+#: Brute-force domain per symbol; systems are kept to <= 3 symbols so
+#: enumeration stays exhaustive over the sampled grid.
+_DOMAIN = range(-4, 5)
+_SYMBOLS = ("i", "j", "n")
+
+
+def _expr(terms, const=0):
+    return LinearExpr(terms, const)
+
+
+def _holds(inequality, env):
+    expr, bound = inequality
+    return expr.evaluate(env) <= bound
+
+
+def _models(inequalities):
+    """Every grid assignment satisfying all inequalities."""
+    for values in itertools.product(_DOMAIN, repeat=len(_SYMBOLS)):
+        env = dict(zip(_SYMBOLS, values))
+        if all(_holds(ineq, env) for ineq in inequalities):
+            yield env
+
+
+class TestEntailsUnit:
+    def test_reflexive(self):
+        fact = (_expr({"i": 1, "n": -1}), 0)
+        assert entails([fact], fact)
+
+    def test_weakened_bound(self):
+        assert entails([(_expr({"i": 1, "n": -1}), -1)],
+                       (_expr({"i": 1, "n": -1}), 0))
+
+    def test_strengthened_bound_not_proved(self):
+        assert not entails([(_expr({"i": 1, "n": -1}), 0)],
+                           (_expr({"i": 1, "n": -1}), -1))
+
+    def test_transitivity(self):
+        # i <= j and j <= n entail i <= n
+        hyps = [(_expr({"i": 1, "j": -1}), 0),
+                (_expr({"j": 1, "n": -1}), 0)]
+        assert entails(hyps, (_expr({"i": 1, "n": -1}), 0))
+
+    def test_no_free_lunch(self):
+        # i <= j alone says nothing about i vs n
+        assert not entails([(_expr({"i": 1, "j": -1}), 0)],
+                           (_expr({"i": 1, "n": -1}), 0))
+
+    def test_integer_tightening(self):
+        # over the rationals 2i <= 2n+1 only gives i <= n + 1/2;
+        # over the integers it gives i <= n
+        assert entails([(_expr({"i": 2, "n": -2}), 1)],
+                       (_expr({"i": 1, "n": -1}), 0))
+
+    def test_scaled_combination(self):
+        # i + j <= n and -j <= 0 entail i <= n
+        hyps = [(_expr({"i": 1, "j": 1, "n": -1}), 0),
+                (_expr({"j": -1}), 0)]
+        assert entails(hyps, (_expr({"i": 1, "n": -1}), 0))
+
+    def test_constant_goal(self):
+        assert entails([], (LinearExpr.constant(3), 5))
+        assert not entails([], (LinearExpr.constant(7), 5))
+
+    def test_empty_hypotheses_symbolic_goal(self):
+        assert not entails([], (_expr({"i": 1}), 0))
+
+    def test_goal_constant_offset(self):
+        # i - n <= -1 entails i - n <= 0 (the family-edge shape the
+        # eliminator feeds after inlining)
+        assert entails([(_expr({"i": 1, "n": -1}), -1)],
+                       (_expr({"i": 1, "n": -1}), 0))
+
+
+class TestInfeasibleUnit:
+    def test_constant_contradiction(self):
+        assert infeasible([(LinearExpr.constant(1), 0)])
+
+    def test_opposed_bounds(self):
+        # i <= 0 and -i <= -1 (i >= 1)
+        assert infeasible([(_expr({"i": 1}), 0), (_expr({"i": -1}), -1)])
+
+    def test_satisfiable_band(self):
+        assert not infeasible([(_expr({"i": 1}), 5),
+                               (_expr({"i": -1}), 0)])
+
+    def test_integer_gap(self):
+        # 2i <= 1 and -2i <= -1 has the rational solution i = 1/2 but
+        # no integer one; the tightening must catch it
+        assert infeasible([(_expr({"i": 2}), 1), (_expr({"i": -2}), -1)])
+
+    def test_empty_system(self):
+        assert not infeasible([])
+
+
+class TestCaps:
+    def test_symbol_cap_answers_not_proved(self):
+        hyps = [(_expr({"x%d" % k: 1}), 0)
+                for k in range(MAX_SYMBOLS + 1)]
+        goal = (_expr({"x0": 1}), 0)
+        # the goal IS a hypothesis, but the system is over the symbol
+        # cap: the only acceptable degradation is False, never a crash
+        assert entails(hyps, goal) in (True, False)
+        assert not infeasible(hyps)
+
+    def test_blowup_capped(self):
+        # a dense system whose elimination products exceed the row cap
+        rng = random.Random(7)
+        hyps = []
+        for _ in range(80):
+            terms = {s: rng.randint(-3, 3) for s in
+                     ("a", "b", "c", "d", "e", "f")}
+            hyps.append((_expr(terms), rng.randint(0, 10)))
+        # must terminate and stay sound either way
+        verdict = infeasible(hyps)
+        if verdict:
+            for values in itertools.product(range(-3, 4), repeat=6):
+                env = dict(zip(("a", "b", "c", "d", "e", "f"), values))
+                assert not all(_holds(h, env) for h in hyps)
+
+
+def _random_system(rng):
+    hyps = []
+    for _ in range(rng.randint(1, 5)):
+        terms = {s: rng.randint(-3, 3) for s in _SYMBOLS
+                 if rng.random() < 0.7}
+        hyps.append((_expr(terms, rng.randint(-2, 2)),
+                     rng.randint(-6, 6)))
+    goal_terms = {s: rng.randint(-3, 3) for s in _SYMBOLS
+                  if rng.random() < 0.7}
+    goal = (_expr(goal_terms, rng.randint(-2, 2)), rng.randint(-6, 6))
+    return hyps, goal
+
+
+class TestSoundnessCampaign:
+    """Seeded random systems vs brute-force integer enumeration."""
+
+    def test_entails_never_proves_with_countermodel(self):
+        rng = random.Random(0xC0FFEE)
+        proved = 0
+        for trial in range(_TRIALS):
+            hyps, goal = _random_system(rng)
+            if not entails(hyps, goal):
+                continue
+            proved += 1
+            for env in _models(hyps):
+                assert _holds(goal, env), (
+                    "trial %d: prover claimed %r |= %r but %r is a "
+                    "countermodel" % (trial, hyps, goal, env))
+        # the campaign must actually exercise the positive direction
+        assert proved >= 10
+
+    def test_infeasible_never_claims_empty_with_model(self):
+        rng = random.Random(0xBEEF)
+        claimed = 0
+        for trial in range(_TRIALS):
+            hyps, _ = _random_system(rng)
+            if not infeasible(hyps):
+                continue
+            claimed += 1
+            for env in _models(hyps):
+                raise AssertionError(
+                    "trial %d: prover claimed %r infeasible but %r "
+                    "satisfies it" % (trial, hyps, env))
+        assert claimed >= 5
+
+    def test_semantic_truths_with_models_in_grid(self):
+        """Relative-completeness sanity: when the goal holds at every
+        grid model of a *satisfiable* small system and the system
+        pins every goal symbol, the prover usually agrees.  Not a hard
+        guarantee (the grid is finite), so this only requires the
+        prover to find a healthy fraction."""
+        rng = random.Random(0xFACADE)
+        checked = agreed = 0
+        for _ in range(_TRIALS):
+            hyps, goal = _random_system(rng)
+            models = list(_models(hyps))
+            if not models or len(models) > 200:
+                continue  # empty or too unconstrained to trust the grid
+            if not all(_holds(goal, env) for env in models):
+                continue
+            checked += 1
+            if entails(hyps, goal):
+                agreed += 1
+        assert checked >= 10
+        assert agreed >= checked // 3
+
+
+coeff = st.integers(min_value=-3, max_value=3)
+small_exprs = st.builds(
+    _expr,
+    st.dictionaries(st.sampled_from(_SYMBOLS), coeff, max_size=3),
+    coeff)
+inequalities = st.tuples(small_exprs, st.integers(-6, 6))
+
+
+class TestSoundnessProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(inequalities, min_size=1, max_size=4), inequalities)
+    def test_positive_verdicts_hold_on_grid(self, hyps, goal):
+        if entails(hyps, goal):
+            for env in _models(hyps):
+                assert _holds(goal, env)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(inequalities, min_size=1, max_size=4))
+    def test_infeasible_verdicts_hold_on_grid(self, hyps):
+        if infeasible(hyps):
+            assert not list(_models(hyps))
